@@ -1,0 +1,67 @@
+"""Ablation — function-extraction back-ends.
+
+Not part of the paper's tables, but of its design space: once a partition is
+known, ``fA`` / ``fB`` can be synthesised by cofactor-based quantification,
+by Craig interpolation from the refutation proof (the Lee–Jiang route the
+paper builds on), or by BDD quantification.  This benchmark compares the
+three back-ends on the same partition and records their runtimes; all three
+must of course produce equivalent, verified decompositions.
+"""
+
+import pytest
+
+from harness import emit, format_table
+from repro.aig.function import BooleanFunction
+from repro.circuits.generators import decomposable_by_construction
+from repro.core.checks import RelaxationChecker
+from repro.core.extract import extract_functions
+from repro.core.mus_partition import mus_find_partition
+from repro.core.verify import verify_decomposition
+from repro.utils.timer import Stopwatch
+
+METHODS = ["quantification", "interpolation", "bdd"]
+
+
+def _instance():
+    aig, *_ = decomposable_by_construction("or", 4, 4, 2, seed="ablation-extract")
+    function = BooleanFunction.from_output(aig, "f")
+    checker = RelaxationChecker(function, "or")
+    partition = mus_find_partition(checker)
+    assert partition is not None
+    return function, partition
+
+
+@pytest.mark.benchmark(group="ablation-extraction")
+@pytest.mark.parametrize("method", METHODS)
+def test_ablation_extraction_backend(benchmark, method):
+    function, partition = _instance()
+    fa, fb = benchmark(extract_functions, function, "or", partition, method)
+    assert verify_decomposition(function, "or", fa, fb, partition)
+
+
+@pytest.mark.benchmark(group="ablation-extraction")
+def test_ablation_extraction_summary(benchmark):
+    """Emit a side-by-side summary of the three extraction back-ends."""
+    function, partition = _instance()
+
+    def build_summary() -> str:
+        rows = []
+        for method in METHODS:
+            watch = Stopwatch().start()
+            fa, fb = extract_functions(function, "or", partition, method=method)
+            elapsed = watch.stop()
+            rows.append(
+                [
+                    method,
+                    f"{elapsed * 1000:.2f}",
+                    fa.aig.num_ands,
+                    fb.aig.num_ands,
+                    verify_decomposition(function, "or", fa, fb, partition, raise_on_failure=False),
+                ]
+            )
+        return format_table(
+            ["method", "time (ms)", "fA AND-nodes", "fB AND-nodes", "verified"], rows
+        )
+
+    table = benchmark(build_summary)
+    emit("ablation_extraction_backends", table)

@@ -1,0 +1,100 @@
+"""Figure 1 — CPU-time scatter plots between the models.
+
+The paper's Figure 1 shows six scatter plots of per-circuit CPU time:
+LJH vs STEP-{QD, QB, QDB} (top row) and STEP-MG vs STEP-{QD, QB, QDB}
+(bottom row), over all 145 circuits.  This benchmark emits the same six
+series as text (one ``x y`` pair per circuit, plus the which-side-wins
+summary).  Expected shape: in the LJH row most points lie below the
+diagonal (the QBF engines are faster than LJH on hard circuits), while in
+the STEP-MG row most points lie above it (exactness costs time compared to
+the fast heuristic).
+"""
+
+import pytest
+
+from harness import ALL_ENGINES, SweepConfig, emit, run_sweep
+from repro.core.spec import (
+    ENGINE_LJH,
+    ENGINE_STEP_MG,
+    ENGINE_STEP_QB,
+    ENGINE_STEP_QD,
+    ENGINE_STEP_QDB,
+)
+
+CONFIG = SweepConfig(operator="or", engines=ALL_ENGINES)
+
+PAIRS = [
+    (ENGINE_LJH, ENGINE_STEP_QD),
+    (ENGINE_LJH, ENGINE_STEP_QB),
+    (ENGINE_LJH, ENGINE_STEP_QDB),
+    (ENGINE_STEP_MG, ENGINE_STEP_QD),
+    (ENGINE_STEP_MG, ENGINE_STEP_QB),
+    (ENGINE_STEP_MG, ENGINE_STEP_QDB),
+]
+
+
+def _build_series():
+    sweep = run_sweep(CONFIG)
+    series = {}
+    for baseline, challenger in PAIRS:
+        points = []
+        for circuit, report in sweep:
+            points.append(
+                (circuit.name, report.cpu_seconds(challenger), report.cpu_seconds(baseline))
+            )
+        series[(baseline, challenger)] = points
+    return series
+
+
+def _build_text() -> str:
+    series = _build_series()
+    blocks = []
+    for (baseline, challenger), points in series.items():
+        lines = [f"# {challenger} (x) vs {baseline} (y) — one point per circuit"]
+        above = below = 0
+        for name, x, y in points:
+            lines.append(f"{name:>12}  {x:10.4f}  {y:10.4f}")
+            if y > x:
+                above += 1
+            elif y < x:
+                below += 1
+        lines.append(
+            f"# circuits where {baseline} is slower (above diagonal): {above}, "
+            f"faster: {below}"
+        )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_scatter_series(benchmark):
+    """Regenerate the six CPU-time scatter series of Figure 1."""
+    run_sweep(CONFIG)
+    text = benchmark(_build_text)
+    emit("figure1_cpu_scatter", text)
+
+    series = _build_series()
+    # Shape assertion: against STEP-MG the QBF engines are slower in aggregate
+    # (exact search costs more than the greedy heuristic).
+    for challenger in (ENGINE_STEP_QD, ENGINE_STEP_QB, ENGINE_STEP_QDB):
+        points = series[(ENGINE_STEP_MG, challenger)]
+        total_challenger = sum(x for _, x, _ in points)
+        total_baseline = sum(y for _, _, y in points)
+        assert total_challenger >= total_baseline * 0.5
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_full_circuit_runtime(benchmark):
+    """Micro-benchmark: one full circuit decomposed by STEP-QD alone."""
+    from repro.circuits.generators import comparator
+    from repro.core.engine import BiDecomposer, EngineOptions
+
+    aig = comparator(4)
+    step = BiDecomposer(
+        EngineOptions(extract=False, per_call_timeout=2.0, output_timeout=15.0)
+    )
+
+    report = benchmark(
+        step.decompose_circuit, aig, "or", ["STEP-QD"], None, 3
+    )
+    assert report.outputs

@@ -1,0 +1,118 @@
+"""Table III — performance data for OR bi-decomposition.
+
+The paper's Table III reports, per circuit, the number of decomposed
+primary outputs (#Dec) and the CPU seconds of each tool: LJH, STEP-MG and
+the three QBF engines.  Expected shape (section V.B): STEP-MG is the
+fastest engine, the QBF engines are slower than STEP-MG (they pay for
+exactness) but generally comparable to or faster than LJH, and all engines
+decompose (essentially) the same set of outputs, with LJH occasionally
+missing some within the budget.
+"""
+
+import pytest
+
+from harness import ALL_ENGINES, SweepConfig, emit, format_table, run_sweep
+from repro.core.spec import (
+    ENGINE_LJH,
+    ENGINE_STEP_MG,
+    ENGINE_STEP_QB,
+    ENGINE_STEP_QD,
+    ENGINE_STEP_QDB,
+)
+
+CONFIG = SweepConfig(operator="or", engines=ALL_ENGINES)
+
+COLUMNS = [ENGINE_LJH, ENGINE_STEP_MG, ENGINE_STEP_QD, ENGINE_STEP_QB, ENGINE_STEP_QDB]
+
+
+def _build_table() -> str:
+    sweep = run_sweep(CONFIG)
+    headers = ["Circuit", "#Out"]
+    for engine in COLUMNS:
+        headers.append(f"{engine} #Dec")
+        headers.append(f"{engine} CPU(s)")
+    rows = []
+    totals = {engine: [0, 0.0] for engine in COLUMNS}
+    for circuit, report in sweep:
+        row = [circuit.name, len(report.outputs)]
+        for engine in COLUMNS:
+            decomposed = report.decomposed_count(engine)
+            cpu = report.cpu_seconds(engine)
+            totals[engine][0] += decomposed
+            totals[engine][1] += cpu
+            row.append(decomposed)
+            row.append(f"{cpu:.3f}")
+        rows.append(row)
+    total_row = ["TOTAL", sum(len(r.outputs) for _, r in sweep)]
+    for engine in COLUMNS:
+        total_row.append(totals[engine][0])
+        total_row.append(f"{totals[engine][1]:.3f}")
+    rows.append(total_row)
+    return format_table(headers, rows)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_performance(benchmark):
+    """Regenerate Table III (per-circuit #Dec and CPU per engine)."""
+    run_sweep(CONFIG)
+    table = benchmark(_build_table)
+    emit("table3_performance_or", table)
+
+    sweep = run_sweep(CONFIG)
+    total_cpu = {engine: sum(r.cpu_seconds(engine) for _, r in sweep) for engine in COLUMNS}
+    total_dec = {
+        engine: sum(r.decomposed_count(engine) for _, r in sweep) for engine in COLUMNS
+    }
+    # Shape assertion 1: the heuristic STEP-MG is faster than every exact QBF
+    # engine (the paper's central performance trade-off).  The LJH-is-slowest
+    # part of the paper's ordering only materialises on wide-support cones;
+    # see test_table3_wide_support_ljh_vs_mg below and EXPERIMENTS.md.
+    for engine in (ENGINE_STEP_QD, ENGINE_STEP_QB, ENGINE_STEP_QDB):
+        assert total_cpu[ENGINE_STEP_MG] <= total_cpu[engine]
+    # Shape assertion 2: the QBF engines decompose at least as many outputs as
+    # the heuristic baselines (they are bootstrapped by STEP-MG).
+    for engine in (ENGINE_STEP_QD, ENGINE_STEP_QB, ENGINE_STEP_QDB):
+        assert total_dec[engine] >= total_dec[ENGINE_STEP_MG]
+        assert total_dec[engine] >= total_dec[ENGINE_LJH]
+
+
+@pytest.mark.benchmark(group="table3")
+@pytest.mark.parametrize("engine", [ENGINE_LJH, ENGINE_STEP_MG])
+def test_table3_wide_support_ljh_vs_mg(benchmark, engine):
+    """Micro-benchmark: the LJH / STEP-MG crossover on a wide-support cone.
+
+    On decomposable cones with many support variables the LJH seed-pair
+    search scans quadratically many candidate pairs before its greedy growth
+    starts, while STEP-MG derives most of the partition from a linear number
+    of core-guided SAT calls; this is the regime behind the paper's
+    "LJH is the slowest tool" observation (Table III).
+    """
+    from repro.aig.function import BooleanFunction
+    from repro.circuits.generators import decomposable_by_construction
+    from repro.core.engine import BiDecomposer, EngineOptions
+
+    aig, *_ = decomposable_by_construction("or", 6, 6, 2, seed="table3-wide")
+    function = BooleanFunction.from_output(aig, "f")
+    step = BiDecomposer(
+        EngineOptions(extract=False, per_call_timeout=2.0, output_timeout=30.0)
+    )
+
+    result = benchmark(step.decompose_function, function, "or", engine)
+    assert result.decomposed
+
+
+@pytest.mark.benchmark(group="table3")
+@pytest.mark.parametrize("engine", COLUMNS)
+def test_table3_single_output_runtime(benchmark, engine):
+    """Micro-benchmark: per-engine runtime on one representative output."""
+    from repro.aig.function import BooleanFunction
+    from repro.circuits.generators import mux_tree
+    from repro.core.engine import BiDecomposer, EngineOptions
+
+    function = BooleanFunction.from_output(mux_tree(3), "y")
+    step = BiDecomposer(
+        EngineOptions(extract=False, per_call_timeout=2.0, output_timeout=15.0)
+    )
+
+    result = benchmark(step.decompose_function, function, "or", engine)
+    assert result.decomposed

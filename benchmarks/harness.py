@@ -1,0 +1,147 @@
+"""Shared benchmark harness.
+
+The five benchmark modules (Table I–IV and Figure 1) all consume the same
+experiment sweep: every circuit of the benchmark suite is decomposed
+per-primary-output by the engines the paper compares.  The sweep is cached
+per configuration so that the table benchmarks measure their own aggregation
+work while the expensive decomposition runs happen exactly once per session.
+
+Every benchmark writes its reproduced table/figure data to
+``benchmarks/results/<name>.txt`` and echoes it to stdout, so a run of
+``pytest benchmarks/ --benchmark-only -s`` leaves the full set of reproduced
+artefacts on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.suites import BenchmarkCircuit, performance_suite, quality_suite
+from repro.core.engine import BiDecomposer, EngineOptions
+from repro.core.result import CircuitReport
+from repro.core.spec import (
+    ENGINE_LJH,
+    ENGINE_STEP_MG,
+    ENGINE_STEP_QB,
+    ENGINE_STEP_QD,
+    ENGINE_STEP_QDB,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+QBF_ENGINES = (ENGINE_STEP_QD, ENGINE_STEP_QB, ENGINE_STEP_QDB)
+ALL_ENGINES = (ENGINE_LJH, ENGINE_STEP_MG) + QBF_ENGINES
+
+# Scaled-down counterparts of the paper's budgets (6000 s per circuit, 4 s per
+# QBF call) so that the whole benchmark suite runs in minutes on a laptop.
+DEFAULT_MAX_OUTPUTS = 4
+DEFAULT_OUTPUT_TIMEOUT = 15.0
+DEFAULT_PER_CALL_TIMEOUT = 2.0
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One experiment sweep: which engines decompose which suite how."""
+
+    operator: str = "or"
+    engines: Tuple[str, ...] = ALL_ENGINES
+    scale: str = "small"
+    max_outputs: int = DEFAULT_MAX_OUTPUTS
+    output_timeout: float = DEFAULT_OUTPUT_TIMEOUT
+    per_call_timeout: float = DEFAULT_PER_CALL_TIMEOUT
+
+
+_SWEEP_CACHE: Dict[SweepConfig, List[Tuple[BenchmarkCircuit, CircuitReport]]] = {}
+
+
+def run_sweep(config: SweepConfig) -> List[Tuple[BenchmarkCircuit, CircuitReport]]:
+    """Run (or fetch from cache) the per-output decomposition sweep."""
+    if config in _SWEEP_CACHE:
+        return _SWEEP_CACHE[config]
+    options = EngineOptions(
+        per_call_timeout=config.per_call_timeout,
+        output_timeout=config.output_timeout,
+        extract=False,
+    )
+    step = BiDecomposer(options)
+    results = []
+    for circuit in quality_suite(config.scale):
+        report = step.decompose_circuit(
+            circuit.aig,
+            config.operator,
+            list(config.engines),
+            max_outputs=config.max_outputs,
+            circuit_name=circuit.name,
+        )
+        results.append((circuit, report))
+    _SWEEP_CACHE[config] = results
+    return results
+
+
+# ---------------------------------------------------------------------------
+# metric comparison (the "better / equal" percentages of Tables I and II)
+# ---------------------------------------------------------------------------
+
+
+def metric_of(result, metric: str) -> Optional[float]:
+    if result is None or not result.decomposed or result.partition is None:
+        return None
+    if metric == "disjointness":
+        return float(result.partition.disjointness)
+    if metric == "balancedness":
+        return float(result.partition.balancedness)
+    if metric == "combined":
+        return float(result.partition.disjointness + result.partition.balancedness)
+    raise ValueError(metric)
+
+
+def compare_engines(
+    report: CircuitReport, challenger: str, baseline: str, metric: str
+) -> Tuple[int, int, int]:
+    """Count (challenger better, equal, total comparable POs) for one circuit."""
+    better = equal = total = 0
+    for output in report.outputs:
+        challenger_value = metric_of(output.results.get(challenger), metric)
+        baseline_value = metric_of(output.results.get(baseline), metric)
+        if challenger_value is None or baseline_value is None:
+            continue
+        total += 1
+        if challenger_value < baseline_value - 1e-9:
+            better += 1
+        elif abs(challenger_value - baseline_value) <= 1e-9:
+            equal += 1
+    return better, equal, total
+
+
+def percentage(part: int, total: int) -> float:
+    return 100.0 * part / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# output helpers
+# ---------------------------------------------------------------------------
+
+
+def emit(name: str, text: str) -> str:
+    """Write a reproduced table to disk and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"\n{'=' * 78}\n{name}\n{'=' * 78}\n{text}")
+    return path
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,86 @@
+"""Logic-synthesis scenario: decompose every output of a circuit.
+
+This mirrors how the paper's tool STEP is used inside a synthesis flow: a
+multi-output combinational circuit (here a small ALU slice, standing in for
+an ISCAS benchmark) is loaded and every primary output is bi-decomposed.
+Real flows try the gate types in sequence — OR, then AND, then XOR — and
+keep the first one that succeeds; the example does the same with both the
+fast heuristic engine (STEP-MG) and the exact QBF engine (STEP-QD), and
+compares the achieved quality metrics — the comparison the paper's Table I
+reports at benchmark scale.
+
+Run with::
+
+    python examples/circuit_synthesis_flow.py
+"""
+
+from repro import BiDecomposer, EngineOptions
+from repro.circuits import alu_slice
+from repro.io import aig_to_blif
+
+ENGINES = ["STEP-MG", "STEP-QD"]
+OPERATORS = ["or", "and", "xor"]
+
+
+def first_successful(step, function, engine):
+    """Try OR, AND, XOR in order; return (operator, result) of the first hit."""
+    for operator in OPERATORS:
+        result = step.decompose_function(function, operator, engine=engine)
+        if result.decomposed:
+            return operator, result
+    return None, None
+
+
+def main() -> None:
+    from repro import BooleanFunction
+
+    circuit = alu_slice(3, name="alu3")
+    print(f"circuit: {circuit.name}  inputs={len(circuit.inputs)}  outputs={len(circuit.outputs)}")
+
+    step = BiDecomposer(EngineOptions(per_call_timeout=4.0, output_timeout=30.0))
+
+    header = f"{'output':>8} {'support':>8}"
+    for engine in ENGINES:
+        header += f" | {engine:>8} {'gate':>5} {'eD':>5} {'eB':>5}"
+    print(header)
+    print("-" * len(header))
+    decomposed_counts = {engine: 0 for engine in ENGINES}
+    cpu = {engine: 0.0 for engine in ENGINES}
+    improved = 0
+    for name, _ in circuit.outputs:
+        function = BooleanFunction.from_output(circuit, name)
+        line = f"{name:>8} {function.num_inputs:>8}"
+        per_engine = {}
+        for engine in ENGINES:
+            operator, result = first_successful(step, function, engine)
+            per_engine[engine] = result
+            if result is None:
+                line += f" | {'--':>8} {'--':>5} {'--':>5} {'--':>5}"
+            else:
+                decomposed_counts[engine] += 1
+                cpu[engine] += result.cpu_seconds
+                line += (
+                    f" | {'ok':>8} {operator:>5} "
+                    f"{result.disjointness:5.2f} {result.balancedness:5.2f}"
+                )
+        print(line)
+        mg, qd = per_engine["STEP-MG"], per_engine["STEP-QD"]
+        if mg and qd and qd.disjointness < mg.disjointness:
+            improved += 1
+
+    print("-" * len(header))
+    for engine in ENGINES:
+        print(
+            f"{engine:>10}: decomposed {decomposed_counts[engine]} of "
+            f"{len(circuit.outputs)} outputs in {cpu[engine]:.2f} s"
+        )
+    print(f"STEP-QD improved disjointness on {improved} outputs")
+
+    # The flow would now replace each PO cone by the decomposed network; we
+    # just show that the circuit can be serialised back to BLIF.
+    blif_text = aig_to_blif(circuit)
+    print(f"\nBLIF export: {len(blif_text.splitlines())} lines (unchanged circuit)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""File-based flow: BENCH in, decomposed network out.
+
+This example exercises the same I/O path as the paper's experimental setup:
+a sequential BENCH netlist (the embedded s27-like controller) is read, made
+combinational (the ABC ``comb`` step), every primary output is bi-decomposed,
+and the resulting two-level structure ``f = fA <op> fB`` is written back out
+as a BLIF network whose equivalence to the original is re-checked.
+
+Run with::
+
+    python examples/file_based_flow.py
+"""
+
+import os
+import tempfile
+
+from repro import AIG, BiDecomposer, BooleanFunction, EngineOptions
+from repro.circuits.library import _BENCH_CIRCUITS
+from repro.io import aig_to_blif, parse_bench, read_bench, write_bench
+
+
+def build_decomposed_network(original: AIG, results) -> AIG:
+    """Assemble a new AIG whose outputs are the decomposed ``fA <op> fB``."""
+    network = AIG(f"{original.name}_decomposed")
+    name_to_lit = {}
+    for node in original.inputs + original.latches:
+        name = original.input_name(node)
+        name_to_lit[name] = network.add_input(name)
+    for output, result in results:
+        if result is None or not result.decomposed:
+            # Keep the original cone for outputs that were not decomposed.
+            function = BooleanFunction.from_output(original, output)
+            network.add_output(output, function.copy_into(network, name_to_lit))
+            continue
+        fa_lit = result.fa.copy_into(network, name_to_lit)
+        fb_lit = result.fb.copy_into(network, name_to_lit)
+        if result.operator == "or":
+            combined = network.lor(fa_lit, fb_lit)
+        elif result.operator == "and":
+            combined = network.add_and(fa_lit, fb_lit)
+        else:
+            combined = network.lxor(fa_lit, fb_lit)
+        network.add_output(output, combined)
+    return network
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        bench_path = os.path.join(workdir, "controller.bench")
+        with open(bench_path, "w", encoding="utf-8") as handle:
+            handle.write(_BENCH_CIRCUITS["seq_ctrl"])
+
+        sequential = read_bench(bench_path)
+        print(f"read {bench_path}: {sequential!r}")
+        circuit = sequential.make_combinational()
+        print(f"after comb: inputs={len(circuit.inputs)} outputs={len(circuit.outputs)}")
+
+        step = BiDecomposer(
+            EngineOptions(per_call_timeout=4.0, output_timeout=30.0, verify=True)
+        )
+        results = []
+        for name, _ in circuit.outputs:
+            record = step.decompose_output(circuit, name, "or", ["STEP-QD"])
+            result = record.results.get("STEP-QD")
+            results.append((name, result))
+            status = result.summary() if result else "skipped (support too small)"
+            print(f"  {name:>10}: {status}")
+
+        network = build_decomposed_network(circuit, results)
+        blif_path = os.path.join(workdir, "controller_decomposed.blif")
+        with open(blif_path, "w", encoding="utf-8") as handle:
+            handle.write(aig_to_blif(network))
+        print(f"\nwrote {blif_path} ({network.num_ands} AND nodes)")
+
+        # Independent equivalence check, output by output.
+        for name, _ in circuit.outputs:
+            original_fn = BooleanFunction.from_output(circuit, name)
+            decomposed_fn = BooleanFunction.from_output(network, name)
+            assert decomposed_fn.semantically_equal(original_fn), name
+        print("all outputs of the decomposed network are equivalent to the original")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Explore the disjointness / balancedness trade-off on one function.
+
+The paper's three QBF engines optimise different targets: STEP-QD minimises
+the number of shared variables, STEP-QB minimises the size difference
+between the private blocks, and STEP-QDB minimises their (equally weighted)
+sum.  This example runs all three on the same function — together with the
+heuristic baselines LJH and STEP-MG — and prints the resulting metric
+profile, illustrating why "optimal" depends on the cost function (Definition
+4 of the paper).
+
+Run with::
+
+    python examples/quality_tradeoffs.py
+"""
+
+from repro import BiDecomposer, BooleanFunction, EngineOptions
+from repro.circuits import mux_tree
+
+ENGINES = ["LJH", "STEP-MG", "STEP-QD", "STEP-QB", "STEP-QDB", "BDD"]
+
+
+def main() -> None:
+    # An 8-to-1 multiplexer output: decomposable in several ways with very
+    # different partition shapes.
+    circuit = mux_tree(3)
+    function = BooleanFunction.from_output(circuit, "y")
+    print(f"function: 8-to-1 mux, support = {function.input_names}\n")
+
+    step = BiDecomposer(EngineOptions(per_call_timeout=4.0, output_timeout=60.0))
+
+    print(f"{'engine':>10} {'eD':>6} {'eB':>6} {'eD+eB':>7} {'optimum':>8} {'CPU(s)':>8}  partition")
+    print("-" * 100)
+    for engine in ENGINES:
+        result = step.decompose_function(function, "or", engine=engine)
+        if not result.decomposed:
+            print(f"{engine:>10} {'--':>6} {'--':>6} {'--':>7} {'--':>8}")
+            continue
+        print(
+            f"{engine:>10} {result.disjointness:6.2f} {result.balancedness:6.2f} "
+            f"{result.combined_metric:7.2f} {str(result.optimum_proven):>8} "
+            f"{result.cpu_seconds:8.3f}  {result.partition}"
+        )
+
+    print(
+        "\nSTEP-QD reaches the smallest eD, STEP-QB the smallest eB and "
+        "STEP-QDB the smallest sum — the heuristic engines land wherever "
+        "their greedy growth happens to stop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: bi-decompose one Boolean function with the QBF engine.
+
+Builds the carry-out of a small ALU slice, asks STEP-QD (optimum
+disjointness) for an OR bi-decomposition, and prints the partition, the
+quality metrics and the extracted sub-functions, finishing with an
+independent equivalence check.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import BiDecomposer, BooleanFunction, EngineOptions, verify_decomposition
+from repro.circuits import decomposable_by_construction
+
+
+def main() -> None:
+    # A function that is OR bi-decomposable by construction:
+    #   f(XA, XB, XC) = gA(XA, XC) OR gB(XB, XC)
+    # with |XA| = |XB| = 4 private variables and |XC| = 2 shared ones.
+    aig, xa, xb, xc = decomposable_by_construction("or", 4, 4, 2, seed="quickstart")
+    function = BooleanFunction.from_output(aig, "f")
+    print(f"function inputs      : {function.input_names}")
+    print(f"ground-truth partition: XA={xa}  XB={xb}  XC={xc}")
+
+    step = BiDecomposer(EngineOptions(per_call_timeout=4.0, output_timeout=60.0))
+    result = step.decompose_function(function, "or", engine="STEP-QD")
+
+    if not result.decomposed:
+        print("the function is not OR bi-decomposable (unexpected!)")
+        return
+
+    print()
+    print(f"engine               : {result.engine}")
+    print(f"partition            : {result.partition}")
+    print(f"disjointness         : {float(result.partition.disjointness):.3f}")
+    print(f"balancedness         : {float(result.partition.balancedness):.3f}")
+    print(f"optimum proven       : {result.optimum_proven}")
+    print(f"CPU seconds          : {result.cpu_seconds:.3f}")
+    print(f"fA inputs            : {result.fa.input_names}")
+    print(f"fB inputs            : {result.fb.input_names}")
+
+    ok = verify_decomposition(function, "or", result.fa, result.fb, result.partition)
+    print(f"f == fA OR fB        : {ok}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` keeps working on environments without the
+``wheel`` package (offline machines), where pip falls back to the legacy
+``setup.py develop`` editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

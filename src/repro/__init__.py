@@ -1,0 +1,50 @@
+"""repro — QBF-based Boolean function bi-decomposition (DATE 2012).
+
+A from-scratch Python reproduction of *QBF-Based Boolean Function
+Bi-Decomposition* (Chen, Janota, Marques-Silva), including the STEP tool
+(QBF engines STEP-QD / STEP-QB / STEP-QDB), the baselines it is compared
+against (LJH / Bi-dec, STEP-MG) and every substrate the original tool takes
+from ABC, MiniSAT, MUSer and AReQS: an AIG circuit package with BLIF/BENCH
+I/O, a CDCL SAT solver with proof logging and interpolation, MUS extraction,
+cardinality encodings, a 2QBF CEGAR solver and a small BDD package.
+
+Quick start::
+
+    from repro import BiDecomposer, BooleanFunction
+    from repro.circuits import ripple_carry_adder
+
+    circuit = ripple_carry_adder(4)
+    step = BiDecomposer()
+    result = step.decompose_function(
+        BooleanFunction.from_output(circuit, "cout"), "or", engine="STEP-QD"
+    )
+    print(result.summary())
+"""
+
+from repro.aig import AIG, BooleanFunction
+from repro.core import (
+    BiDecomposer,
+    BiDecResult,
+    CircuitReport,
+    EngineOptions,
+    OutputResult,
+    VariablePartition,
+    verify_decomposition,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIG",
+    "BooleanFunction",
+    "BiDecomposer",
+    "BiDecResult",
+    "CircuitReport",
+    "EngineOptions",
+    "OutputResult",
+    "VariablePartition",
+    "verify_decomposition",
+    "ReproError",
+    "__version__",
+]

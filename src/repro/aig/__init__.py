@@ -1,0 +1,36 @@
+"""And-Inverter Graph (AIG) circuit substrate.
+
+The paper's tool STEP uses ABC for circuit manipulation: every primary
+output is represented as an AIG, sequential circuits are made combinational,
+and per-output cones are extracted and encoded to CNF.  This subpackage is a
+pure-Python replacement providing exactly those services:
+
+* :class:`repro.aig.aig.AIG` — the structurally hashed graph with constant
+  propagation, primary inputs/outputs and latches.
+* :class:`repro.aig.function.BooleanFunction` — a single-output completely
+  specified function (an AIG cone plus an ordered input list), the object
+  the bi-decomposition engine works on.
+* :mod:`repro.aig.simulate` — bit-parallel simulation.
+* :mod:`repro.aig.cnf` — Tseitin encoding of cones into CNF.
+* :mod:`repro.aig.support` — structural and functional support computation.
+"""
+
+from repro.aig.aig import AIG, AigLiteral, FALSE_LIT, TRUE_LIT
+from repro.aig.function import BooleanFunction
+from repro.aig.cnf import cone_to_cnf, CnfMapping
+from repro.aig.simulate import simulate, simulate_words
+from repro.aig.support import structural_support, functional_support
+
+__all__ = [
+    "AIG",
+    "AigLiteral",
+    "FALSE_LIT",
+    "TRUE_LIT",
+    "BooleanFunction",
+    "cone_to_cnf",
+    "CnfMapping",
+    "simulate",
+    "simulate_words",
+    "structural_support",
+    "functional_support",
+]

@@ -1,0 +1,26 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+The paper's related-work section contrasts SAT/QBF-based bi-decomposition
+with the classic BDD-based algorithms.  This subpackage provides a compact
+BDD manager (:class:`repro.bdd.bdd.BDD`) and a BDD-based bi-decomposition
+baseline (:mod:`repro.bdd.bidec_bdd`) used both as an optional comparison
+point and as an independent oracle in the test suite (quantification-based
+decomposability checks cross-validate the SAT/QBF answers).
+"""
+
+from repro.bdd.bdd import BDD, BddNode
+from repro.bdd.bidec_bdd import (
+    bdd_check_decomposable,
+    bdd_or_decompose,
+    bdd_and_decompose,
+    bdd_xor_decompose,
+)
+
+__all__ = [
+    "BDD",
+    "BddNode",
+    "bdd_check_decomposable",
+    "bdd_or_decompose",
+    "bdd_and_decompose",
+    "bdd_xor_decompose",
+]

@@ -1,0 +1,57 @@
+"""Benchmark circuits: generators, an embedded classic-circuit library and
+the experiment suites.
+
+The paper evaluates on ISCAS'85, ISCAS'89, ITC'99 and LGSYNTH circuits.
+Those benchmark files are not redistributable with this reproduction, so the
+experiments run on (a) a small embedded library of classic public circuits
+(:mod:`repro.circuits.library`) and (b) parameterised generators
+(:mod:`repro.circuits.generators`) producing circuits whose per-output
+support sizes span the range the paper's ``#InM > 30`` filter targets,
+scaled down to what a pure-Python SAT/QBF stack handles in benchmark time.
+:mod:`repro.circuits.suites` assembles the named suites used by the
+Table I–IV and Figure 1 harnesses and records the mapping from paper
+circuit rows to their synthetic stand-ins.
+"""
+
+from repro.circuits.generators import (
+    ripple_carry_adder,
+    carry_lookahead_adder,
+    comparator,
+    parity_tree,
+    mux_tree,
+    decoder,
+    majority,
+    alu_slice,
+    multiplier,
+    random_aig,
+    random_dnf,
+    decomposable_by_construction,
+)
+from repro.circuits.library import classic_circuit, classic_circuit_names
+from repro.circuits.suites import (
+    BenchmarkCircuit,
+    quality_suite,
+    performance_suite,
+    paper_row_mapping,
+)
+
+__all__ = [
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "comparator",
+    "parity_tree",
+    "mux_tree",
+    "decoder",
+    "majority",
+    "alu_slice",
+    "multiplier",
+    "random_aig",
+    "random_dnf",
+    "decomposable_by_construction",
+    "classic_circuit",
+    "classic_circuit_names",
+    "BenchmarkCircuit",
+    "quality_suite",
+    "performance_suite",
+    "paper_row_mapping",
+]

@@ -1,0 +1,292 @@
+"""Parameterised circuit generators.
+
+Each generator returns an :class:`repro.aig.aig.AIG` whose primary outputs
+are meaningful decomposition targets.  Arithmetic circuits (adders,
+comparators, ALU slices) produce outputs that are OR/AND/XOR decomposable in
+interesting, non-trivial ways; parity and majority stress the XOR and
+threshold cases; the random generators provide unstructured instances; and
+:func:`decomposable_by_construction` builds functions whose optimal partition
+is known exactly, which the tests use as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG, AigLiteral, FALSE_LIT, TRUE_LIT
+from repro.errors import AigError
+from repro.utils.rng import deterministic_rng
+
+
+def _inputs(aig: AIG, prefix: str, count: int) -> List[AigLiteral]:
+    return [aig.add_input(f"{prefix}{i}") for i in range(count)]
+
+
+def ripple_carry_adder(width: int, name: Optional[str] = None) -> AIG:
+    """A ``width``-bit ripple-carry adder: outputs ``s0..s{width-1}`` and ``cout``."""
+    if width < 1:
+        raise AigError("adder width must be at least 1")
+    aig = AIG(name or f"rca{width}")
+    a = _inputs(aig, "a", width)
+    b = _inputs(aig, "b", width)
+    carry = FALSE_LIT
+    for i in range(width):
+        axb = aig.lxor(a[i], b[i])
+        aig.add_output(f"s{i}", aig.lxor(axb, carry))
+        carry = aig.lor(aig.add_and(a[i], b[i]), aig.add_and(axb, carry))
+    aig.add_output("cout", carry)
+    return aig
+
+
+def carry_lookahead_adder(width: int, name: Optional[str] = None) -> AIG:
+    """A carry-lookahead adder; logically equivalent to the ripple version."""
+    if width < 1:
+        raise AigError("adder width must be at least 1")
+    aig = AIG(name or f"cla{width}")
+    a = _inputs(aig, "a", width)
+    b = _inputs(aig, "b", width)
+    generate = [aig.add_and(a[i], b[i]) for i in range(width)]
+    propagate = [aig.lxor(a[i], b[i]) for i in range(width)]
+    carries = [FALSE_LIT]
+    for i in range(width):
+        # c_{i+1} = g_i OR (p_i AND c_i), fully expanded.
+        carries.append(aig.lor(generate[i], aig.add_and(propagate[i], carries[i])))
+    for i in range(width):
+        aig.add_output(f"s{i}", aig.lxor(propagate[i], carries[i]))
+    aig.add_output("cout", carries[width])
+    return aig
+
+
+def comparator(width: int, name: Optional[str] = None) -> AIG:
+    """An unsigned comparator with ``eq``, ``lt`` and ``gt`` outputs."""
+    if width < 1:
+        raise AigError("comparator width must be at least 1")
+    aig = AIG(name or f"cmp{width}")
+    a = _inputs(aig, "a", width)
+    b = _inputs(aig, "b", width)
+    eq = TRUE_LIT
+    lt = FALSE_LIT
+    gt = FALSE_LIT
+    for i in reversed(range(width)):
+        bit_eq = aig.lxnor(a[i], b[i])
+        bit_lt = aig.add_and(a[i] ^ 1, b[i])
+        bit_gt = aig.add_and(a[i], b[i] ^ 1)
+        lt = aig.lor(lt, aig.add_and(eq, bit_lt))
+        gt = aig.lor(gt, aig.add_and(eq, bit_gt))
+        eq = aig.add_and(eq, bit_eq)
+    aig.add_output("eq", eq)
+    aig.add_output("lt", lt)
+    aig.add_output("gt", gt)
+    return aig
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> AIG:
+    """XOR parity of ``width`` inputs (the canonical XOR bi-decomposition case)."""
+    if width < 1:
+        raise AigError("parity width must be at least 1")
+    aig = AIG(name or f"parity{width}")
+    bits = _inputs(aig, "x", width)
+    aig.add_output("p", aig.lxor_list(bits))
+    return aig
+
+
+def mux_tree(select_bits: int, name: Optional[str] = None) -> AIG:
+    """A ``2**select_bits``-to-1 multiplexer."""
+    if select_bits < 1:
+        raise AigError("mux needs at least one select bit")
+    aig = AIG(name or f"mux{select_bits}")
+    selects = _inputs(aig, "s", select_bits)
+    data = _inputs(aig, "d", 1 << select_bits)
+    level = list(data)
+    for s in range(select_bits):
+        level = [
+            aig.mux(selects[s], level[2 * i + 1], level[2 * i])
+            for i in range(len(level) // 2)
+        ]
+    aig.add_output("y", level[0])
+    return aig
+
+
+def decoder(width: int, name: Optional[str] = None) -> AIG:
+    """A ``width``-to-``2**width`` one-hot decoder with an enable input."""
+    if width < 1:
+        raise AigError("decoder width must be at least 1")
+    aig = AIG(name or f"dec{width}")
+    enable = aig.add_input("en")
+    select = _inputs(aig, "s", width)
+    for value in range(1 << width):
+        factors = [enable]
+        for bit in range(width):
+            lit = select[bit]
+            factors.append(lit if (value >> bit) & 1 else lit ^ 1)
+        aig.add_output(f"o{value}", aig.land_list(factors))
+    return aig
+
+
+def majority(width: int, name: Optional[str] = None) -> AIG:
+    """Majority (more than half the inputs true); width should be odd."""
+    if width < 1:
+        raise AigError("majority width must be at least 1")
+    aig = AIG(name or f"maj{width}")
+    bits = _inputs(aig, "x", width)
+    threshold = width // 2 + 1
+    # Dynamic-programming unary counter: count[k] = "at least k of the first i".
+    at_least = [TRUE_LIT] + [FALSE_LIT] * width
+    for bit in bits:
+        updated = [TRUE_LIT]
+        for k in range(1, width + 1):
+            updated.append(aig.lor(at_least[k], aig.add_and(at_least[k - 1], bit)))
+        at_least = updated
+    aig.add_output("maj", at_least[threshold])
+    return aig
+
+
+def alu_slice(width: int, name: Optional[str] = None) -> AIG:
+    """A small ALU: op-select picks AND / OR / XOR / ADD over two operands."""
+    if width < 1:
+        raise AigError("ALU width must be at least 1")
+    aig = AIG(name or f"alu{width}")
+    op0 = aig.add_input("op0")
+    op1 = aig.add_input("op1")
+    a = _inputs(aig, "a", width)
+    b = _inputs(aig, "b", width)
+    carry = FALSE_LIT
+    for i in range(width):
+        and_bit = aig.add_and(a[i], b[i])
+        or_bit = aig.lor(a[i], b[i])
+        xor_bit = aig.lxor(a[i], b[i])
+        add_bit = aig.lxor(xor_bit, carry)
+        carry = aig.lor(and_bit, aig.add_and(xor_bit, carry))
+        low = aig.mux(op0, or_bit, and_bit)
+        high = aig.mux(op0, add_bit, xor_bit)
+        aig.add_output(f"y{i}", aig.mux(op1, high, low))
+    aig.add_output("cout", carry)
+    return aig
+
+
+def multiplier(width: int, name: Optional[str] = None) -> AIG:
+    """An array multiplier producing ``2 * width`` product bits."""
+    if width < 1:
+        raise AigError("multiplier width must be at least 1")
+    aig = AIG(name or f"mul{width}")
+    a = _inputs(aig, "a", width)
+    b = _inputs(aig, "b", width)
+    columns: List[List[AigLiteral]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(aig.add_and(a[i], b[j]))
+    carry_over: List[AigLiteral] = []
+    for position in range(2 * width):
+        bits = columns[position] + carry_over
+        carry_over = []
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                x, y, z = bits.pop(), bits.pop(), bits.pop()
+                s = aig.lxor(aig.lxor(x, y), z)
+                c = aig.lor(aig.add_and(x, y), aig.add_and(z, aig.lxor(x, y)))
+            else:
+                x, y = bits.pop(), bits.pop()
+                s = aig.lxor(x, y)
+                c = aig.add_and(x, y)
+            bits.append(s)
+            carry_over.append(c)
+        aig.add_output(f"p{position}", bits[0] if bits else FALSE_LIT)
+    return aig
+
+
+def random_aig(
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int = 1,
+    seed: int | str = 0,
+    name: Optional[str] = None,
+) -> AIG:
+    """A random structurally hashed AIG (unstructured workload)."""
+    if num_inputs < 1 or num_gates < 1 or num_outputs < 1:
+        raise AigError("random_aig requires positive sizes")
+    rng = deterministic_rng(seed)
+    aig = AIG(name or f"rand{num_inputs}x{num_gates}")
+    literals = _inputs(aig, "x", num_inputs)
+    for _ in range(num_gates):
+        a = rng.choice(literals) ^ rng.randint(0, 1)
+        b = rng.choice(literals) ^ rng.randint(0, 1)
+        literals.append(aig.add_and(a, b))
+    for index in range(num_outputs):
+        aig.add_output(f"y{index}", rng.choice(literals[num_inputs:]) ^ rng.randint(0, 1))
+    return aig
+
+
+def random_dnf(
+    num_inputs: int,
+    num_terms: int,
+    term_size: int,
+    seed: int | str = 0,
+    name: Optional[str] = None,
+) -> AIG:
+    """A random DNF (sum of products) function."""
+    if term_size > num_inputs:
+        raise AigError("term_size cannot exceed num_inputs")
+    rng = deterministic_rng(seed)
+    aig = AIG(name or f"dnf{num_inputs}")
+    inputs = _inputs(aig, "x", num_inputs)
+    terms = []
+    for _ in range(num_terms):
+        chosen = rng.sample(range(num_inputs), term_size)
+        factors = [inputs[i] ^ rng.randint(0, 1) for i in chosen]
+        terms.append(aig.land_list(factors))
+    aig.add_output("f", aig.lor_list(terms))
+    return aig
+
+
+def decomposable_by_construction(
+    operator: str,
+    size_a: int,
+    size_b: int,
+    size_c: int = 0,
+    seed: int | str = 0,
+    name: Optional[str] = None,
+) -> Tuple[AIG, List[str], List[str], List[str]]:
+    """Build ``f = gA(XA, XC) <op> gB(XB, XC)`` with random, non-degenerate gA/gB.
+
+    Returns the AIG (single output ``f``) along with the ground-truth
+    partition ``(XA, XB, XC)`` names, so tests and ablations know that a
+    decomposition with disjointness ``|XC| / |X|`` exists.
+    """
+    if operator not in ("or", "and", "xor"):
+        raise AigError(f"unsupported operator {operator!r}")
+    if size_a < 1 or size_b < 1 or size_c < 0:
+        raise AigError("XA and XB must be non-empty")
+    rng = deterministic_rng(seed)
+    aig = AIG(name or f"bidec_{operator}_{size_a}_{size_b}_{size_c}")
+    xa = [aig.add_input(f"a{i}") for i in range(size_a)]
+    xb = [aig.add_input(f"b{i}") for i in range(size_b)]
+    xc = [aig.add_input(f"c{i}") for i in range(size_c)]
+
+    def random_function(block: Sequence[AigLiteral]) -> AigLiteral:
+        # Random DNF over the block plus the shared variables; retry until it
+        # actually depends on at least one block variable (non-degenerate).
+        pool = list(block) + list(xc)
+        for _ in range(32):
+            terms = []
+            for _ in range(max(2, len(pool))):
+                width = rng.randint(1, max(1, min(3, len(pool))))
+                chosen = rng.sample(pool, width)
+                terms.append(aig.land_list([lit ^ rng.randint(0, 1) for lit in chosen]))
+            candidate = aig.lor_list(terms)
+            if candidate not in (TRUE_LIT, FALSE_LIT):
+                return candidate
+        return block[0]
+
+    ga = random_function(xa)
+    gb = random_function(xb)
+    if operator == "or":
+        root = aig.lor(ga, gb)
+    elif operator == "and":
+        root = aig.add_and(ga, gb)
+    else:
+        root = aig.lxor(ga, gb)
+    aig.add_output("f", root)
+    names_a = [aig.input_name(lit >> 1) for lit in xa]
+    names_b = [aig.input_name(lit >> 1) for lit in xb]
+    names_c = [aig.input_name(lit >> 1) for lit in xc]
+    return aig, names_a, names_b, names_c

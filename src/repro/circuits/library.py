@@ -1,0 +1,150 @@
+"""Embedded library of small classic circuits.
+
+The collection contains public-domain textbook circuits (full adder,
+majority voter, 2-to-1 mux network), the ISCAS'85 circuit ``c17`` — the one
+ISCAS circuit small enough to embed verbatim — and a small sequential
+controller in the spirit of ISCAS'89's ``s27``.  They are stored as BENCH or
+BLIF text and parsed on demand, which doubles as an integration test of the
+parsers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.aig.aig import AIG
+from repro.errors import ReproError
+from repro.io.bench import parse_bench
+from repro.io.blif import parse_blif
+
+_BENCH_CIRCUITS: Dict[str, str] = {
+    # ISCAS'85 c17: the classic 6-NAND benchmark.
+    "c17": """
+# c17 (ISCAS'85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+""",
+    # A one-bit full adder.
+    "full_adder": """
+# full adder
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+t1 = XOR(a, b)
+sum = XOR(t1, cin)
+t2 = AND(a, b)
+t3 = AND(t1, cin)
+cout = OR(t2, t3)
+""",
+    # Three-input majority voter.
+    "majority3": """
+# 3-input majority
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(m)
+t1 = AND(a, b)
+t2 = AND(a, c)
+t3 = AND(b, c)
+m = OR(t1, t2, t3)
+""",
+    # 2:1 mux pair sharing the select line.
+    "mux_pair": """
+# two 2:1 muxes with a shared select
+INPUT(s)
+INPUT(d0)
+INPUT(d1)
+INPUT(e0)
+INPUT(e1)
+OUTPUT(y)
+OUTPUT(z)
+ns = NOT(s)
+t0 = AND(ns, d0)
+t1 = AND(s, d1)
+y = OR(t0, t1)
+u0 = AND(ns, e0)
+u1 = AND(s, e1)
+z = OR(u0, u1)
+""",
+    # A small sequential controller in the spirit of ISCAS'89 s27.
+    "seq_ctrl": """
+# small sequential controller (s27-like)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+""",
+}
+
+_BLIF_CIRCUITS: Dict[str, str] = {
+    # A 4-input AND-OR function expressed as a PLA cover.
+    "andor4": """
+.model andor4
+.inputs a b c d
+.outputs f
+.names a b ab
+11 1
+.names c d cd
+11 1
+.names ab cd f
+1- 1
+-1 1
+.end
+""",
+    # A two-output decoder fragment with shared logic.
+    "dec_frag": """
+.model dec_frag
+.inputs s0 s1 en
+.outputs o0 o3
+.names s0 s1 en o0
+001 1
+.names s0 s1 en o3
+111 1
+.end
+""",
+}
+
+
+def classic_circuit_names() -> List[str]:
+    """Names of the embedded circuits."""
+    return sorted(list(_BENCH_CIRCUITS) + list(_BLIF_CIRCUITS))
+
+
+def classic_circuit(name: str) -> AIG:
+    """Parse and return an embedded circuit by name."""
+    if name in _BENCH_CIRCUITS:
+        return parse_bench(_BENCH_CIRCUITS[name], filename=f"<library:{name}>", name=name)
+    if name in _BLIF_CIRCUITS:
+        aig = parse_blif(_BLIF_CIRCUITS[name], filename=f"<library:{name}>")
+        aig.name = name
+        return aig
+    raise ReproError(
+        f"unknown library circuit {name!r}; available: {', '.join(classic_circuit_names())}"
+    )

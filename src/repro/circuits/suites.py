@@ -1,0 +1,214 @@
+"""Experiment suites: the circuits the benchmark harnesses decompose.
+
+The paper's tables run over 145 industrial circuits (ISCAS'85/'89, ITC'99,
+LGSYNTH) filtered to rows with more than 30 support variables per output.
+Those files cannot be redistributed here, so each paper row is mapped to a
+*synthetic stand-in* with a comparable structure (arithmetic, control,
+parity, random logic) but scaled down so the pure-Python SAT/QBF stack can
+decompose every output within benchmark time.  The mapping is recorded in
+:func:`paper_row_mapping` and surfaced in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.aig.aig import AIG
+from repro.aig.support import max_output_support
+from repro.circuits import generators
+from repro.circuits.library import classic_circuit
+from repro.errors import ReproError
+
+
+@dataclass
+class BenchmarkCircuit:
+    """A circuit participating in an experiment suite.
+
+    Attributes
+    ----------
+    name:
+        The paper circuit this entry stands in for (e.g. ``"C7552"``).
+    aig:
+        The combinational stand-in circuit.
+    stand_in:
+        Human-readable description of the generator used.
+    paper_stats:
+        The ``#In`` / ``#InM`` / ``#Out`` columns of the paper's Table I for
+        the original circuit (for the report tables).
+    """
+
+    name: str
+    aig: AIG
+    stand_in: str
+    paper_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.aig.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.aig.outputs)
+
+    @property
+    def max_support(self) -> int:
+        return max_output_support(self.aig)
+
+
+def _scale(scale: str) -> int:
+    if scale == "small":
+        return 0
+    if scale == "medium":
+        return 1
+    if scale == "large":
+        return 2
+    raise ReproError(f"unknown suite scale {scale!r} (use small, medium or large)")
+
+
+def _build_rows(extra: int) -> List[BenchmarkCircuit]:
+    """Instantiate the stand-in circuits; ``extra`` widens every generator."""
+
+    def comb(aig: AIG) -> AIG:
+        return aig.make_combinational()
+
+    rows = [
+        BenchmarkCircuit(
+            name="C7552",
+            aig=generators.alu_slice(3 + extra, name="C7552_syn"),
+            stand_in=f"ALU slice, width {3 + extra} (arithmetic/logic mix)",
+            paper_stats={"#In": 207, "#InM": 194, "#Out": 108},
+        ),
+        BenchmarkCircuit(
+            name="s15850.1",
+            aig=generators.comparator(5 + extra, name="s15850_syn"),
+            stand_in=f"unsigned comparator, width {5 + extra}",
+            paper_stats={"#In": 611, "#InM": 183, "#Out": 684},
+        ),
+        BenchmarkCircuit(
+            name="s38584.1",
+            aig=generators.random_dnf(12 + extra, 18, 4, seed="s38584", name="s38584_syn"),
+            stand_in=f"random DNF, {12 + extra} inputs, 18 cubes",
+            paper_stats={"#In": 1464, "#InM": 147, "#Out": 1730},
+        ),
+        BenchmarkCircuit(
+            name="C2670",
+            aig=generators.carry_lookahead_adder(4 + extra, name="C2670_syn"),
+            stand_in=f"carry-lookahead adder, width {4 + extra}",
+            paper_stats={"#In": 233, "#InM": 119, "#Out": 140},
+        ),
+        BenchmarkCircuit(
+            name="i10",
+            aig=generators.multiplier(3 + extra, name="i10_syn"),
+            stand_in=f"array multiplier, width {3 + extra}",
+            paper_stats={"#In": 257, "#InM": 108, "#Out": 224},
+        ),
+        BenchmarkCircuit(
+            name="s38417",
+            aig=generators.random_aig(12 + extra, 60, 5, seed="s38417", name="s38417_syn"),
+            stand_in=f"random AIG, {12 + extra} inputs, 60 gates",
+            paper_stats={"#In": 1664, "#InM": 99, "#Out": 1742},
+        ),
+        BenchmarkCircuit(
+            name="s9234.1",
+            aig=generators.mux_tree(3, name="s9234_syn"),
+            stand_in="8-to-1 multiplexer tree",
+            paper_stats={"#In": 247, "#InM": 83, "#Out": 250},
+        ),
+        BenchmarkCircuit(
+            name="rot",
+            aig=generators.majority(7 + 2 * extra, name="rot_syn"),
+            stand_in=f"majority voter over {7 + 2 * extra} inputs",
+            paper_stats={"#In": 135, "#InM": 63, "#Out": 107},
+        ),
+        BenchmarkCircuit(
+            name="s5378",
+            aig=generators.decoder(3 + extra, name="s5378_syn"),
+            stand_in=f"{3 + extra}-to-{2 ** (3 + extra)} decoder with enable",
+            paper_stats={"#In": 199, "#InM": 60, "#Out": 213},
+        ),
+        BenchmarkCircuit(
+            name="s1423",
+            aig=generators.ripple_carry_adder(5 + extra, name="s1423_syn"),
+            stand_in=f"ripple-carry adder, width {5 + extra}",
+            paper_stats={"#In": 91, "#InM": 59, "#Out": 79},
+        ),
+        BenchmarkCircuit(
+            name="pair",
+            aig=generators.random_dnf(10 + extra, 14, 3, seed="pair", name="pair_syn"),
+            stand_in=f"random DNF, {10 + extra} inputs, 14 cubes",
+            paper_stats={"#In": 173, "#InM": 53, "#Out": 137},
+        ),
+        BenchmarkCircuit(
+            name="C880",
+            aig=generators.alu_slice(2 + extra, name="C880_syn"),
+            stand_in=f"ALU slice, width {2 + extra}",
+            paper_stats={"#In": 60, "#InM": 45, "#Out": 26},
+        ),
+        BenchmarkCircuit(
+            name="clma",
+            aig=generators.random_aig(11 + extra, 45, 4, seed="clma", name="clma_syn"),
+            stand_in=f"random AIG, {11 + extra} inputs, 45 gates",
+            paper_stats={"#In": 415, "#InM": 42, "#Out": 115},
+        ),
+        BenchmarkCircuit(
+            name="ITC_b07",
+            aig=comb(classic_circuit("seq_ctrl")),
+            stand_in="small sequential controller, made combinational",
+            paper_stats={"#In": 49, "#InM": 42, "#Out": 57},
+        ),
+        BenchmarkCircuit(
+            name="ITC_b12",
+            aig=generators.parity_tree(9 + 2 * extra, name="b12_syn"),
+            stand_in=f"parity tree over {9 + 2 * extra} inputs",
+            paper_stats={"#In": 125, "#InM": 37, "#Out": 127},
+        ),
+        BenchmarkCircuit(
+            name="sbc",
+            aig=_or_decomposable(extra, "sbc"),
+            stand_in="OR-decomposable by construction (known optimum)",
+            paper_stats={"#In": 68, "#InM": 35, "#Out": 84},
+        ),
+        BenchmarkCircuit(
+            name="mm9a",
+            aig=_known_decomposable("or", extra, "mm9a"),
+            stand_in="f = gA(XA, XC) OR gB(XB, XC) with |XC| = 2",
+            paper_stats={"#In": 39, "#InM": 31, "#Out": 36},
+        ),
+        BenchmarkCircuit(
+            name="mm9b",
+            aig=_known_decomposable("and", extra, "mm9b"),
+            stand_in="f = gA(XA, XC) AND gB(XB, XC) with |XC| = 2",
+            paper_stats={"#In": 38, "#InM": 31, "#Out": 35},
+        ),
+    ]
+    return rows
+
+
+def _known_decomposable(operator: str, extra: int, seed: str) -> AIG:
+    aig, _, _, _ = generators.decomposable_by_construction(
+        operator, 4 + extra, 4 + extra, 2, seed=seed, name=f"{seed}_syn"
+    )
+    return aig
+
+
+def _or_decomposable(extra: int, seed: str) -> AIG:
+    aig, _, _, _ = generators.decomposable_by_construction(
+        "or", 3 + extra, 3 + extra, 0, seed=seed, name=f"{seed}_syn"
+    )
+    return aig
+
+
+def quality_suite(scale: str = "small") -> List[BenchmarkCircuit]:
+    """The circuits used by the Table I / Table II quality experiments."""
+    return _build_rows(_scale(scale))
+
+
+def performance_suite(scale: str = "small") -> List[BenchmarkCircuit]:
+    """The circuits used by Table III / Table IV and the Figure 1 scatter."""
+    return _build_rows(_scale(scale))
+
+
+def paper_row_mapping() -> Dict[str, str]:
+    """Paper circuit name -> description of the synthetic stand-in."""
+    return {row.name: row.stand_in for row in _build_rows(0)}

@@ -1,0 +1,153 @@
+"""``step`` — the command-line front end.
+
+Mirrors how the paper's tool is used: point it at a circuit file (BLIF or
+BENCH), pick a gate type and one or more engines, and it prints one line per
+decomposed primary output plus a per-engine summary.
+
+Examples
+--------
+::
+
+    step decompose adder.blif --operator or --engine STEP-QD --engine STEP-MG
+    step generate rca --width 4 --out adder.blif
+    step info adder.blif
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.aig.aig import AIG
+from repro.aig.support import max_output_support
+from repro.circuits import generators
+from repro.circuits.library import classic_circuit, classic_circuit_names
+from repro.core.engine import BiDecomposer, EngineOptions
+from repro.core.spec import ENGINES
+from repro.errors import ReproError
+from repro.io.bench import read_bench, write_bench
+from repro.io.blif import read_blif, write_blif
+
+_GENERATORS = {
+    "rca": lambda args: generators.ripple_carry_adder(args.width),
+    "cla": lambda args: generators.carry_lookahead_adder(args.width),
+    "comparator": lambda args: generators.comparator(args.width),
+    "parity": lambda args: generators.parity_tree(args.width),
+    "mux": lambda args: generators.mux_tree(args.width),
+    "decoder": lambda args: generators.decoder(args.width),
+    "majority": lambda args: generators.majority(args.width),
+    "alu": lambda args: generators.alu_slice(args.width),
+    "multiplier": lambda args: generators.multiplier(args.width),
+}
+
+
+def _load_circuit(path: str) -> AIG:
+    if path in classic_circuit_names():
+        return classic_circuit(path)
+    if path.endswith(".bench"):
+        return read_bench(path)
+    return read_blif(path)
+
+
+def _save_circuit(aig: AIG, path: str) -> None:
+    if path.endswith(".bench"):
+        write_bench(aig, path)
+    else:
+        write_blif(aig, path)
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    aig = _load_circuit(args.circuit)
+    options = EngineOptions(
+        per_call_timeout=args.qbf_timeout,
+        output_timeout=args.output_timeout,
+        verify=args.verify,
+    )
+    step = BiDecomposer(options)
+    engines = args.engine or ["STEP-QD"]
+    report = step.decompose_circuit(
+        aig,
+        args.operator,
+        engines,
+        circuit_timeout=args.circuit_timeout,
+        max_outputs=args.max_outputs,
+    )
+    for output in report.outputs:
+        for engine, result in sorted(output.results.items()):
+            print(f"{output.output_name:>12} {result.summary()}")
+    print("-" * 60)
+    for engine in engines:
+        decomposed = report.decomposed_count(engine)
+        cpu = report.cpu_seconds(engine)
+        print(f"{engine:>10}: #Dec = {decomposed:4d}   CPU = {cpu:8.2f} s")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family not in _GENERATORS:
+        raise ReproError(
+            f"unknown circuit family {args.family!r}; "
+            f"available: {', '.join(sorted(_GENERATORS))}"
+        )
+    aig = _GENERATORS[args.family](args)
+    _save_circuit(aig, args.out)
+    print(f"wrote {args.out}: {aig!r}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    aig = _load_circuit(args.circuit)
+    print(f"name     : {aig.name}")
+    print(f"inputs   : {len(aig.inputs)}")
+    print(f"latches  : {len(aig.latches)}")
+    print(f"outputs  : {len(aig.outputs)}")
+    print(f"AND nodes: {aig.num_ands}")
+    print(f"#InM     : {max_output_support(aig)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="step",
+        description="Satisfiability-based funcTion dEcomPosition (QBF bi-decomposition)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    decompose = sub.add_parser("decompose", help="bi-decompose every primary output")
+    decompose.add_argument("circuit", help="BLIF/BENCH file or a library circuit name")
+    decompose.add_argument("--operator", choices=["or", "and", "xor"], default="or")
+    decompose.add_argument(
+        "--engine", action="append", choices=list(ENGINES), help="may be repeated"
+    )
+    decompose.add_argument("--qbf-timeout", type=float, default=4.0)
+    decompose.add_argument("--output-timeout", type=float, default=60.0)
+    decompose.add_argument("--circuit-timeout", type=float, default=None)
+    decompose.add_argument("--max-outputs", type=int, default=None)
+    decompose.add_argument("--verify", action="store_true")
+    decompose.set_defaults(handler=_cmd_decompose)
+
+    generate = sub.add_parser("generate", help="write a generated benchmark circuit")
+    generate.add_argument("family", help=", ".join(sorted(_GENERATORS)))
+    generate.add_argument("--width", type=int, default=4)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    info = sub.add_parser("info", help="print circuit statistics")
+    info.add_argument("circuit")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Extraction of the decomposition functions ``fA`` and ``fB``.
+
+Once a partition is known (from any of the search engines) the actual
+sub-functions still have to be synthesised.  Two back-ends are provided,
+mirroring the original tools:
+
+* **quantification** (default): the closed-form solutions
+
+  - OR:  ``fA = forall XB . f``,  ``fB = forall XA . f``;
+  - AND: ``fA = exists XB . f``,  ``fB = exists XA . f``;
+  - XOR: ``fA = f|XB=0``, ``fB = f|XA=0  XOR  f|XA=0,XB=0``;
+
+  realised by cofactor-based quantification directly on the AIG.  These are
+  the maximal (resp. minimal) solutions and are always correct when the
+  partition passed the decomposability check.
+
+* **interpolation** (the Lee–Jiang construction the paper builds on): ``fA``
+  is a Craig interpolant of the refutation of the OR check formula split so
+  that the shared variables are ``XA ∪ XC``; ``fB`` is the interpolant of a
+  second refutation whose A-part additionally carries ``NOT fA`` so the pair
+  covers all of ``f``.  AND uses the dual construction through ``NOT f``;
+  XOR falls back to the cofactor formulas (as does the original tool chain).
+
+* **bdd**: the quantification formulas evaluated on BDDs
+  (:mod:`repro.bdd.bidec_bdd`), kept as an independent oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.aig import AIG
+from repro.aig.function import BooleanFunction
+from repro.bdd.bidec_bdd import bdd_and_decompose, bdd_or_decompose, bdd_xor_decompose
+from repro.core.partition import VariablePartition
+from repro.core.spec import (
+    AND,
+    EXTRACT_BDD,
+    EXTRACT_INTERPOLATION,
+    EXTRACT_QUANTIFICATION,
+    OR,
+    XOR,
+    check_extraction,
+    check_operator,
+)
+from repro.errors import DecompositionError
+from repro.sat.cnf import CNF
+from repro.sat.interpolate import InterpolantBuilder
+from repro.sat.solver import Solver
+
+
+def extract_functions(
+    function: BooleanFunction,
+    operator: str,
+    partition: VariablePartition,
+    method: str = EXTRACT_QUANTIFICATION,
+) -> Tuple[BooleanFunction, BooleanFunction]:
+    """Compute ``(fA, fB)`` for a partition known to be decomposable."""
+    operator = check_operator(operator)
+    method = check_extraction(method)
+    partition.validate_against(function.input_names)
+    if partition.is_trivial:
+        raise DecompositionError("extraction requires a non-trivial partition")
+    if method == EXTRACT_QUANTIFICATION:
+        return _extract_by_quantification(function, operator, partition)
+    if method == EXTRACT_BDD:
+        return _extract_by_bdd(function, operator, partition)
+    return _extract_by_interpolation(function, operator, partition)
+
+
+# ---------------------------------------------------------------------------
+# quantification back-end
+# ---------------------------------------------------------------------------
+
+
+def _extract_by_quantification(
+    function: BooleanFunction, operator: str, partition: VariablePartition
+) -> Tuple[BooleanFunction, BooleanFunction]:
+    xa, xb, xc = list(partition.xa), list(partition.xb), list(partition.xc)
+    if operator == OR:
+        fa = function.forall(xb).restrict_inputs(xa + xc)
+        fb = function.forall(xa).restrict_inputs(xb + xc)
+        return fa, fb
+    if operator == AND:
+        fa = function.exists(xb).restrict_inputs(xa + xc)
+        fb = function.exists(xa).restrict_inputs(xb + xc)
+        return fa, fb
+    # XOR
+    fa = function
+    for name in xb:
+        fa = fa.cofactor(name, False)
+    fb = function
+    for name in xa:
+        fb = fb.cofactor(name, False)
+    offset = fb
+    for name in xb:
+        offset = offset.cofactor(name, False)
+    # fb := fb XOR offset, realised inside the same AIG.
+    fb_root = function.aig.lxor(fb.root, offset.root)
+    fb = BooleanFunction(
+        function.aig,
+        fb_root,
+        [function.aig.input_by_name(name) for name in xb + xc],
+    )
+    fa = fa.restrict_inputs(xa + xc)
+    return fa, fb
+
+
+# ---------------------------------------------------------------------------
+# BDD back-end
+# ---------------------------------------------------------------------------
+
+
+def _extract_by_bdd(
+    function: BooleanFunction, operator: str, partition: VariablePartition
+) -> Tuple[BooleanFunction, BooleanFunction]:
+    xa, xb, xc = list(partition.xa), list(partition.xb), list(partition.xc)
+    if operator == OR:
+        pair = bdd_or_decompose(function, xa, xb, xc)
+    elif operator == AND:
+        pair = bdd_and_decompose(function, xa, xb, xc)
+    else:
+        pair = bdd_xor_decompose(function, xa, xb, xc)
+    if pair is None:
+        raise DecompositionError(
+            "the function is not decomposable under the given partition"
+        )
+    return pair
+
+
+# ---------------------------------------------------------------------------
+# interpolation back-end
+# ---------------------------------------------------------------------------
+
+
+def _extract_by_interpolation(
+    function: BooleanFunction, operator: str, partition: VariablePartition
+) -> Tuple[BooleanFunction, BooleanFunction]:
+    if operator == XOR:
+        # The original tool chain also synthesises the XOR case from
+        # cofactors; interpolation is specific to the OR/AND forms.
+        return _extract_by_quantification(function, XOR, partition)
+    if operator == AND:
+        ga, gb = _extract_by_interpolation(function.negate(), OR, partition)
+        return ga.negate(), gb.negate()
+
+    xa, xb, xc = list(partition.xa), list(partition.xb), list(partition.xc)
+    # First interpolant: fA over XA ∪ XC.
+    fa = _or_interpolant(function, shared=xa + xc, partition=partition, side="A", extra_a=None)
+    # Second interpolant: fB over XB ∪ XC, with NOT fA added to the A-part so
+    # the pair covers every onset minterm fA misses.
+    fb = _or_interpolant(function, shared=xb + xc, partition=partition, side="B", extra_a=fa)
+    return fa, fb
+
+
+def _or_interpolant(
+    function: BooleanFunction,
+    shared: List[str],
+    partition: VariablePartition,
+    side: str,
+    extra_a: Optional[BooleanFunction],
+) -> BooleanFunction:
+    """Compute one interpolant of the OR-check refutation.
+
+    ``side = "A"`` computes ``fA`` (shared variables ``XA ∪ XC``): the A-part
+    is ``f(X) AND NOT f(XA', XB, XC)`` and the B-part is
+    ``NOT f(XA, XB', XC)``.  ``side = "B"`` computes ``fB`` (shared
+    ``XB ∪ XC``): the A-part is ``f(X) AND NOT fA(XA, XC)`` — every onset
+    point ``fA`` fails to cover — and the B-part is ``NOT f(XA', XB, XC)``;
+    the pair is unsatisfiable because ``NOT fA(a, c)`` together with
+    ``f(a, b, c)`` forces ``f`` to be 1 for every value of ``XA`` (that is
+    exactly the first interpolant's defining property), contradicting the
+    B-part.
+    """
+    solver = Solver(proof=True)
+    base_vars: Dict[str, int] = {}
+    for name in function.input_names:
+        base_vars[name] = solver.new_var()
+
+    def encode_copy(renamed: List[str]) -> Tuple[int, List[int]]:
+        """Encode one copy of f; variables in ``renamed`` get fresh CNF vars."""
+        cnf = CNF(num_vars=solver.num_vars)
+        copy_vars = dict(base_vars)
+        for name in renamed:
+            copy_vars[name] = cnf.new_var()
+        mapping = function.to_cnf(
+            cnf,
+            input_vars={
+                node: copy_vars[function.aig.input_name(node)]
+                for node in function.inputs
+            },
+        )
+        clause_ids = solver.add_cnf(cnf)
+        return mapping.output_literal, [cid for cid in clause_ids if cid is not None]
+
+    a_ids: List[int] = []
+    b_ids: List[int] = []
+
+    # Copy 0: f(X) == 1 (always part of A).
+    out0, ids0 = encode_copy([])
+    a_ids.extend(ids0)
+    cid = solver.add_clause((out0,))
+    if cid is not None:
+        a_ids.append(cid)
+
+    if side == "A":
+        out_a, ids_a = encode_copy(list(partition.xa))  # NOT f(XA', XB, XC)
+        a_ids.extend(ids_a)
+        cid = solver.add_clause((-out_a,))
+        if cid is not None:
+            a_ids.append(cid)
+        out_b, ids_b = encode_copy(list(partition.xb))  # NOT f(XA, XB', XC)
+        b_ids.extend(ids_b)
+        cid = solver.add_clause((-out_b,))
+        if cid is not None:
+            b_ids.append(cid)
+    else:
+        out_b, ids_b = encode_copy(list(partition.xa))  # NOT f(XA', XB, XC)
+        b_ids.extend(ids_b)
+        cid = solver.add_clause((-out_b,))
+        if cid is not None:
+            b_ids.append(cid)
+
+    if extra_a is not None:
+        # Strengthen the A-part with NOT fA (over shared/base variables).
+        cnf = CNF(num_vars=solver.num_vars)
+        mapping = extra_a.to_cnf(
+            cnf,
+            input_vars={
+                node: base_vars[extra_a.aig.input_name(node)]
+                for node in extra_a.inputs
+            },
+        )
+        cnf.add_unit(-mapping.output_literal)
+        for cid in solver.add_cnf(cnf):
+            if cid is not None:
+                a_ids.append(cid)
+
+    result = solver.solve()
+    if result.status is not False:
+        raise DecompositionError(
+            "interpolation-based extraction requires the OR check to be "
+            "unsatisfiable; the partition is not decomposable"
+        )
+
+    target = AIG(f"interpolant_{side}")
+    shared_lits = {name: target.add_input(name) for name in shared}
+    var_to_literal = {base_vars[name]: shared_lits[name] for name in shared}
+    builder = InterpolantBuilder(solver.proof(), a_ids, target, var_to_literal)
+    root = builder.build()
+    target.add_output("f", root)
+    return BooleanFunction(target, root, [target.input_by_name(n) for n in shared])

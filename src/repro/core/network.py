@@ -1,0 +1,142 @@
+"""Recursive bi-decomposition into a network of two-input gates.
+
+Bi-decomposition is used in logic synthesis by applying it *recursively*:
+``f`` is split into ``fA <OP> fB``, then ``fA`` and ``fB`` are split again,
+until the leaves are simple (few inputs) or no further non-trivial
+decomposition exists.  The result is a tree of two-input OR/AND/XOR gates
+over leaf functions — the "decomposed Boolean network" whose area/delay the
+paper's quality metrics are proxies for.  This module provides that driver
+on top of any of the partition-search engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.aig.aig import AIG, AigLiteral
+from repro.aig.function import BooleanFunction
+from repro.core.engine import BiDecomposer, EngineOptions
+from repro.core.spec import ENGINE_STEP_QD, check_engine, check_operator
+from repro.errors import DecompositionError
+
+
+@dataclass
+class DecompositionNode:
+    """A node of the recursive decomposition tree.
+
+    Internal nodes carry the gate ``operator`` and two children; leaves carry
+    the (small) residual ``function``.
+    """
+
+    function: BooleanFunction
+    operator: Optional[str] = None
+    children: List["DecompositionNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def gate_count(self) -> int:
+        """Number of two-input gates in the tree."""
+        if self.is_leaf:
+            return 0
+        return 1 + sum(child.gate_count() for child in self.children)
+
+    def depth(self) -> int:
+        """Gate depth of the tree (leaves have depth 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def leaves(self) -> List["DecompositionNode"]:
+        if self.is_leaf:
+            return [self]
+        result: List["DecompositionNode"] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def max_leaf_support(self) -> int:
+        return max((leaf.function.num_inputs for leaf in self.leaves()), default=0)
+
+    def to_function(self) -> BooleanFunction:
+        """Rebuild a single function from the tree (for verification)."""
+        if self.is_leaf:
+            return self.function
+        left = self.children[0].to_function()
+        right = self.children[1].to_function()
+        return left.combine(right, self.operator)
+
+
+class RecursiveDecomposer:
+    """Recursively bi-decompose a function into a gate tree.
+
+    Parameters
+    ----------
+    engine:
+        The partition-search engine used at every level (default STEP-QD).
+    operators:
+        Gate types tried, in order, at every level.
+    max_leaf_inputs:
+        Recursion stops once a sub-function has at most this many inputs.
+    max_depth:
+        Safety bound on the recursion depth.
+    """
+
+    def __init__(
+        self,
+        engine: str = ENGINE_STEP_QD,
+        operators: Sequence[str] = ("or", "and", "xor"),
+        max_leaf_inputs: int = 2,
+        max_depth: int = 16,
+        options: Optional[EngineOptions] = None,
+    ) -> None:
+        self.engine = check_engine(engine)
+        self.operators = [check_operator(op) for op in operators]
+        if max_leaf_inputs < 1:
+            raise DecompositionError("max_leaf_inputs must be at least 1")
+        self.max_leaf_inputs = max_leaf_inputs
+        self.max_depth = max_depth
+        self._step = BiDecomposer(options or EngineOptions(extract=True))
+
+    def decompose(self, function: BooleanFunction) -> DecompositionNode:
+        """Build the decomposition tree of ``function``."""
+        return self._decompose(function, depth=0)
+
+    def _decompose(self, function: BooleanFunction, depth: int) -> DecompositionNode:
+        if function.num_inputs <= self.max_leaf_inputs or depth >= self.max_depth:
+            return DecompositionNode(function)
+        for operator in self.operators:
+            result = self._step.decompose_function(function, operator, engine=self.engine)
+            if not result.decomposed or result.fa is None or result.fb is None:
+                continue
+            left = self._decompose(result.fa, depth + 1)
+            right = self._decompose(result.fb, depth + 1)
+            return DecompositionNode(function, operator, [left, right])
+        return DecompositionNode(function)
+
+
+def network_to_aig(root: DecompositionNode, name: str = "decomposed") -> AIG:
+    """Flatten a decomposition tree into a single AIG with one output."""
+    aig = AIG(name)
+    name_to_lit = {}
+    for leaf in root.leaves():
+        for node in leaf.function.inputs:
+            input_name = leaf.function.aig.input_name(node)
+            if input_name not in name_to_lit:
+                name_to_lit[input_name] = aig.add_input(input_name)
+
+    def build(node: DecompositionNode) -> AigLiteral:
+        if node.is_leaf:
+            return node.function.copy_into(aig, name_to_lit)
+        left = build(node.children[0])
+        right = build(node.children[1])
+        if node.operator == "or":
+            return aig.lor(left, right)
+        if node.operator == "and":
+            return aig.add_and(left, right)
+        return aig.lxor(left, right)
+
+    aig.add_output("f", build(root))
+    return aig

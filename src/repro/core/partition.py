@@ -1,0 +1,165 @@
+"""Variable partitions and the paper's quality metrics.
+
+A partition splits the input set ``X`` of the function under decomposition
+into ``XA`` (private to ``fA``), ``XB`` (private to ``fB``) and ``XC``
+(shared).  The paper measures partitions with two relative metrics:
+
+* disjointness  ``epsilon_D = |XC| / |X|``  (Definition 2), and
+* balancedness  ``epsilon_B = | |XA| - |XB| | / |X|``  (Definition 3),
+
+and, for the combined STEP-QDB engine, the weighted cost of Definition 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import DecompositionError
+
+
+@dataclass(frozen=True)
+class VariablePartition:
+    """An ordered partition ``{XA | XB | XC}`` of named input variables."""
+
+    xa: Tuple[str, ...]
+    xb: Tuple[str, ...]
+    xc: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "xa", tuple(self.xa))
+        object.__setattr__(self, "xb", tuple(self.xb))
+        object.__setattr__(self, "xc", tuple(self.xc))
+        all_names = list(self.xa) + list(self.xb) + list(self.xc)
+        if len(set(all_names)) != len(all_names):
+            raise DecompositionError("partition blocks are not disjoint")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_alpha_beta(
+        cls,
+        variables: Sequence[str],
+        alpha: Mapping[str, bool],
+        beta: Mapping[str, bool],
+    ) -> "VariablePartition":
+        """Decode the paper's control-variable encoding.
+
+        ``(alpha, beta) = (1, 0)`` puts the variable in ``XA``, ``(0, 1)`` in
+        ``XB`` and ``(0, 0)`` in ``XC``.  The combination ``(1, 1)`` is
+        rejected; the QBF models exclude it explicitly (see DESIGN.md).
+        """
+        xa, xb, xc = [], [], []
+        for name in variables:
+            a = bool(alpha.get(name, False))
+            b = bool(beta.get(name, False))
+            if a and b:
+                raise DecompositionError(
+                    f"variable {name!r} has (alpha, beta) = (1, 1); the models "
+                    "exclude this combination"
+                )
+            if a:
+                xa.append(name)
+            elif b:
+                xb.append(name)
+            else:
+                xc.append(name)
+        return cls(tuple(xa), tuple(xb), tuple(xc))
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self.xa + self.xb + self.xc
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.xa) + len(self.xb) + len(self.xc)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when ``XA`` or ``XB`` is empty (section II.A)."""
+        return not self.xa or not self.xb
+
+    @property
+    def is_disjoint(self) -> bool:
+        return not self.xc
+
+    def validate_against(self, variables: Iterable[str]) -> None:
+        """Check the partition covers exactly the given variable set."""
+        expected = set(variables)
+        actual = set(self.variables)
+        if expected != actual:
+            missing = sorted(expected - actual)
+            extra = sorted(actual - expected)
+            raise DecompositionError(
+                f"partition does not match the input set "
+                f"(missing: {missing}, extra: {extra})"
+            )
+
+    def normalized(self) -> "VariablePartition":
+        """Swap ``XA``/``XB`` so that ``|XA| >= |XB|`` (symmetry breaking)."""
+        if len(self.xa) >= len(self.xb):
+            return self
+        return VariablePartition(self.xb, self.xa, self.xc)
+
+    def membership(self) -> Dict[str, str]:
+        """Map every variable name to ``"A"``, ``"B"`` or ``"C"``."""
+        result = {name: "A" for name in self.xa}
+        result.update({name: "B" for name in self.xb})
+        result.update({name: "C" for name in self.xc})
+        return result
+
+    # -- quality metrics ------------------------------------------------------------
+
+    @property
+    def disjointness(self) -> Fraction:
+        """``|XC| / |X|`` — Definition 2 (0 is best)."""
+        if self.num_variables == 0:
+            return Fraction(0)
+        return Fraction(len(self.xc), self.num_variables)
+
+    @property
+    def balancedness(self) -> Fraction:
+        """``| |XA| - |XB| | / |X|`` — Definition 3 (0 is best)."""
+        if self.num_variables == 0:
+            return Fraction(0)
+        return Fraction(abs(len(self.xa) - len(self.xb)), self.num_variables)
+
+    def cost(self, weight_disjointness: float = 1.0, weight_balancedness: float = 1.0) -> float:
+        """The weighted cost of Definition 4."""
+        if not (0.0 <= weight_disjointness <= 1.0 and 0.0 <= weight_balancedness <= 1.0):
+            raise DecompositionError("weights must lie in [0, 1]")
+        return float(
+            weight_disjointness * self.disjointness
+            + weight_balancedness * self.balancedness
+        )
+
+    # -- discrete counters used by the QBF bounds ------------------------------------
+
+    @property
+    def shared_count(self) -> int:
+        """``|XC|`` — the quantity bounded by the disjointness target (5)."""
+        return len(self.xc)
+
+    @property
+    def imbalance(self) -> int:
+        """``| |XA| - |XB| |`` — the quantity bounded by the balancedness target (6)."""
+        return abs(len(self.xa) - len(self.xb))
+
+    @property
+    def combined_count(self) -> int:
+        """``|XC| + | |XA| - |XB| |`` — the quantity bounded by the combined target (8)."""
+        return self.shared_count + self.imbalance
+
+    def __str__(self) -> str:
+        return (
+            "{"
+            + " ".join(self.xa)
+            + " | "
+            + " ".join(self.xb)
+            + " | "
+            + " ".join(self.xc)
+            + "}"
+        )

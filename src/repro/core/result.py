@@ -1,0 +1,133 @@
+"""Result containers for bi-decomposition runs.
+
+Three granularities mirror how the paper reports results:
+
+* :class:`BiDecResult` — one function decomposed by one engine (a single
+  table cell's raw datum);
+* :class:`OutputResult` — one primary output decomposed by several engines
+  (one comparison point in Table I/II);
+* :class:`CircuitReport` — a whole circuit (one row of Table I/III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.aig.function import BooleanFunction
+from repro.core.partition import VariablePartition
+
+
+@dataclass
+class SearchStatistics:
+    """Solver-level statistics accumulated while searching for a partition."""
+
+    sat_calls: int = 0
+    qbf_iterations: int = 0
+    qbf_calls: int = 0
+    refinements: int = 0
+    conflicts: int = 0
+    bound_sequence: List[int] = field(default_factory=list)
+
+    def merge(self, other: "SearchStatistics") -> None:
+        self.sat_calls += other.sat_calls
+        self.qbf_iterations += other.qbf_iterations
+        self.qbf_calls += other.qbf_calls
+        self.refinements += other.refinements
+        self.conflicts += other.conflicts
+        self.bound_sequence.extend(other.bound_sequence)
+
+
+@dataclass
+class BiDecResult:
+    """Outcome of decomposing one function with one engine.
+
+    ``decomposed`` is true when a non-trivial decomposition was found;
+    ``optimum_proven`` reports whether the engine proved its target metric
+    optimal (only the QBF engines can do so).
+    """
+
+    engine: str
+    operator: str
+    decomposed: bool
+    partition: Optional[VariablePartition] = None
+    fa: Optional[BooleanFunction] = None
+    fb: Optional[BooleanFunction] = None
+    optimum_proven: bool = False
+    cpu_seconds: float = 0.0
+    timed_out: bool = False
+    stats: SearchStatistics = field(default_factory=SearchStatistics)
+
+    @property
+    def disjointness(self) -> Optional[float]:
+        if self.partition is None:
+            return None
+        return float(self.partition.disjointness)
+
+    @property
+    def balancedness(self) -> Optional[float]:
+        if self.partition is None:
+            return None
+        return float(self.partition.balancedness)
+
+    @property
+    def combined_metric(self) -> Optional[float]:
+        if self.partition is None:
+            return None
+        return float(self.partition.disjointness + self.partition.balancedness)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if not self.decomposed:
+            return f"{self.engine}[{self.operator}]: not decomposable"
+        assert self.partition is not None
+        flag = " (optimum)" if self.optimum_proven else ""
+        return (
+            f"{self.engine}[{self.operator}]: {self.partition} "
+            f"eD={float(self.partition.disjointness):.3f} "
+            f"eB={float(self.partition.balancedness):.3f}{flag} "
+            f"[{self.cpu_seconds:.3f}s]"
+        )
+
+
+@dataclass
+class OutputResult:
+    """All engine results for one primary output of a circuit."""
+
+    circuit: str
+    output_name: str
+    num_support: int
+    results: Dict[str, BiDecResult] = field(default_factory=dict)
+
+    def result_for(self, engine: str) -> Optional[BiDecResult]:
+        return self.results.get(engine)
+
+
+@dataclass
+class CircuitReport:
+    """All outputs of one circuit, decomposed by the requested engines."""
+
+    circuit: str
+    operator: str
+    outputs: List[OutputResult] = field(default_factory=list)
+    total_cpu: Dict[str, float] = field(default_factory=dict)
+
+    def decomposed_count(self, engine: str) -> int:
+        """The paper's ``#Dec`` column: outputs the engine decomposed."""
+        return sum(
+            1
+            for output in self.outputs
+            if output.results.get(engine) is not None
+            and output.results[engine].decomposed
+        )
+
+    def cpu_seconds(self, engine: str) -> float:
+        """The paper's ``CPU (s)`` column."""
+        return self.total_cpu.get(
+            engine,
+            sum(
+                output.results[engine].cpu_seconds
+                for output in self.outputs
+                if engine in output.results
+            ),
+        )

@@ -1,0 +1,63 @@
+"""Operator and engine identifiers used across the core package."""
+
+from __future__ import annotations
+
+from repro.errors import DecompositionError
+
+OR = "or"
+AND = "and"
+XOR = "xor"
+
+OPERATORS = (OR, AND, XOR)
+
+# Engine names follow the paper's tool names.
+ENGINE_LJH = "LJH"
+ENGINE_STEP_MG = "STEP-MG"
+ENGINE_STEP_QD = "STEP-QD"
+ENGINE_STEP_QB = "STEP-QB"
+ENGINE_STEP_QDB = "STEP-QDB"
+ENGINE_BDD = "BDD"
+
+ENGINES = (
+    ENGINE_LJH,
+    ENGINE_STEP_MG,
+    ENGINE_STEP_QD,
+    ENGINE_STEP_QB,
+    ENGINE_STEP_QDB,
+    ENGINE_BDD,
+)
+
+# Extraction back-ends for computing fA / fB once a partition is known.
+EXTRACT_QUANTIFICATION = "quantification"
+EXTRACT_INTERPOLATION = "interpolation"
+EXTRACT_BDD = "bdd"
+
+EXTRACTION_METHODS = (EXTRACT_QUANTIFICATION, EXTRACT_INTERPOLATION, EXTRACT_BDD)
+
+
+def check_operator(operator: str) -> str:
+    """Validate an operator name and return it lower-cased."""
+    lowered = str(operator).lower()
+    if lowered not in OPERATORS:
+        raise DecompositionError(
+            f"unsupported operator {operator!r}; expected one of {OPERATORS}"
+        )
+    return lowered
+
+
+def check_engine(engine: str) -> str:
+    """Validate an engine name (case-sensitive, as printed in the paper)."""
+    if engine not in ENGINES:
+        raise DecompositionError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+def check_extraction(method: str) -> str:
+    lowered = str(method).lower()
+    if lowered not in EXTRACTION_METHODS:
+        raise DecompositionError(
+            f"unknown extraction method {method!r}; expected one of {EXTRACTION_METHODS}"
+        )
+    return lowered

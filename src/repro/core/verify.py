@@ -1,0 +1,51 @@
+"""Independent verification of extracted decompositions.
+
+Every decomposition produced by the library can be re-checked against the
+original function: ``f == fA <OP> fB`` with inputs matched by name, and the
+sub-functions must respect the partition (``fA`` must not depend on ``XB``
+and vice versa).  The engines call this optionally; the test-suite and the
+benchmark harnesses call it for every result they report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aig.function import BooleanFunction
+from repro.core.partition import VariablePartition
+from repro.core.spec import check_operator
+from repro.errors import VerificationError
+
+
+def verify_decomposition(
+    function: BooleanFunction,
+    operator: str,
+    fa: BooleanFunction,
+    fb: BooleanFunction,
+    partition: Optional[VariablePartition] = None,
+    raise_on_failure: bool = True,
+) -> bool:
+    """Check that ``fA <OP> fB`` equals ``function``.
+
+    When ``partition`` is given, additionally check that ``fA`` only depends
+    on ``XA ∪ XC`` and ``fB`` only on ``XB ∪ XC``.
+    """
+    operator = check_operator(operator)
+    problems = []
+    combined = fa.combine(fb, operator)
+    if not combined.semantically_equal(function):
+        problems.append("fA <op> fB is not equivalent to the original function")
+    if partition is not None:
+        allowed_a = set(partition.xa) | set(partition.xc)
+        allowed_b = set(partition.xb) | set(partition.xc)
+        extra_a = set(fa.support_names()) - allowed_a
+        extra_b = set(fb.support_names()) - allowed_b
+        if extra_a:
+            problems.append(f"fA depends on variables outside XA ∪ XC: {sorted(extra_a)}")
+        if extra_b:
+            problems.append(f"fB depends on variables outside XB ∪ XC: {sorted(extra_b)}")
+    if problems:
+        if raise_on_failure:
+            raise VerificationError("; ".join(problems))
+        return False
+    return True

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors, solver resource limits and
+malformed problem specifications.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class ParseError(ReproError):
+    """A circuit or formula file could not be parsed.
+
+    Attributes
+    ----------
+    filename:
+        Name of the offending file (or ``"<string>"`` for in-memory input).
+    lineno:
+        1-based line number where the problem was detected, or ``None``.
+    """
+
+    def __init__(self, message: str, filename: str = "<string>", lineno: int | None = None):
+        self.filename = filename
+        self.lineno = lineno
+        location = filename if lineno is None else f"{filename}:{lineno}"
+        super().__init__(f"{location}: {message}")
+
+
+class CnfError(ReproError):
+    """A CNF formula or clause is malformed (e.g. a zero literal)."""
+
+
+class SolverError(ReproError):
+    """The SAT or QBF solver was used incorrectly (e.g. invalid literal)."""
+
+
+class ResourceLimitReached(ReproError):
+    """A time, conflict or iteration budget was exhausted before completion."""
+
+
+class TimeoutReached(ResourceLimitReached):
+    """A wall-clock timeout expired before the computation finished."""
+
+
+class ConflictLimitReached(ResourceLimitReached):
+    """The SAT solver hit its conflict budget before reaching a verdict."""
+
+
+class AigError(ReproError):
+    """Invalid operation on an And-Inverter Graph."""
+
+
+class BddError(ReproError):
+    """Invalid operation on a BDD manager or node."""
+
+
+class DecompositionError(ReproError):
+    """A bi-decomposition request is inconsistent or cannot be honoured."""
+
+
+class VerificationError(ReproError):
+    """An extracted decomposition failed the independent equivalence check."""

@@ -1,0 +1,20 @@
+"""Circuit file formats.
+
+The benchmark families the paper evaluates on (ISCAS'85, ISCAS'89, ITC'99,
+LGSYNTH) are distributed as BLIF or BENCH files; this subpackage reads and
+writes both formats, producing/consuming :class:`repro.aig.aig.AIG` objects.
+"""
+
+from repro.io.blif import parse_blif, read_blif, write_blif, aig_to_blif
+from repro.io.bench import parse_bench, read_bench, write_bench, aig_to_bench
+
+__all__ = [
+    "parse_blif",
+    "read_blif",
+    "write_blif",
+    "aig_to_blif",
+    "parse_bench",
+    "read_bench",
+    "write_bench",
+    "aig_to_bench",
+]

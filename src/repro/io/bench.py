@@ -1,0 +1,181 @@
+"""Reading and writing ISCAS BENCH netlists.
+
+The BENCH format is the native distribution format of the ISCAS'85/'89
+benchmark suites: ``INPUT(x)`` / ``OUTPUT(y)`` declarations followed by gate
+assignments such as ``y = NAND(a, b, c)``.  Supported gate types: AND, NAND,
+OR, NOR, XOR, XNOR, NOT, BUFF/BUF, DFF (treated as a latch) and constants
+``vdd``/``gnd``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG, AigLiteral, FALSE_LIT, TRUE_LIT, lit_is_complemented, lit_var
+from repro.errors import ParseError
+
+_ASSIGNMENT = re.compile(r"^(?P<out>[^=\s]+)\s*=\s*(?P<gate>[A-Za-z]+)\s*\((?P<args>.*)\)$")
+
+
+def read_bench(path: str) -> AIG:
+    """Parse a BENCH file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_bench(handle.read(), filename=path)
+
+
+def parse_bench(text: str, filename: str = "<string>", name: str = "bench") -> AIG:
+    """Parse BENCH text into an AIG."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: Dict[str, Tuple[str, List[str], int]] = {}
+    dffs: List[Tuple[str, str]] = []  # (output signal, input signal)
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT(") and line.endswith(")"):
+            inputs.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        if upper.startswith("OUTPUT(") and line.endswith(")"):
+            outputs.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        match = _ASSIGNMENT.match(line)
+        if not match:
+            raise ParseError(f"unrecognised BENCH line: {line!r}", filename, lineno)
+        out = match.group("out")
+        gate = match.group("gate").upper()
+        args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        if out in gates:
+            raise ParseError(f"signal {out!r} defined twice", filename, lineno)
+        if gate == "DFF":
+            if len(args) != 1:
+                raise ParseError("DFF takes exactly one argument", filename, lineno)
+            dffs.append((out, args[0]))
+        else:
+            gates[out] = (gate, args, lineno)
+
+    aig = AIG(name)
+    signals: Dict[str, AigLiteral] = {}
+    for signal in inputs:
+        signals[signal] = aig.add_input(signal)
+    latch_lits: Dict[str, AigLiteral] = {}
+    for out, _ in dffs:
+        latch_lits[out] = aig.add_latch(out)
+        signals[out] = latch_lits[out]
+
+    resolving: set[str] = set()
+
+    def resolve(signal: str) -> AigLiteral:
+        if signal in signals:
+            return signals[signal]
+        lowered = signal.lower()
+        if lowered in ("vdd", "true", "1"):
+            return TRUE_LIT
+        if lowered in ("gnd", "false", "0"):
+            return FALSE_LIT
+        if signal not in gates:
+            raise ParseError(f"undriven signal {signal!r}", filename)
+        if signal in resolving:
+            raise ParseError(f"combinational cycle through {signal!r}", filename)
+        resolving.add(signal)
+        gate, args, lineno = gates[signal]
+        literals = [resolve(a) for a in args]
+        signals[signal] = _gate_to_aig(aig, gate, literals, filename, lineno)
+        resolving.discard(signal)
+        return signals[signal]
+
+    for signal in outputs:
+        aig.add_output(signal, resolve(signal))
+    for out, data_in in dffs:
+        aig.set_latch_next(latch_lits[out], resolve(data_in))
+    return aig
+
+
+def _gate_to_aig(
+    aig: AIG, gate: str, literals: Sequence[AigLiteral], filename: str, lineno: int
+) -> AigLiteral:
+    if gate in ("BUFF", "BUF"):
+        if len(literals) != 1:
+            raise ParseError("BUFF takes exactly one argument", filename, lineno)
+        return literals[0]
+    if gate == "NOT":
+        if len(literals) != 1:
+            raise ParseError("NOT takes exactly one argument", filename, lineno)
+        return literals[0] ^ 1
+    if not literals:
+        raise ParseError(f"{gate} gate with no inputs", filename, lineno)
+    if gate == "AND":
+        return aig.land_list(literals)
+    if gate == "NAND":
+        return aig.land_list(literals) ^ 1
+    if gate == "OR":
+        return aig.lor_list(literals)
+    if gate == "NOR":
+        return aig.lor_list(literals) ^ 1
+    if gate == "XOR":
+        return aig.lxor_list(literals)
+    if gate == "XNOR":
+        return aig.lxor_list(literals) ^ 1
+    raise ParseError(f"unsupported gate type {gate}", filename, lineno)
+
+
+def aig_to_bench(aig: AIG) -> str:
+    """Serialise an AIG to BENCH text (AND gates plus NOT gates)."""
+    lines: List[str] = [f"# {aig.name}"]
+    names: Dict[int, str] = {}
+    for index in aig.inputs:
+        names[index] = aig.input_name(index)
+        lines.append(f"INPUT({names[index]})")
+    for index in aig.latches:
+        names[index] = aig.input_name(index)
+    for name, _ in aig.outputs:
+        lines.append(f"OUTPUT({name})")
+
+    body: List[str] = []
+    aux_counter = [0]
+
+    def node_name(index: int) -> str:
+        if index not in names:
+            names[index] = f"g{index}"
+        return names[index]
+
+    def edge_name(lit: AigLiteral) -> str:
+        if lit_var(lit) == 0:
+            return "vdd" if lit == TRUE_LIT else "gnd"
+        base = node_name(lit_var(lit))
+        if not lit_is_complemented(lit):
+            return base
+        aux_counter[0] += 1
+        inverted = f"{base}_not{aux_counter[0]}"
+        body.append(f"{inverted} = NOT({base})")
+        return inverted
+
+    roots = [lit for _, lit in aig.outputs]
+    for index in aig.latches:
+        node = aig.node(index)
+        if node.next_state is not None:
+            roots.append(node.next_state)
+    for index in aig.cone_nodes(roots):
+        if not aig.is_and(index):
+            continue
+        f0, f1 = aig.fanins(index)
+        body.append(f"{node_name(index)} = AND({edge_name(f0)}, {edge_name(f1)})")
+
+    for name, lit in aig.outputs:
+        body.append(f"{name} = BUFF({edge_name(lit)})")
+    for index in aig.latches:
+        node = aig.node(index)
+        if node.next_state is not None:
+            body.append(f"{aig.input_name(index)} = DFF({edge_name(node.next_state)})")
+
+    lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+def write_bench(aig: AIG, path: str) -> None:
+    """Write an AIG to a BENCH file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(aig_to_bench(aig))

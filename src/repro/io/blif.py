@@ -1,0 +1,255 @@
+"""Reading and writing Berkeley Logic Interchange Format (BLIF) circuits.
+
+Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(single-output covers), ``.latch`` and ``.end``; extended constructs such as
+``.subckt`` or don't-care covers are rejected with a :class:`ParseError`
+because the paper's flow only requires flat, completely specified circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG, AigLiteral, FALSE_LIT, TRUE_LIT, lit_is_complemented, lit_var
+from repro.errors import ParseError
+
+
+def read_blif(path: str) -> AIG:
+    """Parse a BLIF file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_blif(handle.read(), filename=path)
+
+
+def parse_blif(text: str, filename: str = "<string>") -> AIG:
+    """Parse BLIF text into an AIG."""
+    lines = _logical_lines(text)
+    model_name = "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    latches: List[Tuple[str, str, int]] = []  # (input signal, output signal, init)
+    covers: Dict[str, Tuple[List[str], List[Tuple[str, str]]]] = {}
+
+    index = 0
+    while index < len(lines):
+        lineno, line = lines[index]
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else "blif"
+            index += 1
+        elif keyword == ".inputs":
+            inputs.extend(tokens[1:])
+            index += 1
+        elif keyword == ".outputs":
+            outputs.extend(tokens[1:])
+            index += 1
+        elif keyword == ".latch":
+            if len(tokens) < 3:
+                raise ParseError("malformed .latch line", filename, lineno)
+            init = 0
+            if len(tokens) in (4, 6):
+                try:
+                    init = int(tokens[-1])
+                except ValueError:
+                    init = 0
+            latches.append((tokens[1], tokens[2], init if init in (0, 1) else 0))
+            index += 1
+        elif keyword == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise ParseError(".names with no signals", filename, lineno)
+            output = signals[-1]
+            cover_inputs = signals[:-1]
+            rows: List[Tuple[str, str]] = []
+            index += 1
+            while index < len(lines) and not lines[index][1].startswith("."):
+                row_lineno, row = lines[index]
+                parts = row.split()
+                if len(cover_inputs) == 0:
+                    if len(parts) != 1 or parts[0] not in ("0", "1"):
+                        raise ParseError("malformed constant cover row", filename, row_lineno)
+                    rows.append(("", parts[0]))
+                else:
+                    if len(parts) != 2:
+                        raise ParseError("malformed cover row", filename, row_lineno)
+                    pattern, value = parts
+                    if len(pattern) != len(cover_inputs) or any(
+                        ch not in "01-" for ch in pattern
+                    ):
+                        raise ParseError("malformed cover pattern", filename, row_lineno)
+                    if value not in ("0", "1"):
+                        raise ParseError("cover output must be 0 or 1", filename, row_lineno)
+                    rows.append((pattern, value))
+                index += 1
+            if output in covers:
+                raise ParseError(f"signal {output!r} defined twice", filename, lineno)
+            covers[output] = (cover_inputs, rows)
+        elif keyword == ".end":
+            index += 1
+        elif keyword in (".exdc", ".subckt", ".gate", ".mlatch", ".clock"):
+            raise ParseError(f"unsupported BLIF construct {keyword}", filename, lineno)
+        else:
+            raise ParseError(f"unknown BLIF keyword {keyword}", filename, lineno)
+
+    return _build_aig(model_name, inputs, outputs, latches, covers, filename)
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """Strip comments, join continuation lines, drop blanks."""
+    result: List[Tuple[int, str]] = []
+    pending = ""
+    pending_lineno = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not pending:
+            continue
+        if not pending:
+            pending_lineno = lineno
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        pending += line
+        if pending.strip():
+            result.append((pending_lineno, pending.strip()))
+        pending = ""
+    if pending.strip():
+        result.append((pending_lineno, pending.strip()))
+    return result
+
+
+def _build_aig(
+    model_name: str,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    latches: Sequence[Tuple[str, str, int]],
+    covers: Dict[str, Tuple[List[str], List[Tuple[str, str]]]],
+    filename: str,
+) -> AIG:
+    aig = AIG(model_name)
+    signals: Dict[str, AigLiteral] = {}
+    for name in inputs:
+        signals[name] = aig.add_input(name)
+    latch_literals: Dict[str, AigLiteral] = {}
+    for data_in, data_out, init in latches:
+        latch_literals[data_out] = aig.add_latch(data_out, init_value=init)
+        signals[data_out] = latch_literals[data_out]
+
+    resolving: set[str] = set()
+
+    def resolve(name: str) -> AigLiteral:
+        if name in signals:
+            return signals[name]
+        if name not in covers:
+            raise ParseError(f"undriven signal {name!r}", filename)
+        if name in resolving:
+            raise ParseError(f"combinational cycle through {name!r}", filename)
+        resolving.add(name)
+        cover_inputs, rows = covers[name]
+        input_lits = [resolve(s) for s in cover_inputs]
+        signals[name] = _cover_to_aig(aig, input_lits, rows)
+        resolving.discard(name)
+        return signals[name]
+
+    for name in outputs:
+        aig.add_output(name, resolve(name))
+    for data_in, data_out, _ in latches:
+        aig.set_latch_next(latch_literals[data_out], resolve(data_in))
+    return aig
+
+
+def _cover_to_aig(
+    aig: AIG, input_lits: Sequence[AigLiteral], rows: Sequence[Tuple[str, str]]
+) -> AigLiteral:
+    """Convert a single-output PLA cover to an AIG literal."""
+    if not rows:
+        return FALSE_LIT
+    onset_rows = [r for r in rows if r[1] == "1"]
+    offset_rows = [r for r in rows if r[1] == "0"]
+    if onset_rows and offset_rows:
+        # BLIF requires a cover to list either the onset or the offset.
+        raise ParseError("cover mixes onset and offset rows")
+    target_rows = onset_rows if onset_rows else offset_rows
+    terms = []
+    for pattern, _ in target_rows:
+        if pattern == "":
+            terms.append(TRUE_LIT)
+            continue
+        factors = []
+        for ch, lit in zip(pattern, input_lits):
+            if ch == "1":
+                factors.append(lit)
+            elif ch == "0":
+                factors.append(lit ^ 1)
+        terms.append(aig.land_list(factors))
+    result = aig.lor_list(terms)
+    return result if onset_rows else result ^ 1
+
+
+def aig_to_blif(aig: AIG, model_name: Optional[str] = None) -> str:
+    """Serialise an AIG to BLIF text (AND nodes become two-input covers)."""
+    names: Dict[int, str] = {}
+    for index in aig.inputs + aig.latches:
+        names[index] = aig.input_name(index)
+
+    def node_name(index: int) -> str:
+        if index not in names:
+            names[index] = f"n{index}"
+        return names[index]
+
+    def edge_expr(lit: AigLiteral) -> Tuple[str, bool]:
+        return node_name(lit_var(lit)), lit_is_complemented(lit)
+
+    lines = [f".model {model_name or aig.name}"]
+    input_names = [aig.input_name(i) for i in aig.inputs]
+    lines.append(".inputs " + " ".join(input_names) if input_names else ".inputs")
+    lines.append(".outputs " + " ".join(name for name, _ in aig.outputs))
+    for index in aig.latches:
+        node = aig.node(index)
+        next_lit = node.next_state if node.next_state is not None else FALSE_LIT
+        next_name = f"{aig.input_name(index)}__next"
+        lines.append(f".latch {next_name} {aig.input_name(index)} {node.init_value}")
+
+    body: List[str] = []
+    emitted_ands: set[int] = set()
+    roots = [lit for _, lit in aig.outputs]
+    for index in aig.latches:
+        node = aig.node(index)
+        if node.next_state is not None:
+            roots.append(node.next_state)
+    for index in aig.cone_nodes(roots):
+        if not aig.is_and(index) or index in emitted_ands:
+            continue
+        emitted_ands.add(index)
+        f0, f1 = aig.fanins(index)
+        (name0, inv0), (name1, inv1) = edge_expr(f0), edge_expr(f1)
+        body.append(f".names {name0} {name1} {node_name(index)}")
+        body.append(f"{'0' if inv0 else '1'}{'0' if inv1 else '1'} 1")
+
+    def emit_alias(target: str, lit: AigLiteral) -> None:
+        if lit == FALSE_LIT:
+            body.append(f".names {target}")
+            return
+        if lit == TRUE_LIT:
+            body.append(f".names {target}")
+            body.append("1")
+            return
+        source, inverted = edge_expr(lit)
+        body.append(f".names {source} {target}")
+        body.append("0 1" if inverted else "1 1")
+
+    for name, lit in aig.outputs:
+        emit_alias(name, lit)
+    for index in aig.latches:
+        node = aig.node(index)
+        if node.next_state is not None:
+            emit_alias(f"{aig.input_name(index)}__next", node.next_state)
+
+    lines.extend(body)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif(aig: AIG, path: str, model_name: Optional[str] = None) -> None:
+    """Write an AIG to a BLIF file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(aig_to_blif(aig, model_name=model_name))

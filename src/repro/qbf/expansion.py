@@ -1,0 +1,121 @@
+"""Exact QBF solving by universal expansion.
+
+This is the textbook semantics-level algorithm: peel quantifier blocks from
+the *inside* out, replacing ``forall x . phi`` by ``phi[x=0] AND phi[x=1]``
+and ``exists x . phi`` (in the innermost position) by a plain SAT call once
+no universal variable remains underneath.  The cost is exponential in the
+number of universal variables, so the function is intended for small
+formulas: unit tests, cross-validation of the CEGAR solver and didactic
+examples.  The CEGAR solver in :mod:`repro.qbf.cegar` is the engine the
+bi-decomposition models actually use.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ResourceLimitReached, SolverError
+from repro.qbf.formula import EXISTS, FORALL, QbfFormula
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+
+
+def solve_by_expansion(
+    formula: QbfFormula, max_universal_vars: int = 16
+) -> Tuple[bool, Optional[Dict[int, bool]]]:
+    """Decide a prenex-CNF QBF by explicit expansion of universal blocks.
+
+    Returns ``(truth_value, model)`` where ``model`` assigns the outermost
+    existential block when the formula is true and that block exists
+    (otherwise ``None``).
+    """
+    formula.validate()
+    universal_count = sum(
+        len(block.variables) for block in formula.prefix if block.quantifier == FORALL
+    )
+    if universal_count > max_universal_vars:
+        raise ResourceLimitReached(
+            f"expansion solver limited to {max_universal_vars} universal variables "
+            f"({universal_count} present)"
+        )
+
+    if not formula.prefix:
+        result = _solve_cnf(formula.matrix)
+        return result is not None, result or None
+
+    outer = formula.prefix[0]
+    if outer.quantifier == EXISTS:
+        truth, assignment = _solve_exists_prefix(formula)
+        return truth, assignment
+    # Outermost universal block: the formula is true iff it is true under
+    # every assignment to that block.
+    for values in product((False, True), repeat=len(outer.variables)):
+        restricted = _restrict(formula, dict(zip(outer.variables, values)))
+        truth, _ = solve_by_expansion(restricted, max_universal_vars)
+        if not truth:
+            return False, None
+    return True, None
+
+
+def _solve_exists_prefix(formula: QbfFormula) -> Tuple[bool, Optional[Dict[int, bool]]]:
+    """Handle a formula whose outermost block is existential."""
+    outer = formula.prefix[0]
+    rest = QbfFormula(prefix=formula.prefix[1:], matrix=formula.matrix)
+    if not rest.prefix or all(b.quantifier == EXISTS for b in rest.prefix):
+        # Purely existential: one SAT call decides it.
+        model = _solve_cnf(formula.matrix)
+        if model is None:
+            return False, None
+        return True, {v: model.get(v, False) for v in outer.variables}
+    # Enumerate assignments to the outer existential block (small by
+    # construction in tests) and recurse.
+    for values in product((False, True), repeat=len(outer.variables)):
+        assignment = dict(zip(outer.variables, values))
+        restricted = _restrict(rest, assignment)
+        truth, _ = solve_by_expansion(restricted)
+        if truth:
+            return True, assignment
+    return False, None
+
+
+def _restrict(formula: QbfFormula, assignment: Dict[int, bool]) -> QbfFormula:
+    """Substitute constants for variables, simplifying the matrix."""
+    matrix = CNF(num_vars=formula.matrix.num_vars)
+    for clause in formula.matrix.clauses:
+        satisfied = False
+        kept: List[int] = []
+        for lit in clause:
+            var = abs(lit)
+            if var in assignment:
+                value = assignment[var] if lit > 0 else not assignment[var]
+                if value:
+                    satisfied = True
+                    break
+            else:
+                kept.append(lit)
+        if satisfied:
+            continue
+        if not kept:
+            # Empty clause: the matrix is falsified outright; represent it by
+            # a fresh contradictory pair so downstream SAT calls report UNSAT.
+            fresh = matrix.new_var()
+            matrix.add_unit(fresh)
+            matrix.add_unit(-fresh)
+            continue
+        matrix.add_clause(kept)
+    prefix = []
+    for block in formula.prefix:
+        remaining = tuple(v for v in block.variables if v not in assignment)
+        if remaining:
+            prefix.append(type(block)(block.quantifier, remaining))
+    return QbfFormula(prefix=prefix, matrix=matrix)
+
+
+def _solve_cnf(cnf: CNF) -> Optional[Dict[int, bool]]:
+    solver = Solver()
+    solver.add_cnf(cnf)
+    result = solver.solve()
+    if result.status is None:
+        raise SolverError("unexpected unknown result from the SAT solver")
+    return result.model if result.status else None

@@ -1,0 +1,142 @@
+"""Prenex-CNF quantified Boolean formulas and QDIMACS I/O."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ParseError, SolverError
+from repro.sat.cnf import CNF
+
+EXISTS = "e"
+FORALL = "a"
+
+
+@dataclass
+class QuantifierBlock:
+    """A maximal block of identically quantified variables."""
+
+    quantifier: str
+    variables: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.quantifier not in (EXISTS, FORALL):
+            raise SolverError(f"invalid quantifier {self.quantifier!r}")
+        if any(v <= 0 for v in self.variables):
+            raise SolverError("quantified variables must be positive integers")
+        self.variables = tuple(self.variables)
+
+
+@dataclass
+class QbfFormula:
+    """A prenex-CNF QBF: a quantifier prefix plus a CNF matrix.
+
+    Variables not mentioned in the prefix are *free*; following the paper's
+    convention the library treats formulas as closed, so helper constructors
+    existentially quantify free variables in the innermost block.
+    """
+
+    prefix: List[QuantifierBlock] = field(default_factory=list)
+    matrix: CNF = field(default_factory=CNF)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def exists_forall(
+        cls, exist_vars: Sequence[int], forall_vars: Sequence[int], matrix: CNF
+    ) -> "QbfFormula":
+        """Build a 2QBF ``exists E forall U . matrix`` (closing free vars)."""
+        formula = cls(
+            prefix=[
+                QuantifierBlock(EXISTS, tuple(exist_vars)),
+                QuantifierBlock(FORALL, tuple(forall_vars)),
+            ],
+            matrix=matrix,
+        )
+        formula.close()
+        return formula
+
+    def close(self) -> None:
+        """Existentially quantify free matrix variables in the innermost block."""
+        bound = {v for block in self.prefix for v in block.variables}
+        free = sorted(v for v in self.matrix.variables() if v not in bound)
+        if not free:
+            return
+        if self.prefix and self.prefix[-1].quantifier == EXISTS:
+            last = self.prefix[-1]
+            self.prefix[-1] = QuantifierBlock(EXISTS, last.variables + tuple(free))
+        else:
+            self.prefix.append(QuantifierBlock(EXISTS, tuple(free)))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_alternations(self) -> int:
+        return max(0, len(self.prefix) - 1)
+
+    def bound_variables(self) -> set[int]:
+        return {v for block in self.prefix for v in block.variables}
+
+    def validate(self) -> None:
+        """Check that no variable is quantified twice."""
+        seen: set[int] = set()
+        for block in self.prefix:
+            for var in block.variables:
+                if var in seen:
+                    raise SolverError(f"variable {var} is quantified twice")
+                seen.add(var)
+
+    # -- QDIMACS ------------------------------------------------------------------
+
+    def to_qdimacs(self) -> str:
+        lines = [f"p cnf {self.matrix.num_vars} {len(self.matrix.clauses)}"]
+        for block in self.prefix:
+            lines.append(
+                f"{block.quantifier} " + " ".join(str(v) for v in block.variables) + " 0"
+            )
+        for clause in self.matrix.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_qdimacs(cls, text: str, filename: str = "<string>") -> "QbfFormula":
+        prefix: List[QuantifierBlock] = []
+        matrix = CNF()
+        declared_vars = 0
+        pending: List[int] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ParseError("malformed problem line", filename, lineno)
+                declared_vars = int(parts[2])
+                continue
+            if line[0] in (EXISTS, FORALL):
+                parts = line.split()
+                try:
+                    variables = [int(tok) for tok in parts[1:]]
+                except ValueError as exc:
+                    raise ParseError(f"bad quantifier line: {exc}", filename, lineno)
+                if not variables or variables[-1] != 0:
+                    raise ParseError("quantifier line must end with 0", filename, lineno)
+                prefix.append(QuantifierBlock(parts[0], tuple(variables[:-1])))
+                continue
+            for token in line.split():
+                try:
+                    lit = int(token)
+                except ValueError as exc:
+                    raise ParseError(f"invalid literal {token!r}: {exc}", filename, lineno)
+                if lit == 0:
+                    matrix.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if pending:
+            matrix.add_clause(pending)
+        matrix.num_vars = max(matrix.num_vars, declared_vars)
+        formula = cls(prefix=prefix, matrix=matrix)
+        formula.validate()
+        return formula

@@ -1,0 +1,120 @@
+"""Craig interpolation from resolution proofs (McMillan's system).
+
+The original SAT-based bi-decomposition (Lee, Jiang & Hung, DAC'08) extracts
+the decomposition functions ``fA`` and ``fB`` as Craig interpolants of the
+refutation of the decomposability check: the check formula is split into an
+``A`` part and a ``B`` part whose shared variables are exactly the inputs
+allowed in the target sub-function, and the interpolant — a circuit over the
+shared variables — *is* the sub-function.  The paper reuses that construction
+on top of its QBF-derived partitions; :mod:`repro.core.extract` drives this
+module to do the same.
+
+Interpolants are constructed directly as AIG nodes so that the result plugs
+straight into :class:`repro.aig.function.BooleanFunction`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.aig.aig import AIG, AigLiteral, FALSE_LIT, TRUE_LIT
+from repro.errors import SolverError
+from repro.sat.proof import LEARNED, ORIGINAL, Proof, ResolutionChain
+
+
+class InterpolantBuilder:
+    """Builds a McMillan interpolant for a refutation of ``A AND B``.
+
+    Parameters
+    ----------
+    proof:
+        A refutation recorded by :class:`repro.sat.solver.Solver`.
+    a_clause_ids:
+        Proof identifiers of the original clauses forming the ``A`` part;
+        every other original clause is part of ``B``.
+    aig / var_to_literal:
+        Target AIG and a mapping from *shared* CNF variables to AIG literals.
+        Shared variables are those occurring both in ``A`` and in ``B``
+        clauses; each of them must be mapped.
+    """
+
+    def __init__(
+        self,
+        proof: Proof,
+        a_clause_ids: Iterable[int],
+        aig: AIG,
+        var_to_literal: Mapping[int, AigLiteral],
+    ) -> None:
+        self.proof = proof
+        self.a_ids: Set[int] = set(a_clause_ids)
+        self.aig = aig
+        self.var_to_literal = dict(var_to_literal)
+        self._a_vars: Set[int] = set()
+        self._b_vars: Set[int] = set()
+        for clause in proof.original_clauses():
+            variables = {abs(l) for l in clause.lits}
+            if clause.cid in self.a_ids:
+                self._a_vars |= variables
+            else:
+                self._b_vars |= variables
+        self.shared_vars = self._a_vars & self._b_vars
+        missing = self.shared_vars - set(self.var_to_literal)
+        if missing:
+            raise SolverError(
+                f"no AIG literal provided for shared CNF variables {sorted(missing)}"
+            )
+
+    # -- labelling -----------------------------------------------------------------
+
+    def _is_a_local(self, var: int) -> bool:
+        return var in self._a_vars and var not in self._b_vars
+
+    def _literal_aig(self, lit: int) -> AigLiteral:
+        base = self.var_to_literal[abs(lit)]
+        return base if lit > 0 else base ^ 1
+
+    # -- interpolant computation ------------------------------------------------------
+
+    def build(self) -> AigLiteral:
+        """Compute the interpolant of the recorded refutation."""
+        if not self.proof.has_refutation:
+            raise SolverError("the proof does not contain a refutation")
+        partial: Dict[int, AigLiteral] = {}
+        for clause in self.proof:
+            if clause.kind == ORIGINAL:
+                partial[clause.cid] = self._leaf_interpolant(clause.cid, clause.lits)
+            elif clause.kind == LEARNED:
+                partial[clause.cid] = self._chain_interpolant(clause.chain, partial)
+        return self._chain_interpolant(self.proof.empty_chain, partial)
+
+    def _leaf_interpolant(self, cid: int, lits: Iterable[int]) -> AigLiteral:
+        if cid in self.a_ids:
+            shared_lits = [
+                self._literal_aig(l) for l in lits if abs(l) in self.shared_vars
+            ]
+            return self.aig.lor_list(shared_lits) if shared_lits else FALSE_LIT
+        return TRUE_LIT
+
+    def _chain_interpolant(
+        self, chain: ResolutionChain, partial: Dict[int, AigLiteral]
+    ) -> AigLiteral:
+        if not chain.antecedents:
+            raise SolverError("empty resolution chain in proof")
+        current = partial[chain.antecedents[0]]
+        for cid, pivot in zip(chain.antecedents[1:], chain.pivots):
+            other = partial[cid]
+            if self._is_a_local(pivot):
+                current = self.aig.lor(current, other)
+            else:
+                current = self.aig.add_and(current, other)
+        return current
+
+
+def interpolant(
+    proof: Proof,
+    a_clause_ids: Iterable[int],
+    aig: AIG,
+    var_to_literal: Mapping[int, AigLiteral],
+) -> AigLiteral:
+    """Convenience wrapper around :class:`InterpolantBuilder`."""
+    return InterpolantBuilder(proof, a_clause_ids, aig, var_to_literal).build()

@@ -1,0 +1,190 @@
+"""Minimal Unsatisfiable Subformula (MUS) extraction.
+
+The STEP-MG baseline of the paper (Chen & Marques-Silva, VLSI-SoC'11)
+derives variable partitions from *group-oriented* MUSes of the
+bi-decomposition check formula: the relaxable equality constraints of each
+input variable form a group, and a group-MUS identifies an irreducible set
+of variables whose equalities must stay enforced.  This module provides the
+required machinery on top of the assumption interface of the CDCL solver —
+the role MUSer plays for the original tool:
+
+* :class:`MusExtractor` — clause-level deletion-based MUS extraction.
+* :class:`GroupMusExtractor` — group-level deletion-based MUS extraction
+  with optional clause-set refinement from unsatisfiable cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SolverError
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+from repro.utils.timer import Deadline
+
+
+@dataclass
+class MusStatistics:
+    """Bookkeeping for MUS extraction (reported by the benchmark harness)."""
+
+    sat_calls: int = 0
+    initial_groups: int = 0
+    final_groups: int = 0
+
+
+class _AssumptionFramework:
+    """Shared machinery: selector variables guard removable clause groups.
+
+    Selector variables must not collide with problem variables, and groups
+    may be registered incrementally (possibly introducing new problem
+    variables), so the underlying solver is (re)built lazily on the first
+    check after a modification, with selectors allocated above every problem
+    variable seen so far.
+    """
+
+    def __init__(self, hard_clauses: Iterable[Sequence[int]], num_vars: int) -> None:
+        self._hard: List[Tuple[int, ...]] = [tuple(c) for c in hard_clauses]
+        self._declared_vars = num_vars
+        self._groups: Dict[Hashable, List[Tuple[int, ...]]] = {}
+        self._solver: Optional[Solver] = None
+        self._selectors: Dict[Hashable, int] = {}
+        self.stats = MusStatistics()
+
+    def add_group(self, key: Hashable, clauses: Iterable[Sequence[int]]) -> None:
+        if key in self._groups:
+            raise SolverError(f"duplicate group key {key!r}")
+        self._groups[key] = [tuple(clause) for clause in clauses]
+        self._solver = None  # force a rebuild on the next check
+
+    def _build(self) -> None:
+        top = self._declared_vars
+        for clause in self._hard:
+            for lit in clause:
+                top = max(top, abs(lit))
+        for clauses in self._groups.values():
+            for clause in clauses:
+                for lit in clause:
+                    top = max(top, abs(lit))
+        self._solver = Solver()
+        self._selectors = {}
+        for clause in self._hard:
+            self._solver.add_clause(clause)
+        for key, clauses in self._groups.items():
+            top += 1
+            self._selectors[key] = top
+            for clause in clauses:
+                self._solver.add_clause(clause + (-top,))
+
+    def check(
+        self,
+        active: Sequence[Hashable],
+        deadline: Optional[Deadline] = None,
+        conflict_budget: Optional[int] = None,
+    ) -> Tuple[Optional[bool], List[Hashable]]:
+        """SAT check with the given groups enabled; returns (status, core keys)."""
+        if self._solver is None:
+            self._build()
+        self.stats.sat_calls += 1
+        assumptions = [self._selectors[key] for key in active]
+        result = self._solver.solve(
+            assumptions=assumptions,
+            deadline=deadline,
+            conflict_budget=conflict_budget,
+        )
+        if result.status is not False:
+            return result.status, []
+        selector_to_key = {v: k for k, v in self._selectors.items()}
+        core = [selector_to_key[lit] for lit in result.core if lit in selector_to_key]
+        return False, core
+
+
+class MusExtractor:
+    """Deletion-based MUS extraction over individually removable clauses."""
+
+    def __init__(
+        self,
+        soft_clauses: Sequence[Sequence[int]],
+        hard_clauses: Iterable[Sequence[int]] = (),
+        num_vars: int = 0,
+    ) -> None:
+        self._framework = _AssumptionFramework(hard_clauses, num_vars)
+        self._keys: List[int] = []
+        for index, clause in enumerate(soft_clauses):
+            self._framework.add_group(index, [clause])
+            self._keys.append(index)
+
+    @property
+    def stats(self) -> MusStatistics:
+        return self._framework.stats
+
+    def compute(self, deadline: Optional[Deadline] = None) -> List[int]:
+        """Return indices of soft clauses forming a MUS.
+
+        Requires the full soft+hard set to be unsatisfiable; raises
+        :class:`SolverError` otherwise.
+        """
+        return _deletion_mus(self._framework, self._keys, deadline)
+
+
+class GroupMusExtractor:
+    """Deletion-based MUS extraction over named clause groups."""
+
+    def __init__(self, hard_clauses: Iterable[Sequence[int]] = (), num_vars: int = 0) -> None:
+        self._framework = _AssumptionFramework(hard_clauses, num_vars)
+        self._keys: List[Hashable] = []
+
+    @property
+    def stats(self) -> MusStatistics:
+        return self._framework.stats
+
+    def add_group(self, key: Hashable, clauses: Iterable[Sequence[int]]) -> None:
+        """Register a removable group of clauses under ``key``."""
+        self._framework.add_group(key, clauses)
+        self._keys.append(key)
+
+    def compute(self, deadline: Optional[Deadline] = None) -> List[Hashable]:
+        """Return the keys of a group-MUS (irreducible unsatisfiable subset)."""
+        return _deletion_mus(self._framework, self._keys, deadline)
+
+    def is_unsat_with(self, keys: Sequence[Hashable]) -> bool:
+        """Check whether enabling exactly ``keys`` yields unsatisfiability."""
+        status, _ = self._framework.check(keys)
+        if status is None:
+            raise SolverError("budget exhausted during group satisfiability check")
+        return status is False
+
+
+def _deletion_mus(
+    framework: _AssumptionFramework,
+    keys: Sequence[Hashable],
+    deadline: Optional[Deadline],
+) -> List[Hashable]:
+    framework.stats.initial_groups = len(keys)
+    status, core = framework.check(list(keys), deadline=deadline)
+    if status is None:
+        raise SolverError("budget exhausted before establishing unsatisfiability")
+    if status is True:
+        raise SolverError("the formula is satisfiable; no MUS exists")
+    # Clause-set refinement: restrict attention to the reported core.
+    working: List[Hashable] = list(core) if core else list(keys)
+
+    index = 0
+    while index < len(working):
+        if deadline is not None and deadline.expired:
+            break
+        candidate = working[:index] + working[index + 1 :]
+        status, core = framework.check(candidate, deadline=deadline)
+        if status is False:
+            # The removed group is unnecessary; also exploit the new core to
+            # drop further groups when it is smaller.
+            if core and len(core) < len(candidate):
+                core_set = set(core)
+                working = [k for k in candidate if k in core_set]
+                index = 0
+            else:
+                working = candidate
+        else:
+            index += 1
+    framework.stats.final_groups = len(working)
+    return working

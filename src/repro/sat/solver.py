@@ -1,0 +1,668 @@
+"""A CDCL SAT solver in pure Python.
+
+The solver implements the standard conflict-driven clause learning loop:
+
+* two-literal watching for unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style variable activities with phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction by activity,
+* incremental solving under assumptions with failed-assumption (core)
+  extraction, and
+* optional resolution-proof logging, used by
+  :mod:`repro.sat.interpolate` to compute Craig interpolants which the
+  bi-decomposition engine turns into the functions ``fA`` and ``fB``.
+
+The implementation favours clarity over raw speed but is careful about the
+usual hot spots: propagation is a tight loop over watcher lists and literals
+are encoded as small integers internally (``2*var`` for the positive literal,
+``2*var + 1`` for the negative one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SolverError
+from repro.sat.cnf import CNF
+from repro.sat.proof import Proof, ResolutionChain
+from repro.utils.timer import Deadline
+
+TRUE = 1
+FALSE = 0
+UNASSIGNED = -1
+
+
+def _internal(lit: int) -> int:
+    """DIMACS literal -> internal index (2*var positive, 2*var+1 negative)."""
+    var = abs(lit)
+    return 2 * var + (1 if lit < 0 else 0)
+
+
+def _external(ilit: int) -> int:
+    var = ilit >> 1
+    return -var if ilit & 1 else var
+
+
+def _neg(ilit: int) -> int:
+    return ilit ^ 1
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a :meth:`Solver.solve` call.
+
+    ``status`` is ``True`` for SAT, ``False`` for UNSAT and ``None`` when a
+    conflict budget or deadline expired before a verdict was reached.  For
+    UNSAT answers obtained under assumptions, ``core`` holds a subset of the
+    assumption literals whose conjunction with the clause database is already
+    unsatisfiable.
+    """
+
+    status: Optional[bool]
+    model: Dict[int, bool] = field(default_factory=dict)
+    core: Tuple[int, ...] = ()
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.status is True
+
+
+class _Clause:
+    """Internal clause record (original or learned)."""
+
+    __slots__ = ("lits", "learned", "activity", "cid")
+
+    def __init__(self, lits: List[int], learned: bool, cid: int) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+        self.cid = cid
+
+
+class Solver:
+    """Incremental CDCL solver over DIMACS-style integer literals.
+
+    Parameters
+    ----------
+    proof:
+        When true the solver records a resolution chain for every learned
+        clause and, upon a top-level refutation, a derivation of the empty
+        clause.  Clause-database reduction is disabled in this mode so that
+        every recorded antecedent stays available, and input clauses are
+        never shortened so that their recorded literals match the clauses
+        actually used during search.
+    """
+
+    def __init__(self, proof: bool = False) -> None:
+        self.proof_logging = proof
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: List[List[_Clause]] = [[], []]
+        self._assigns: List[int] = [UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._order_heap: List[Tuple[float, int]] = []
+        self._ok = True
+        self._proof: Optional[Proof] = Proof() if proof else None
+        self._next_cid = 0
+        self._seen: List[int] = [0]
+        # statistics
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._model: Dict[int, bool] = {}
+        self._core: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def ok(self) -> bool:
+        """False once the clause database is unsatisfiable on its own."""
+        return self._ok
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        var = self._num_vars
+        self._assigns.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(0)
+        self._watches.append([])  # 2*var
+        self._watches.append([])  # 2*var + 1
+        heappush(self._order_heap, (0.0, var))
+        return var
+
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> Optional[int]:
+        """Add a clause (an iterable of DIMACS literals).
+
+        Returns the clause's proof identifier, or ``None`` when the clause is
+        a tautology and was dropped.  Clauses may only be added at decision
+        level 0 (the solver always returns to level 0 between ``solve``
+        calls).
+        """
+        if self._trail_lim:
+            raise SolverError("add_clause called while the solver holds decisions")
+        seen: Set[int] = set()
+        clause: List[int] = []
+        for lit in lits:
+            if not isinstance(lit, int) or isinstance(lit, bool) or lit == 0:
+                raise SolverError(f"invalid literal {lit!r}")
+            self._ensure_var(abs(lit))
+            ilit = _internal(lit)
+            if _neg(ilit) in seen:
+                return None  # tautology
+            if ilit in seen:
+                continue
+            seen.add(ilit)
+            clause.append(ilit)
+        cid = self._new_cid([_external(l) for l in clause])
+        if not self._ok:
+            return cid
+
+        if any(self._value(l) == TRUE for l in clause):
+            # Satisfied by the level-0 assignment: the clause can never be an
+            # antecedent, so it is safe to drop it even under proof logging.
+            return cid
+        if self._proof is None:
+            # Simplify against the level-0 assignment.
+            working = [
+                l
+                for l in clause
+                if not (self._value(l) == FALSE and self._level[l >> 1] == 0)
+            ]
+        else:
+            working = list(clause)
+
+        record = _Clause(working, learned=False, cid=cid if cid is not None else -1)
+
+        non_false = [l for l in working if self._value(l) != FALSE]
+        if not non_false:
+            # Conflicting at level 0: the database is unsatisfiable.
+            self._ok = False
+            if self._proof is not None:
+                self._derive_empty(record)
+            return cid
+        if len(non_false) == 1 and self._value(non_false[0]) == UNASSIGNED:
+            self._enqueue(non_false[0], record)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                if self._proof is not None:
+                    self._derive_empty(conflict)
+            if len(working) > 1:
+                self._clauses.append(record)
+            return cid
+        if len(working) == 1:
+            # Single-literal clause already satisfied at level 0.
+            return cid
+        # Choose two non-false literals as watchers so propagation stays
+        # complete even when earlier units already falsified some literals.
+        self._move_to_front(working, non_false)
+        self._attach(record)
+        self._clauses.append(record)
+        return cid
+
+    def add_cnf(self, cnf: CNF) -> List[Optional[int]]:
+        """Add every clause of a :class:`CNF`; returns their proof ids."""
+        self._ensure_var(cnf.num_vars)
+        return [self.add_clause(clause) for clause in cnf.clauses]
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> SolveResult:
+        """Run the CDCL loop and return a :class:`SolveResult`."""
+        self._model = {}
+        self._core = ()
+        if not self._ok:
+            return self._result(False)
+        for lit in assumptions:
+            if lit == 0:
+                raise SolverError("assumption literal cannot be zero")
+            self._ensure_var(abs(lit))
+        self._cancel_until(0)
+        int_assumptions = [_internal(l) for l in assumptions]
+        conflicts_at_start = self.conflicts
+        restart_index = 0
+        restart_budget = 64 * _luby(restart_index)
+        conflicts_this_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_this_restart += 1
+                if self._decision_level() == 0:
+                    if self._proof is not None:
+                        self._derive_empty(conflict)
+                    self._ok = False
+                    return self._result(False)
+                learned, backtrack_level, chain = self._analyze(conflict)
+                self._cancel_until(backtrack_level)
+                self._record_learned(learned, chain)
+                self._decay_activities()
+                if (
+                    conflict_budget is not None
+                    and self.conflicts - conflicts_at_start >= conflict_budget
+                ):
+                    self._cancel_until(0)
+                    return self._result(None)
+                if deadline is not None and deadline.expired:
+                    self._cancel_until(0)
+                    return self._result(None)
+                if conflicts_this_restart >= restart_budget:
+                    restart_index += 1
+                    restart_budget = 64 * _luby(restart_index)
+                    conflicts_this_restart = 0
+                    self._cancel_until(0)
+                continue
+
+            if deadline is not None and deadline.expired:
+                self._cancel_until(0)
+                return self._result(None)
+
+            if self._decision_level() < len(int_assumptions):
+                # Place the next assumption as a pseudo-decision.
+                ilit = int_assumptions[self._decision_level()]
+                value = self._value(ilit)
+                if value == TRUE:
+                    self._new_decision_level()
+                    continue
+                if value == FALSE:
+                    self._core = self._analyze_final(ilit, int_assumptions)
+                    self._cancel_until(0)
+                    return self._result(False)
+                self._new_decision_level()
+                self._enqueue(ilit, None)
+                continue
+
+            if self._proof is None and len(self._learnts) > 4000:
+                self._reduce_db()
+
+            ilit = self._pick_branch()
+            if ilit is None:
+                self._model = {
+                    v: self._assigns[v] == TRUE for v in range(1, self._num_vars + 1)
+                }
+                self._cancel_until(0)
+                return self._result(True)
+            self.decisions += 1
+            self._new_decision_level()
+            self._enqueue(ilit, None)
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment from the most recent SAT answer."""
+        return dict(self._model)
+
+    def model_value(self, lit: int) -> Optional[bool]:
+        """Value of a DIMACS literal in the last model (``None`` if absent)."""
+        var = abs(lit)
+        if var not in self._model:
+            return None
+        value = self._model[var]
+        return value if lit > 0 else not value
+
+    def core(self) -> Tuple[int, ...]:
+        """Failed assumptions responsible for the last UNSAT answer."""
+        return self._core
+
+    def proof(self) -> Proof:
+        """The recorded resolution proof (requires ``proof=True``)."""
+        if self._proof is None:
+            raise SolverError("proof logging was not enabled")
+        return self._proof
+
+    # ----------------------------------------------------------- internals
+
+    def _result(self, status: Optional[bool]) -> SolveResult:
+        return SolveResult(
+            status=status,
+            model=dict(self._model),
+            core=self._core,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+        )
+
+    def _new_cid(self, external_lits: List[int]) -> Optional[int]:
+        if self._proof is not None:
+            return self._proof.add_original(external_lits)
+        cid = self._next_cid
+        self._next_cid += 1
+        return cid
+
+    def _value(self, ilit: int) -> int:
+        val = self._assigns[ilit >> 1]
+        if val == UNASSIGNED:
+            return UNASSIGNED
+        return val ^ (ilit & 1)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _enqueue(self, ilit: int, reason: Optional[_Clause]) -> bool:
+        value = self._value(ilit)
+        if value != UNASSIGNED:
+            return value == TRUE
+        var = ilit >> 1
+        self._assigns[var] = 1 ^ (ilit & 1)
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = not (ilit & 1)
+        self._trail.append(ilit)
+        return True
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for ilit in reversed(self._trail[boundary:]):
+            var = ilit >> 1
+            self._assigns[var] = UNASSIGNED
+            self._reason[var] = None
+            heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    @staticmethod
+    def _move_to_front(working: List[int], non_false: List[int]) -> None:
+        """Reorder ``working`` so two non-false literals occupy slots 0 and 1."""
+        first, second = non_false[0], non_false[1]
+        i = working.index(first)
+        working[0], working[i] = working[i], working[0]
+        j = working.index(second)
+        working[1], working[j] = working[j], working[1]
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[_neg(clause.lits[0])].append(clause)
+        self._watches[_neg(clause.lits[1])].append(clause)
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._qhead < len(self._trail):
+            ilit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            watch_list = self._watches[ilit]
+            new_list: List[_Clause] = []
+            idx = 0
+            count = len(watch_list)
+            while idx < count:
+                clause = watch_list[idx]
+                idx += 1
+                lits = clause.lits
+                false_lit = _neg(ilit)
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == TRUE:
+                    new_list.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[_neg(lits[1])].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_list.append(clause)
+                if self._value(first) == FALSE:
+                    new_list.extend(watch_list[idx:])
+                    self._watches[ilit] = new_list
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+            self._watches[ilit] = new_list
+        return None
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int, ResolutionChain]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first), the backtrack
+        level and, when proof logging is enabled, the resolution chain that
+        derives the learned clause from the conflict clause and the reason
+        clauses (level-0 literals are resolved away so the chain reproduces
+        the learned clause exactly).
+        """
+        learned: List[int] = [0]
+        seen = self._seen
+        counter = 0
+        resolved_lit: Optional[int] = None
+        clause: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        chain = ResolutionChain(antecedents=[], pivots=[])
+        zero_lits: Set[int] = set()
+        if self._proof is not None:
+            chain.antecedents.append(conflict.cid)
+
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            for lit in clause.lits:
+                if resolved_lit is not None and lit == resolved_lit:
+                    continue
+                var = lit >> 1
+                if seen[var] or self._value(lit) == TRUE:
+                    continue
+                if self._level[var] == 0:
+                    zero_lits.add(lit)
+                    continue
+                seen[var] = 1
+                self._bump_var(var)
+                if self._level[var] >= self._decision_level():
+                    counter += 1
+                else:
+                    learned.append(lit)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            resolved_lit = self._trail[index]
+            index -= 1
+            var = resolved_lit >> 1
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                learned[0] = _neg(resolved_lit)
+                break
+            clause = self._reason[var]
+            if self._proof is not None:
+                chain.antecedents.append(clause.cid)
+                chain.pivots.append(var)
+
+        for lit in learned[1:]:
+            seen[lit >> 1] = 0
+
+        if self._proof is not None and zero_lits:
+            self._resolve_zero_literals(zero_lits, chain)
+
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learned)):
+                if self._level[learned[i] >> 1] > self._level[learned[max_i] >> 1]:
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            backtrack_level = self._level[learned[1] >> 1]
+        return learned, backtrack_level, chain
+
+    def _resolve_zero_literals(self, zero_lits: Set[int], chain: ResolutionChain) -> None:
+        """Extend a chain with resolutions eliminating level-0 literals."""
+        pending = set(zero_lits)
+        for ilit in reversed(self._trail):
+            if not pending:
+                break
+            if _neg(ilit) not in pending:
+                continue
+            var = ilit >> 1
+            reason = self._reason[var]
+            pending.discard(_neg(ilit))
+            if reason is None:
+                continue
+            for other in reason.lits:
+                if (other >> 1) != var:
+                    pending.add(other)
+            chain.antecedents.append(reason.cid)
+            chain.pivots.append(var)
+
+    def _record_learned(self, learned: List[int], chain: ResolutionChain) -> None:
+        cid = -1
+        if self._proof is not None:
+            cid = self._proof.add_learned([_external(l) for l in learned], chain)
+        clause = _Clause(learned, learned=True, cid=cid)
+        if len(learned) == 1:
+            self._learnts.append(clause)
+            self._enqueue(learned[0], clause)
+            return
+        self._attach(clause)
+        self._learnts.append(clause)
+        self._bump_clause(clause)
+        self._enqueue(learned[0], clause)
+
+    def _analyze_final(self, failed: int, assumptions: List[int]) -> Tuple[int, ...]:
+        """Compute a subset of assumptions implying the failed assumption."""
+        assumption_set = set(assumptions)
+        core: List[int] = [_external(failed)]
+        stack = [_neg(failed)]
+        visited: Set[int] = set()
+        while stack:
+            lit = stack.pop()
+            var = lit >> 1
+            if var in visited:
+                continue
+            visited.add(var)
+            if self._level[var] == 0:
+                continue
+            reason = self._reason[var]
+            true_lit = lit if self._value(lit) == TRUE else _neg(lit)
+            if reason is None:
+                if true_lit in assumption_set:
+                    core.append(_external(true_lit))
+                continue
+            stack.extend(l for l in reason.lits if (l >> 1) != var)
+        return tuple(dict.fromkeys(core))
+
+    def _pick_branch(self) -> Optional[int]:
+        while self._order_heap:
+            _, var = heappop(self._order_heap)
+            if self._assigns[var] == UNASSIGNED:
+                return 2 * var + (0 if self._phase[var] else 1)
+        for var in range(1, self._num_vars + 1):
+            if self._assigns[var] == UNASSIGNED:
+                return 2 * var + (0 if self._phase[var] else 1)
+        return None
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heappush(self._order_heap, (-self._activity[var], var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    def _reduce_db(self) -> None:
+        """Discard the least active half of the (long) learned clauses."""
+        locked = set()
+        for var in range(1, self._num_vars + 1):
+            reason = self._reason[var]
+            if reason is not None and reason.learned:
+                locked.add(id(reason))
+        self._learnts.sort(key=lambda c: c.activity)
+        half = len(self._learnts) // 2
+        removed = []
+        kept = []
+        for i, clause in enumerate(self._learnts):
+            if i < half and id(clause) not in locked and len(clause.lits) > 2:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        if not removed:
+            return
+        removed_ids = {id(c) for c in removed}
+        for ilit in range(2, 2 * self._num_vars + 2):
+            watchers = self._watches[ilit]
+            self._watches[ilit] = [c for c in watchers if id(c) not in removed_ids]
+        self._learnts = kept
+
+    # -------------------------------------------------------------- proofs
+
+    def _derive_empty(self, conflict: _Clause) -> None:
+        """Derive the empty clause from a clause falsified at level 0."""
+        if self._proof is None:
+            return
+        chain = ResolutionChain(antecedents=[conflict.cid], pivots=[])
+        pending: Set[int] = set(conflict.lits)
+        self._resolve_zero_literals(pending, chain)
+        self._proof.set_empty_clause(chain)
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ... (0-based index)."""
+    size = 1
+    level = 0
+    while size < index + 1:
+        level += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        level -= 1
+        index %= size
+    return 1 << level
+
+
+def solve_cnf(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    conflict_budget: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
+) -> SolveResult:
+    """One-shot convenience wrapper: solve a :class:`CNF` formula."""
+    solver = Solver()
+    solver.add_cnf(cnf)
+    return solver.solve(
+        assumptions=assumptions, conflict_budget=conflict_budget, deadline=deadline
+    )

@@ -1,0 +1,6 @@
+"""Small shared utilities: timers, deterministic RNG and logging helpers."""
+
+from repro.utils.timer import Stopwatch, Deadline
+from repro.utils.rng import deterministic_rng
+
+__all__ = ["Stopwatch", "Deadline", "deterministic_rng"]

@@ -1,0 +1,92 @@
+"""Wall-clock helpers used to implement the paper's per-call timeouts.
+
+The paper gives every QBF call a 4 second budget and every circuit a 6000
+second budget; :class:`Deadline` models such nested budgets and
+:class:`Stopwatch` is used by the benchmark harnesses to report CPU columns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Accumulating stopwatch with ``start``/``stop``/``elapsed`` semantics.
+
+    The stopwatch can be started and stopped repeatedly; ``elapsed`` returns
+    the total time spent between matched start/stop pairs (plus the running
+    segment if currently started).  It is also usable as a context manager.
+    """
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is not None:
+            self._accumulated += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        self._accumulated = 0.0
+        self._started_at = None
+
+    @property
+    def elapsed(self) -> float:
+        running = 0.0
+        if self._started_at is not None:
+            running = time.perf_counter() - self._started_at
+        return self._accumulated + running
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class Deadline:
+    """A wall-clock deadline; ``None`` budget means "no limit".
+
+    Parameters
+    ----------
+    budget:
+        Number of seconds available from the moment of construction, or
+        ``None`` for an unlimited deadline.
+    """
+
+    budget: float | None
+    _start: float = field(default_factory=time.perf_counter)
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(budget=None)
+
+    @property
+    def expired(self) -> bool:
+        if self.budget is None:
+            return False
+        return (time.perf_counter() - self._start) >= self.budget
+
+    def remaining(self) -> float | None:
+        """Seconds left, ``None`` if unlimited, clamped at zero."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - (time.perf_counter() - self._start))
+
+    def sub_deadline(self, budget: float | None) -> "Deadline":
+        """A child deadline never exceeding the parent's remaining time."""
+        remaining = self.remaining()
+        if remaining is None:
+            return Deadline(budget)
+        if budget is None:
+            return Deadline(remaining)
+        return Deadline(min(budget, remaining))

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig.function import BooleanFunction
+from repro.circuits.generators import (
+    decomposable_by_construction,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.core.engine import BiDecomposer, EngineOptions
+
+
+@pytest.fixture
+def adder3():
+    """A 3-bit ripple-carry adder AIG."""
+    return ripple_carry_adder(3)
+
+
+@pytest.fixture
+def or_decomposable_function():
+    """A function OR-decomposable by construction, with its ground truth."""
+    aig, xa, xb, xc = decomposable_by_construction("or", 3, 3, 1, seed=7)
+    return BooleanFunction.from_output(aig, "f"), xa, xb, xc
+
+
+@pytest.fixture
+def and_decomposable_function():
+    aig, xa, xb, xc = decomposable_by_construction("and", 3, 3, 1, seed=11)
+    return BooleanFunction.from_output(aig, "f"), xa, xb, xc
+
+
+@pytest.fixture
+def parity5():
+    """5-input parity (XOR-decomposable everywhere)."""
+    return BooleanFunction.from_output(parity_tree(5), "p")
+
+
+@pytest.fixture
+def decomposer():
+    """A BiDecomposer with verification enabled (slow but safe for tests)."""
+    return BiDecomposer(EngineOptions(verify=True, output_timeout=30.0))

@@ -1,0 +1,155 @@
+"""Brute-force reference implementations used as oracles in the tests.
+
+Everything here works directly on explicit truth tables (integers whose bit
+``p`` is the function value on input pattern ``p``), independently of the
+SAT, BDD and QBF machinery under test.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def truth_table_of(function) -> Tuple[int, int]:
+    """Return (table, num_inputs) of a BooleanFunction."""
+    return function.truth_table(), function.num_inputs
+
+
+def evaluate_table(table: int, pattern: int) -> bool:
+    return bool((table >> pattern) & 1)
+
+
+def cofactor_table(table: int, num_inputs: int, position: int, value: bool) -> Tuple[int, int]:
+    """Cofactor a truth table with respect to input ``position``."""
+    new_table = 0
+    out_bit = 0
+    for pattern in range(1 << num_inputs):
+        if ((pattern >> position) & 1) != int(value):
+            continue
+        if evaluate_table(table, pattern):
+            new_table |= 1 << out_bit
+        out_bit += 1
+    return new_table, num_inputs - 1
+
+
+def _project(pattern: int, positions: Sequence[int]) -> Tuple[int, ...]:
+    return tuple((pattern >> p) & 1 for p in positions)
+
+
+def or_decomposable(
+    table: int, num_inputs: int, xa: Sequence[int], xb: Sequence[int]
+) -> bool:
+    """Reference OR decomposability: ``f <= (forall XB f) OR (forall XA f)``."""
+    xc = [i for i in range(num_inputs) if i not in set(xa) | set(xb)]
+    fa_max: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], bool] = {}
+    fb_max: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], bool] = {}
+    for pattern in range(1 << num_inputs):
+        key_a = (_project(pattern, xa), _project(pattern, xc))
+        key_b = (_project(pattern, xb), _project(pattern, xc))
+        value = evaluate_table(table, pattern)
+        fa_max[key_a] = fa_max.get(key_a, True) and value
+        fb_max[key_b] = fb_max.get(key_b, True) and value
+    for pattern in range(1 << num_inputs):
+        if not evaluate_table(table, pattern):
+            continue
+        key_a = (_project(pattern, xa), _project(pattern, xc))
+        key_b = (_project(pattern, xb), _project(pattern, xc))
+        if not (fa_max[key_a] or fb_max[key_b]):
+            return False
+    return True
+
+
+def and_decomposable(
+    table: int, num_inputs: int, xa: Sequence[int], xb: Sequence[int]
+) -> bool:
+    """AND decomposability: the dual of the OR condition."""
+    full = (1 << (1 << num_inputs)) - 1
+    return or_decomposable(full ^ table, num_inputs, xa, xb)
+
+
+def xor_decomposable(
+    table: int, num_inputs: int, xa: Sequence[int], xb: Sequence[int]
+) -> bool:
+    """XOR decomposability: the rectangle (rank-one over GF(2)) condition."""
+    xc = [i for i in range(num_inputs) if i not in set(xa) | set(xb)]
+    by_slice: Dict[Tuple[int, ...], Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], bool]] = {}
+    for pattern in range(1 << num_inputs):
+        slice_key = _project(pattern, xc)
+        cell = (_project(pattern, xa), _project(pattern, xb))
+        by_slice.setdefault(slice_key, {})[cell] = evaluate_table(table, pattern)
+    for cells in by_slice.values():
+        a_values = sorted({cell[0] for cell in cells})
+        b_values = sorted({cell[1] for cell in cells})
+        a0, b0 = a_values[0], b_values[0]
+        for a in a_values:
+            for b in b_values:
+                expected = cells[(a, b0)] ^ cells[(a0, b)] ^ cells[(a0, b0)]
+                if cells[(a, b)] != expected:
+                    return False
+    return True
+
+
+def decomposable(
+    table: int, num_inputs: int, operator: str, xa: Sequence[int], xb: Sequence[int]
+) -> bool:
+    if operator == "or":
+        return or_decomposable(table, num_inputs, xa, xb)
+    if operator == "and":
+        return and_decomposable(table, num_inputs, xa, xb)
+    if operator == "xor":
+        return xor_decomposable(table, num_inputs, xa, xb)
+    raise ValueError(operator)
+
+
+def all_nontrivial_partitions(num_inputs: int) -> Iterable[Tuple[List[int], List[int], List[int]]]:
+    """Enumerate all non-trivial partitions (XA, XB, XC) of input positions."""
+    for assignment in product((0, 1, 2), repeat=num_inputs):
+        xa = [i for i, a in enumerate(assignment) if a == 0]
+        xb = [i for i, a in enumerate(assignment) if a == 1]
+        xc = [i for i, a in enumerate(assignment) if a == 2]
+        if not xa or not xb:
+            continue
+        yield xa, xb, xc
+
+
+def best_metric(
+    table: int, num_inputs: int, operator: str, metric: str
+) -> Optional[int]:
+    """Brute-force optimum of a discrete metric over decomposable partitions.
+
+    ``metric`` is ``"shared"`` (|XC|), ``"imbalance"`` (||XA|-|XB||) or
+    ``"combined"``.  Returns ``None`` when no non-trivial partition is
+    decomposable.
+    """
+    best: Optional[int] = None
+    for xa, xb, xc in all_nontrivial_partitions(num_inputs):
+        if not decomposable(table, num_inputs, operator, xa, xb):
+            continue
+        if metric == "shared":
+            value = len(xc)
+        elif metric == "imbalance":
+            value = abs(len(xa) - len(xb))
+        elif metric == "combined":
+            value = len(xc) + abs(len(xa) - len(xb))
+        else:
+            raise ValueError(metric)
+        if best is None or value < best:
+            best = value
+    return best
+
+
+def brute_force_sat(clauses: Sequence[Sequence[int]], num_vars: int) -> Optional[Dict[int, bool]]:
+    """Brute-force SAT solving for tiny CNFs (oracle for the CDCL solver)."""
+    for bits in range(1 << num_vars):
+        assignment = {v: bool((bits >> (v - 1)) & 1) for v in range(1, num_vars + 1)}
+        ok = True
+        for clause in clauses:
+            if not any(
+                assignment[abs(l)] if l > 0 else not assignment[abs(l)] for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return assignment
+    return None

@@ -1,0 +1,129 @@
+"""Tests for BDD-based bi-decomposition (also the oracle for the SAT checks)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.function import BooleanFunction
+from repro.bdd.bidec_bdd import (
+    bdd_and_decompose,
+    bdd_check_decomposable,
+    bdd_or_decompose,
+    bdd_xor_decompose,
+)
+from repro.circuits.generators import decomposable_by_construction, parity_tree
+from repro.errors import DecompositionError
+
+from tests.reference import decomposable as reference_decomposable
+
+
+def _function_of(table, n):
+    return BooleanFunction.from_truth_table(table, n)
+
+
+class TestKnownCases:
+    def test_or_of_disjoint_blocks(self):
+        # f = (x0 AND x1) OR (x2 AND x3) is OR-decomposable with XA = {x0, x1}.
+        table = 0
+        for pattern in range(16):
+            bits = [(pattern >> i) & 1 for i in range(4)]
+            if (bits[0] and bits[1]) or (bits[2] and bits[3]):
+                table |= 1 << pattern
+        f = _function_of(table, 4)
+        names = f.input_names
+        assert bdd_check_decomposable(f, "or", names[:2], names[2:], [])
+        aig, xa, xb, xc = decomposable_by_construction("or", 2, 2, 0, seed=1)
+        g = BooleanFunction.from_output(aig, "f")
+        assert bdd_check_decomposable(g, "or", xa, xb, xc)
+
+    def test_parity_is_xor_decomposable_everywhere(self):
+        f = BooleanFunction.from_output(parity_tree(4), "p")
+        names = f.input_names
+        assert bdd_check_decomposable(f, "xor", names[:2], names[2:], [])
+        assert bdd_check_decomposable(f, "xor", [names[0]], names[1:], [])
+
+    def test_and_case_via_duality(self):
+        aig, xa, xb, xc = decomposable_by_construction("and", 2, 2, 1, seed=5)
+        f = BooleanFunction.from_output(aig, "f")
+        assert bdd_check_decomposable(f, "and", xa, xb, xc)
+
+    def test_invalid_partition_rejected(self):
+        f = _function_of(0b0110, 2)
+        with pytest.raises(DecompositionError):
+            bdd_check_decomposable(f, "or", ["x0"], ["x0"], ["x1"])
+        with pytest.raises(DecompositionError):
+            bdd_check_decomposable(f, "or", ["x0"], ["zzz"], [])
+
+    def test_unknown_operator_rejected(self):
+        f = _function_of(0b0110, 2)
+        with pytest.raises(DecompositionError):
+            bdd_check_decomposable(f, "nand", ["x0"], ["x1"], [])
+
+
+class TestExtraction:
+    def _verify(self, f, fa, fb, operator):
+        combined = fa.combine(fb, operator)
+        assert combined.semantically_equal(f)
+
+    def test_or_extraction(self):
+        aig, xa, xb, xc = decomposable_by_construction("or", 2, 2, 1, seed=2)
+        f = BooleanFunction.from_output(aig, "f")
+        pair = bdd_or_decompose(f, xa, xb, xc)
+        assert pair is not None
+        self._verify(f, pair[0], pair[1], "or")
+
+    def test_and_extraction(self):
+        aig, xa, xb, xc = decomposable_by_construction("and", 2, 2, 1, seed=3)
+        f = BooleanFunction.from_output(aig, "f")
+        pair = bdd_and_decompose(f, xa, xb, xc)
+        assert pair is not None
+        self._verify(f, pair[0], pair[1], "and")
+
+    def test_xor_extraction(self):
+        f = BooleanFunction.from_output(parity_tree(4), "p")
+        names = f.input_names
+        pair = bdd_xor_decompose(f, names[:2], names[2:], [])
+        assert pair is not None
+        self._verify(f, pair[0], pair[1], "xor")
+
+    def test_non_decomposable_returns_none(self):
+        # 2-input XOR is not OR-decomposable with disjoint singletons.
+        f = _function_of(0b0110, 2)
+        assert bdd_or_decompose(f, ["x0"], ["x1"], []) is None
+
+    def test_extracted_functions_respect_partition(self):
+        aig, xa, xb, xc = decomposable_by_construction("or", 3, 2, 1, seed=9)
+        f = BooleanFunction.from_output(aig, "f")
+        pair = bdd_or_decompose(f, xa, xb, xc)
+        assert pair is not None
+        fa, fb = pair
+        assert set(fa.support_names()) <= set(xa) | set(xc)
+        assert set(fb.support_names()) <= set(xb) | set(xc)
+
+
+class TestAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.sampled_from(["or", "and", "xor"]),
+        st.integers(min_value=0, max_value=80),
+    )
+    def test_matches_truth_table_reference(self, table, operator, partition_seed):
+        n = 4
+        f = _function_of(table, n)
+        positions = list(range(n))
+        # Derive a pseudo-random non-trivial partition from the seed.
+        xa = [p for p in positions if (partition_seed >> p) & 1]
+        xb = [p for p in positions if not ((partition_seed >> p) & 1) and ((partition_seed >> (p + 4)) & 1)]
+        if not xa or not xb:
+            return
+        xc = [p for p in positions if p not in xa and p not in xb]
+        names = f.input_names
+        expected = reference_decomposable(table, n, operator, xa, xb)
+        actual = bdd_check_decomposable(
+            f,
+            operator,
+            [names[i] for i in xa],
+            [names[i] for i in xb],
+            [names[i] for i in xc],
+        )
+        assert actual == expected

@@ -1,0 +1,95 @@
+"""Tests for the ``step`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.blif import parse_blif, read_blif
+
+
+@pytest.fixture
+def adder_blif(tmp_path):
+    path = tmp_path / "adder.blif"
+    assert main(["generate", "rca", "--width", "2", "--out", str(path)]) == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_decompose_defaults(self):
+        args = build_parser().parse_args(["decompose", "foo.blif"])
+        assert args.operator == "or"
+        assert args.engine is None
+
+    def test_engine_repeatable(self):
+        args = build_parser().parse_args(
+            ["decompose", "foo.blif", "--engine", "STEP-QD", "--engine", "LJH"]
+        )
+        assert args.engine == ["STEP-QD", "LJH"]
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decompose", "foo.blif", "--engine", "XYZ"])
+
+
+class TestGenerate:
+    def test_generate_writes_parseable_blif(self, adder_blif):
+        aig = read_blif(adder_blif)
+        assert len(aig.inputs) == 4
+        assert len(aig.outputs) == 3
+
+    def test_generate_bench_extension(self, tmp_path):
+        path = tmp_path / "parity.bench"
+        assert main(["generate", "parity", "--width", "3", "--out", str(path)]) == 0
+        assert "INPUT" in path.read_text()
+
+    def test_generate_unknown_family(self, tmp_path, capsys):
+        path = tmp_path / "x.blif"
+        assert main(["generate", "nonsense", "--out", str(path)]) == 1
+        assert "unknown circuit family" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_on_generated_circuit(self, adder_blif, capsys):
+        assert main(["info", adder_blif]) == 0
+        out = capsys.readouterr().out
+        assert "inputs   : 4" in out
+        assert "#InM" in out
+
+    def test_info_on_library_circuit(self, capsys):
+        assert main(["info", "c17"]) == 0
+        assert "outputs  : 2" in capsys.readouterr().out
+
+
+class TestDecompose:
+    def test_decompose_generated_circuit(self, adder_blif, capsys):
+        code = main(
+            [
+                "decompose",
+                adder_blif,
+                "--engine",
+                "STEP-MG",
+                "--engine",
+                "STEP-QD",
+                "--max-outputs",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "STEP-MG" in out and "STEP-QD" in out
+        assert "#Dec" in out
+
+    def test_decompose_library_circuit_with_verify(self, capsys):
+        code = main(
+            ["decompose", "majority3", "--engine", "STEP-QD", "--verify"]
+        )
+        assert code == 0
+        assert "STEP-QD" in capsys.readouterr().out
+
+    def test_decompose_default_engine(self, capsys):
+        assert main(["decompose", "full_adder", "--operator", "xor"]) == 0
+        out = capsys.readouterr().out
+        assert "STEP-QD" in out

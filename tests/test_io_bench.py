@@ -1,0 +1,118 @@
+"""Tests for the ISCAS BENCH reader and writer."""
+
+import pytest
+
+from repro.aig.function import BooleanFunction
+from repro.errors import ParseError
+from repro.io.bench import aig_to_bench, parse_bench, read_bench, write_bench
+
+SIMPLE_BENCH = """
+# tiny example
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+OUTPUT(g)
+t1 = AND(a, b)
+f = OR(t1, c)
+g = NOT(a)
+"""
+
+
+class TestParsing:
+    def test_structure(self):
+        aig = parse_bench(SIMPLE_BENCH)
+        assert len(aig.inputs) == 3
+        assert [name for name, _ in aig.outputs] == ["f", "g"]
+
+    def test_semantics(self):
+        aig = parse_bench(SIMPLE_BENCH)
+        f = BooleanFunction.from_output(aig, "f")
+        assert f.evaluate({"a": True, "b": True, "c": False}) is True
+        assert f.evaluate({"a": False, "b": True, "c": False}) is False
+
+    @pytest.mark.parametrize(
+        "gate,table",
+        [
+            ("AND", 0b1000),
+            ("NAND", 0b0111),
+            ("OR", 0b1110),
+            ("NOR", 0b0001),
+            ("XOR", 0b0110),
+            ("XNOR", 0b1001),
+        ],
+    )
+    def test_gate_types(self, gate, table):
+        text = f"INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = {gate}(a, b)\n"
+        aig = parse_bench(text)
+        assert BooleanFunction.from_output(aig, "f").truth_table() == table
+
+    def test_multi_input_gates(self):
+        text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(f)\nf = NAND(a, b, c)\n"
+        aig = parse_bench(text)
+        f = BooleanFunction.from_output(aig, "f")
+        assert f.evaluate({"a": True, "b": True, "c": True}) is False
+        assert f.evaluate({"a": True, "b": True, "c": False}) is True
+
+    def test_buff_and_constants(self):
+        text = "INPUT(a)\nOUTPUT(f)\nOUTPUT(g)\nf = BUFF(a)\ng = AND(a, vdd)\n"
+        aig = parse_bench(text)
+        assert BooleanFunction.from_output(aig, "f").truth_table() == 0b10
+        assert BooleanFunction.from_output(aig, "g").truth_table() == 0b10
+
+    def test_dff_becomes_latch(self):
+        text = "INPUT(a)\nOUTPUT(f)\nq = DFF(a)\nf = AND(q, a)\n"
+        aig = parse_bench(text)
+        assert len(aig.latches) == 1
+        comb = aig.make_combinational()
+        assert len(comb.inputs) == 2
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nf = MAJ3(a, a, a)\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nthis is not a gate\n")
+
+    def test_undriven_signal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n")
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nf = NOT(a)\nf = BUFF(a)\n")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nf = AND(a, g)\ng = AND(a, f)\n")
+
+
+class TestWriting:
+    def test_roundtrip_semantics(self):
+        original = parse_bench(SIMPLE_BENCH)
+        reparsed = parse_bench(aig_to_bench(original))
+        for name in ("f", "g"):
+            assert BooleanFunction.from_output(original, name).semantically_equal(
+                BooleanFunction.from_output(reparsed, name)
+            )
+
+    def test_roundtrip_with_dff(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nq = DFF(t)\nt = XOR(a, q)\nf = AND(q, b)\n"
+        original = parse_bench(text)
+        reparsed = parse_bench(aig_to_bench(original))
+        assert len(reparsed.latches) == 1
+        comb1, comb2 = original.make_combinational(), reparsed.make_combinational()
+        for name in [n for n, _ in comb1.outputs]:
+            assert BooleanFunction.from_output(comb1, name).semantically_equal(
+                BooleanFunction.from_output(comb2, name)
+            )
+
+    def test_file_roundtrip(self, tmp_path):
+        original = parse_bench(SIMPLE_BENCH)
+        path = tmp_path / "tiny.bench"
+        write_bench(original, str(path))
+        loaded = read_bench(str(path))
+        assert BooleanFunction.from_output(loaded, "f").semantically_equal(
+            BooleanFunction.from_output(original, "f")
+        )

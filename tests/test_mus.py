@@ -1,0 +1,104 @@
+"""Tests for MUS and group-MUS extraction."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.sat.mus import GroupMusExtractor, MusExtractor
+
+from tests.reference import brute_force_sat
+
+
+def _is_unsat(clauses, num_vars):
+    return brute_force_sat(clauses, num_vars) is None
+
+
+class TestMusExtractor:
+    def test_simple_core(self):
+        soft = [[1], [-1], [2], [3, 4]]
+        extractor = MusExtractor(soft)
+        mus = extractor.compute()
+        assert sorted(mus) == [0, 1]
+
+    def test_mus_is_unsatisfiable(self):
+        soft = [[1, 2], [-1, 2], [1, -2], [-1, -2], [3]]
+        extractor = MusExtractor(soft)
+        mus = extractor.compute()
+        chosen = [soft[i] for i in mus]
+        assert _is_unsat(chosen, 3)
+
+    def test_mus_is_minimal(self):
+        soft = [[1, 2], [-1, 2], [1, -2], [-1, -2], [3], [-3]]
+        extractor = MusExtractor(soft)
+        mus = extractor.compute()
+        chosen = [soft[i] for i in mus]
+        assert _is_unsat(chosen, 3)
+        for index in range(len(chosen)):
+            reduced = chosen[:index] + chosen[index + 1 :]
+            assert not _is_unsat(reduced, 3), "MUS is not minimal"
+
+    def test_satisfiable_input_rejected(self):
+        extractor = MusExtractor([[1], [2]])
+        with pytest.raises(SolverError):
+            extractor.compute()
+
+    def test_hard_clauses_not_in_mus(self):
+        # Hard clause (x1) together with soft (-x1) is unsatisfiable; the MUS
+        # over soft clauses contains only the soft one.
+        extractor = MusExtractor([[-1], [2]], hard_clauses=[[1]])
+        assert extractor.compute() == [0]
+
+    def test_statistics_recorded(self):
+        extractor = MusExtractor([[1], [-1]])
+        extractor.compute()
+        assert extractor.stats.sat_calls >= 1
+        assert extractor.stats.final_groups == 2
+
+
+class TestGroupMusExtractor:
+    def test_group_level_minimality(self):
+        extractor = GroupMusExtractor()
+        extractor.add_group("p", [[1], [-1, 2]])
+        extractor.add_group("q", [[-2]])
+        extractor.add_group("r", [[3, 4]])
+        mus = extractor.compute()
+        assert sorted(mus) == ["p", "q"]
+
+    def test_duplicate_group_rejected(self):
+        extractor = GroupMusExtractor()
+        extractor.add_group("g", [[1]])
+        with pytest.raises(SolverError):
+            extractor.add_group("g", [[2]])
+
+    def test_is_unsat_with_subset(self):
+        extractor = GroupMusExtractor()
+        extractor.add_group("a", [[1]])
+        extractor.add_group("b", [[-1]])
+        extractor.add_group("c", [[2]])
+        assert extractor.is_unsat_with(["a", "b"]) is True
+        assert extractor.is_unsat_with(["a", "c"]) is False
+
+    def test_group_with_hard_clauses(self):
+        extractor = GroupMusExtractor(hard_clauses=[[-1, -2]])
+        extractor.add_group("x1", [[1]])
+        extractor.add_group("x2", [[2]])
+        extractor.add_group("free", [[3]])
+        mus = extractor.compute()
+        assert sorted(mus) == ["x1", "x2"]
+
+    def test_satisfiable_groups_rejected(self):
+        extractor = GroupMusExtractor()
+        extractor.add_group("a", [[1]])
+        with pytest.raises(SolverError):
+            extractor.compute()
+
+    def test_each_group_in_mus_is_necessary(self):
+        extractor = GroupMusExtractor()
+        extractor.add_group("a", [[1, 2]])
+        extractor.add_group("b", [[-1, 2]])
+        extractor.add_group("c", [[1, -2]])
+        extractor.add_group("d", [[-1, -2]])
+        extractor.add_group("e", [[3]])
+        mus = extractor.compute()
+        assert sorted(mus) == ["a", "b", "c", "d"]
+        for dropped in mus:
+            assert extractor.is_unsat_with([g for g in mus if g != dropped]) is False

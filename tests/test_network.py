@@ -1,0 +1,81 @@
+"""Tests for recursive bi-decomposition into gate networks."""
+
+import pytest
+
+from repro.aig.function import BooleanFunction
+from repro.circuits.generators import decomposable_by_construction, parity_tree
+from repro.core.engine import EngineOptions
+from repro.core.network import DecompositionNode, RecursiveDecomposer, network_to_aig
+from repro.errors import DecompositionError
+
+
+def _decomposer(**kwargs):
+    options = EngineOptions(output_timeout=20.0)
+    return RecursiveDecomposer(options=options, **kwargs)
+
+
+class TestRecursiveDecomposer:
+    def test_parity_becomes_xor_tree(self):
+        f = BooleanFunction.from_output(parity_tree(6), "p")
+        tree = _decomposer(operators=("xor",)).decompose(f)
+        assert not tree.is_leaf
+        assert tree.operator == "xor"
+        assert tree.max_leaf_support() <= 2
+        assert tree.gate_count() >= 2
+        assert tree.to_function().semantically_equal(f)
+
+    def test_or_constructed_instance(self):
+        aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=61)
+        f = BooleanFunction.from_output(aig, "f")
+        tree = _decomposer().decompose(f)
+        assert tree.to_function().semantically_equal(f)
+        assert tree.max_leaf_support() <= max(2, f.num_inputs)
+
+    def test_non_decomposable_function_is_a_leaf(self):
+        # 2-input XOR with only OR/AND allowed cannot be decomposed further.
+        f = BooleanFunction.from_truth_table(0b0110, 2)
+        tree = _decomposer(operators=("or", "and"), max_leaf_inputs=1).decompose(f)
+        assert tree.is_leaf
+        assert tree.gate_count() == 0
+        assert tree.depth() == 0
+
+    def test_small_functions_not_decomposed(self):
+        f = BooleanFunction.from_truth_table(0b0110, 2)
+        tree = _decomposer(max_leaf_inputs=3).decompose(f)
+        assert tree.is_leaf
+
+    def test_max_depth_bounds_recursion(self):
+        f = BooleanFunction.from_output(parity_tree(6), "p")
+        tree = _decomposer(operators=("xor",), max_depth=1).decompose(f)
+        assert tree.depth() <= 1
+        assert tree.to_function().semantically_equal(f)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DecompositionError):
+            RecursiveDecomposer(max_leaf_inputs=0)
+        with pytest.raises(DecompositionError):
+            RecursiveDecomposer(engine="NOPE")
+        with pytest.raises(DecompositionError):
+            RecursiveDecomposer(operators=("nand",))
+
+    def test_heuristic_engine_also_works(self):
+        aig, *_ = decomposable_by_construction("and", 3, 3, 0, seed=67)
+        f = BooleanFunction.from_output(aig, "f")
+        tree = _decomposer(engine="STEP-MG").decompose(f)
+        assert tree.to_function().semantically_equal(f)
+
+
+class TestNetworkToAig:
+    def test_flattened_network_is_equivalent(self):
+        f = BooleanFunction.from_output(parity_tree(5), "p")
+        tree = _decomposer(operators=("xor",)).decompose(f)
+        network = network_to_aig(tree, name="parity_net")
+        rebuilt = BooleanFunction.from_output(network, "f")
+        assert rebuilt.semantically_equal(f)
+
+    def test_flattened_network_for_leaf_tree(self):
+        f = BooleanFunction.from_truth_table(0b1000, 2)
+        tree = DecompositionNode(f)
+        network = network_to_aig(tree)
+        rebuilt = BooleanFunction.from_output(network, "f")
+        assert rebuilt.semantically_equal(f)

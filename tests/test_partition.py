@@ -1,0 +1,119 @@
+"""Tests for VariablePartition and the paper's quality metrics."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import VariablePartition
+from repro.errors import DecompositionError
+
+
+class TestConstruction:
+    def test_blocks_stored_as_tuples(self):
+        p = VariablePartition(["a"], ["b"], ["c"])
+        assert p.xa == ("a",) and p.xb == ("b",) and p.xc == ("c",)
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(DecompositionError):
+            VariablePartition(("a",), ("a",), ())
+
+    def test_from_alpha_beta(self):
+        p = VariablePartition.from_alpha_beta(
+            ["x", "y", "z"],
+            {"x": True, "y": False, "z": False},
+            {"x": False, "y": True, "z": False},
+        )
+        assert p.xa == ("x",) and p.xb == ("y",) and p.xc == ("z",)
+
+    def test_from_alpha_beta_rejects_both_true(self):
+        with pytest.raises(DecompositionError):
+            VariablePartition.from_alpha_beta(["x"], {"x": True}, {"x": True})
+
+    def test_membership(self):
+        p = VariablePartition(("a",), ("b",), ("c",))
+        assert p.membership() == {"a": "A", "b": "B", "c": "C"}
+
+    def test_validate_against(self):
+        p = VariablePartition(("a",), ("b",), ())
+        p.validate_against(["a", "b"])
+        with pytest.raises(DecompositionError):
+            p.validate_against(["a", "b", "c"])
+        with pytest.raises(DecompositionError):
+            p.validate_against(["a"])
+
+    def test_str_format(self):
+        assert str(VariablePartition(("a",), ("b",), ("c",))) == "{a | b | c}"
+
+
+class TestProperties:
+    def test_trivial_detection(self):
+        assert VariablePartition((), ("b",), ("c",)).is_trivial
+        assert VariablePartition(("a",), (), ()).is_trivial
+        assert not VariablePartition(("a",), ("b",), ()).is_trivial
+
+    def test_disjoint_detection(self):
+        assert VariablePartition(("a",), ("b",), ()).is_disjoint
+        assert not VariablePartition(("a",), ("b",), ("c",)).is_disjoint
+
+    def test_normalized_swaps_smaller_xa(self):
+        p = VariablePartition(("a",), ("b", "c"), ())
+        n = p.normalized()
+        assert len(n.xa) >= len(n.xb)
+        assert set(n.xa) == {"b", "c"}
+
+    def test_normalized_keeps_order_when_already_normal(self):
+        p = VariablePartition(("a", "b"), ("c",), ())
+        assert p.normalized() is p
+
+
+class TestMetrics:
+    def test_disjointness_definition(self):
+        p = VariablePartition(("a", "b"), ("c",), ("d",))
+        assert p.disjointness == Fraction(1, 4)
+
+    def test_balancedness_definition(self):
+        p = VariablePartition(("a", "b", "c"), ("d",), ())
+        assert p.balancedness == Fraction(2, 4)
+
+    def test_perfect_partition(self):
+        p = VariablePartition(("a", "b"), ("c", "d"), ())
+        assert p.disjointness == 0
+        assert p.balancedness == 0
+        assert p.cost() == 0.0
+
+    def test_cost_weights(self):
+        p = VariablePartition(("a", "b"), ("c",), ("d",))
+        assert p.cost(1.0, 0.0) == pytest.approx(0.25)
+        assert p.cost(0.0, 1.0) == pytest.approx(0.25)
+        assert p.cost(1.0, 1.0) == pytest.approx(0.5)
+
+    def test_cost_weight_bounds(self):
+        p = VariablePartition(("a",), ("b",), ())
+        with pytest.raises(DecompositionError):
+            p.cost(2.0, 0.0)
+
+    def test_discrete_counters(self):
+        p = VariablePartition(("a", "b", "c"), ("d",), ("e", "f"))
+        assert p.shared_count == 2
+        assert p.imbalance == 2
+        assert p.combined_count == 4
+
+    def test_empty_partition_metrics(self):
+        p = VariablePartition((), (), ())
+        assert p.disjointness == 0
+        assert p.balancedness == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from(["A", "B", "C"]), min_size=1, max_size=10))
+    def test_metric_ranges(self, assignment):
+        names = [f"x{i}" for i in range(len(assignment))]
+        xa = tuple(n for n, kind in zip(names, assignment) if kind == "A")
+        xb = tuple(n for n, kind in zip(names, assignment) if kind == "B")
+        xc = tuple(n for n, kind in zip(names, assignment) if kind == "C")
+        p = VariablePartition(xa, xb, xc)
+        assert 0 <= p.disjointness <= 1
+        assert 0 <= p.balancedness <= 1
+        assert p.normalized().balancedness == p.balancedness
+        assert p.normalized().disjointness == p.disjointness
+        assert p.combined_count == p.shared_count + p.imbalance

@@ -1,0 +1,220 @@
+"""Tests for resolution-proof logging and Craig interpolation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.aig import AIG
+from repro.aig.function import BooleanFunction
+from repro.aig.simulate import exhaustive_patterns, simulate_words
+from repro.errors import SolverError
+from repro.sat.interpolate import InterpolantBuilder, interpolant
+from repro.sat.proof import Proof, ResolutionChain, resolve
+from repro.sat.solver import Solver
+
+from tests.reference import brute_force_sat
+
+
+class TestResolve:
+    def test_basic_resolution(self):
+        assert resolve({1, 2}, {-1, 3}, 1) == {2, 3}
+
+    def test_symmetric_polarity(self):
+        assert resolve({-1, 2}, {1, 3}, 1) == {2, 3}
+
+    def test_missing_pivot_raises(self):
+        with pytest.raises(SolverError):
+            resolve({1, 2}, {3}, 1)
+
+
+class TestProofRecording:
+    def _refute(self, clauses):
+        solver = Solver(proof=True)
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert result.status is False
+        return solver.proof()
+
+    def test_trivial_contradiction(self):
+        proof = self._refute([[1], [-1]])
+        assert proof.has_refutation
+        assert proof.check()
+
+    def test_requires_propagation(self):
+        proof = self._refute([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        assert proof.check()
+
+    def test_pigeonhole_proof_checks(self):
+        holes = 3
+        pigeons = holes + 1
+        var = lambda p, h: p * holes + h + 1
+        clauses = []
+        for p in range(pigeons):
+            clauses.append([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        proof = self._refute(clauses)
+        assert proof.check()
+
+    def test_empty_clause_input(self):
+        solver = Solver(proof=True)
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2])
+        assert solver.solve().status is False
+        assert solver.proof().check()
+
+    def test_proof_not_available_without_flag(self):
+        solver = Solver()
+        solver.add_clause([1])
+        with pytest.raises(SolverError):
+            solver.proof()
+
+    def test_no_refutation_for_sat(self):
+        solver = Solver(proof=True)
+        solver.add_clause([1, 2])
+        assert solver.solve().status is True
+        assert not solver.proof().has_refutation
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_unsat_proofs_check(self, data):
+        num_vars = data.draw(st.integers(min_value=2, max_value=5))
+        clauses = []
+        for _ in range(data.draw(st.integers(min_value=4, max_value=18))):
+            clause = [
+                data.draw(st.integers(min_value=1, max_value=num_vars))
+                * data.draw(st.sampled_from([1, -1]))
+                for _ in range(data.draw(st.integers(min_value=1, max_value=3)))
+            ]
+            clauses.append(clause)
+        if brute_force_sat(clauses, num_vars) is not None:
+            return
+        solver = Solver(proof=True)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve().status is False
+        assert solver.proof().check()
+
+
+class TestChainReplay:
+    def test_mismatched_chain_detected(self):
+        proof = Proof()
+        a = proof.add_original([1, 2])
+        b = proof.add_original([-1, 3])
+        chain = ResolutionChain(antecedents=[a, b], pivots=[1])
+        assert proof.replay_chain(chain) == {2, 3}
+
+    def test_empty_chain_rejected(self):
+        proof = Proof()
+        with pytest.raises(SolverError):
+            proof.replay_chain(ResolutionChain(antecedents=[], pivots=[]))
+
+
+def _build_interpolation_instance(a_clauses, b_clauses, shared_vars):
+    """Solve A ∧ B (must be UNSAT) and build the interpolant as a function."""
+    solver = Solver(proof=True)
+    a_ids = []
+    for clause in a_clauses:
+        cid = solver.add_clause(clause)
+        if cid is not None:
+            a_ids.append(cid)
+    for clause in b_clauses:
+        solver.add_clause(clause)
+    result = solver.solve()
+    assert result.status is False
+    aig = AIG("itp")
+    var_map = {v: aig.add_input(f"v{v}") for v in shared_vars}
+    root = interpolant(solver.proof(), a_ids, aig, var_map)
+    aig.add_output("itp", root)
+    inputs = [aig.input_by_name(f"v{v}") for v in shared_vars]
+    return BooleanFunction(aig, root, inputs)
+
+
+def _check_interpolant_properties(a_clauses, b_clauses, num_vars):
+    a_vars = {abs(l) for c in a_clauses for l in c}
+    b_vars = {abs(l) for c in b_clauses for l in c}
+    shared = sorted(a_vars & b_vars)
+    itp = _build_interpolation_instance(a_clauses, b_clauses, shared)
+    # Property 1: A -> I.  Property 2: I AND B is unsatisfiable.
+    for bits in range(1 << num_vars):
+        assignment = {v: bool((bits >> (v - 1)) & 1) for v in range(1, num_vars + 1)}
+        a_holds = all(
+            any(assignment[abs(l)] if l > 0 else not assignment[abs(l)] for l in c)
+            for c in a_clauses
+        )
+        b_holds = all(
+            any(assignment[abs(l)] if l > 0 else not assignment[abs(l)] for l in c)
+            for c in b_clauses
+        )
+        itp_value = itp.evaluate({f"v{v}": assignment[v] for v in shared})
+        if a_holds:
+            assert itp_value, "A does not imply the interpolant"
+        if b_holds:
+            assert not itp_value, "interpolant is not inconsistent with B"
+
+
+class TestInterpolation:
+    def test_textbook_example(self):
+        # A = (x) AND (-x OR s); B = (-s OR y) AND (-y) — shared variable s.
+        a = [[1], [-1, 2]]
+        b = [[-2, 3], [-3]]
+        _check_interpolant_properties(a, b, 3)
+
+    def test_shared_only_instance(self):
+        a = [[1, 2], [1, -2]]
+        b = [[-1, 3], [-1, -3]]
+        _check_interpolant_properties(a, b, 3)
+
+    def test_unsat_inside_a(self):
+        # The refutation may live entirely inside A; the interpolant must then
+        # be false (inconsistent with the empty B condition means B arbitrary).
+        a = [[1], [-1]]
+        b = [[2, 3]]
+        _check_interpolant_properties(a, b, 3)
+
+    def test_unsat_inside_b(self):
+        a = [[1, 2]]
+        b = [[3], [-3]]
+        _check_interpolant_properties(a, b, 3)
+
+    def test_interpolant_vars_within_shared(self):
+        # A forces x2 through the A-local variable x1; B refutes x2 through
+        # the B-local variables x3 and x4.  Shared variables: {2}.
+        a = [[1], [-1, 2]]
+        b = [[-2, 3], [-3, 4], [-4]]
+        a_vars = {1, 2}
+        b_vars = {2, 3, 4}
+        shared = sorted(a_vars & b_vars)
+        itp = _build_interpolation_instance(a, b, shared)
+        assert set(itp.support_names()) <= {f"v{v}" for v in shared}
+        _check_interpolant_properties(a, b, 4)
+
+    def test_missing_shared_mapping_rejected(self):
+        solver = Solver(proof=True)
+        a_ids = [solver.add_clause([1]), solver.add_clause([-1, 2])]
+        solver.add_clause([-2])
+        assert solver.solve().status is False
+        aig = AIG("itp")
+        with pytest.raises(SolverError):
+            InterpolantBuilder(solver.proof(), [c for c in a_ids if c is not None], aig, {})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_split_interpolants(self, data):
+        num_vars = data.draw(st.integers(min_value=2, max_value=5))
+        clauses = []
+        for _ in range(data.draw(st.integers(min_value=6, max_value=16))):
+            clause = [
+                data.draw(st.integers(min_value=1, max_value=num_vars))
+                * data.draw(st.sampled_from([1, -1]))
+                for _ in range(data.draw(st.integers(min_value=1, max_value=3)))
+            ]
+            clauses.append(clause)
+        if brute_force_sat(clauses, num_vars) is not None:
+            return
+        split = data.draw(st.integers(min_value=0, max_value=len(clauses)))
+        a_clauses, b_clauses = clauses[:split], clauses[split:]
+        _check_interpolant_properties(a_clauses, b_clauses, num_vars)

@@ -1,0 +1,208 @@
+"""Tests for the QBF model building blocks (fN / fT constraints, matrix)."""
+
+from itertools import product
+
+import pytest
+
+from repro.aig.function import BooleanFunction
+from repro.core.qbf_models import (
+    ControlVariables,
+    add_balancedness_target,
+    add_combined_target,
+    add_disjointness_target,
+    add_nontrivial_constraint,
+    add_target_constraint,
+    build_matrix_function,
+    maximum_bound,
+)
+from repro.errors import DecompositionError
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+
+
+def _accepted_partitions(names, build):
+    """Enumerate (XA, XB, XC) assignments accepted by the constraint CNF."""
+    cnf = CNF()
+    controls = ControlVariables.allocate(cnf, names)
+    build(cnf, controls)
+    accepted = []
+    for assignment in product("ABC", repeat=len(names)):
+        assumptions = []
+        for name, kind in zip(names, assignment):
+            assumptions.append(controls.alpha[name] if kind == "A" else -controls.alpha[name])
+            assumptions.append(controls.beta[name] if kind == "B" else -controls.beta[name])
+        solver = Solver()
+        solver.add_cnf(cnf)
+        if solver.solve(assumptions=assumptions).status:
+            accepted.append(assignment)
+    return accepted
+
+
+class TestNontrivialConstraint:
+    def test_requires_both_blocks_nonempty(self):
+        names = ["x", "y", "z"]
+        accepted = _accepted_partitions(names, add_nontrivial_constraint)
+        assert accepted
+        for assignment in accepted:
+            assert "A" in assignment and "B" in assignment
+
+    def test_rejects_all_shared(self):
+        names = ["x", "y"]
+        accepted = _accepted_partitions(names, add_nontrivial_constraint)
+        assert ("C", "C") not in accepted
+        assert ("A", "B") in accepted and ("B", "A") in accepted
+
+
+class TestDisjointnessTarget:
+    @pytest.mark.parametrize("bound", [0, 1, 2])
+    def test_bounds_shared_count(self, bound):
+        names = ["a", "b", "c", "d"]
+
+        def build(cnf, controls):
+            add_nontrivial_constraint(cnf, controls)
+            add_disjointness_target(cnf, controls, bound)
+
+        for assignment in _accepted_partitions(names, build):
+            assert assignment.count("C") <= bound
+
+    def test_accepts_every_partition_within_bound(self):
+        names = ["a", "b", "c"]
+
+        def build(cnf, controls):
+            add_nontrivial_constraint(cnf, controls)
+            add_disjointness_target(cnf, controls, 1)
+
+        accepted = set(_accepted_partitions(names, build))
+        for assignment in product("ABC", repeat=3):
+            nontrivial = "A" in assignment and "B" in assignment
+            within = assignment.count("C") <= 1
+            assert ((assignment in accepted)) == (nontrivial and within)
+
+    def test_negative_bound_rejected(self):
+        cnf = CNF()
+        controls = ControlVariables.allocate(cnf, ["a", "b"])
+        with pytest.raises(DecompositionError):
+            add_disjointness_target(cnf, controls, -1)
+
+
+class TestBalancednessTarget:
+    @pytest.mark.parametrize("bound", [0, 1, 2])
+    def test_bounds_imbalance_and_breaks_symmetry(self, bound):
+        names = ["a", "b", "c", "d"]
+
+        def build(cnf, controls):
+            add_nontrivial_constraint(cnf, controls)
+            add_balancedness_target(cnf, controls, bound)
+
+        accepted = _accepted_partitions(names, build)
+        assert accepted
+        for assignment in accepted:
+            count_a = assignment.count("A")
+            count_b = assignment.count("B")
+            assert count_a >= count_b
+            assert count_a - count_b <= bound
+
+    def test_exactness(self):
+        names = ["a", "b", "c"]
+
+        def build(cnf, controls):
+            add_nontrivial_constraint(cnf, controls)
+            add_balancedness_target(cnf, controls, 1)
+
+        accepted = set(_accepted_partitions(names, build))
+        for assignment in product("ABC", repeat=3):
+            count_a, count_b = assignment.count("A"), assignment.count("B")
+            expected = (
+                count_a >= 1
+                and count_b >= 1
+                and count_a >= count_b
+                and count_a - count_b <= 1
+            )
+            assert (assignment in accepted) == expected
+
+
+class TestCombinedTarget:
+    @pytest.mark.parametrize("bound", [0, 1, 2])
+    def test_bounds_sum(self, bound):
+        names = ["a", "b", "c", "d"]
+
+        def build(cnf, controls):
+            add_nontrivial_constraint(cnf, controls)
+            add_combined_target(cnf, controls, bound)
+
+        accepted = _accepted_partitions(names, build)
+        for assignment in accepted:
+            count_a = assignment.count("A")
+            count_b = assignment.count("B")
+            count_c = assignment.count("C")
+            assert count_a >= count_b
+            assert count_c + count_a - count_b <= bound
+
+    def test_exactness_small(self):
+        names = ["a", "b", "c"]
+
+        def build(cnf, controls):
+            add_nontrivial_constraint(cnf, controls)
+            add_combined_target(cnf, controls, 1)
+
+        accepted = set(_accepted_partitions(names, build))
+        for assignment in product("ABC", repeat=3):
+            count_a, count_b = assignment.count("A"), assignment.count("B")
+            count_c = assignment.count("C")
+            expected = (
+                count_a >= 1
+                and count_b >= 1
+                and count_a >= count_b
+                and count_c + count_a - count_b <= 1
+            )
+            assert (assignment in accepted) == expected
+
+
+class TestDispatchAndBounds:
+    def test_add_target_constraint_dispatch(self):
+        for target in ("disjointness", "balancedness", "combined"):
+            cnf = CNF()
+            controls = ControlVariables.allocate(cnf, ["a", "b"])
+            add_target_constraint(cnf, controls, target, 0)
+        with pytest.raises(DecompositionError):
+            add_target_constraint(CNF(), ControlVariables.allocate(CNF(), ["a"]), "foo", 0)
+
+    def test_maximum_bound(self):
+        assert maximum_bound("disjointness", 5) == 3
+        assert maximum_bound("balancedness", 5) == 3
+        assert maximum_bound("combined", 5) == 6
+        with pytest.raises(DecompositionError):
+            maximum_bound("disjointness", 1)
+        with pytest.raises(DecompositionError):
+            maximum_bound("weird", 5)
+
+
+class TestMatrixFunction:
+    def test_matrix_inputs_and_names(self):
+        f = BooleanFunction.from_truth_table(0b0110, 2)
+        matrix, exist_names, universal_names = build_matrix_function(f, "or")
+        assert len(exist_names) == 4
+        assert len(universal_names) == 6
+        assert set(matrix.input_names) == set(exist_names) | set(universal_names)
+
+    def test_matrix_xor_has_fourth_copy(self):
+        f = BooleanFunction.from_truth_table(0b0110, 2)
+        matrix, _, universal_names = build_matrix_function(f, "xor")
+        assert len(universal_names) == 8
+
+    def test_matrix_semantics_on_or_case(self):
+        # For the OR check, the matrix is true iff the check formula is
+        # falsified; with all equalities enforced (alpha = beta = 0) the check
+        # formula requires f AND NOT f on identical inputs, so the matrix must
+        # be true whenever the three copies carry identical input values.
+        f = BooleanFunction.from_truth_table(0b1000, 2)  # AND
+        matrix, exist_names, universal_names = build_matrix_function(f, "or")
+        names = f.input_names
+        values = {name: False for name in exist_names}
+        for x0 in (False, True):
+            for x1 in (False, True):
+                assignment = dict(values)
+                for copy in ("x", "xp", "xpp"):
+                    assignment[f"{copy}:{names[0]}"] = x0
+                    assignment[f"{copy}:{names[1]}"] = x1
+                assert matrix.evaluate(assignment) is True

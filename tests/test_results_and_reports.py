@@ -1,0 +1,91 @@
+"""Tests for the result containers and report aggregation."""
+
+import pytest
+
+from repro.core.partition import VariablePartition
+from repro.core.result import (
+    BiDecResult,
+    CircuitReport,
+    OutputResult,
+    SearchStatistics,
+)
+
+
+def _result(engine, decomposed=True, xa=("a",), xb=("b",), xc=(), cpu=0.5):
+    partition = VariablePartition(xa, xb, xc) if decomposed else None
+    return BiDecResult(
+        engine=engine,
+        operator="or",
+        decomposed=decomposed,
+        partition=partition,
+        cpu_seconds=cpu,
+    )
+
+
+class TestSearchStatistics:
+    def test_merge_accumulates(self):
+        first = SearchStatistics(sat_calls=2, qbf_calls=1, bound_sequence=[3])
+        second = SearchStatistics(sat_calls=3, refinements=4, bound_sequence=[1, 2])
+        first.merge(second)
+        assert first.sat_calls == 5
+        assert first.refinements == 4
+        assert first.qbf_calls == 1
+        assert first.bound_sequence == [3, 1, 2]
+
+
+class TestBiDecResult:
+    def test_metrics_from_partition(self):
+        result = _result("STEP-QD", xa=("a", "b"), xb=("c",), xc=("d",))
+        assert result.disjointness == pytest.approx(0.25)
+        assert result.balancedness == pytest.approx(0.25)
+        assert result.combined_metric == pytest.approx(0.5)
+
+    def test_metrics_none_when_not_decomposed(self):
+        result = _result("LJH", decomposed=False)
+        assert result.disjointness is None
+        assert result.balancedness is None
+        assert result.combined_metric is None
+
+    def test_summary_mentions_engine_and_metrics(self):
+        assert "STEP-QB" in _result("STEP-QB").summary()
+        assert "not decomposable" in _result("LJH", decomposed=False).summary()
+
+    def test_summary_marks_optimum(self):
+        result = _result("STEP-QD")
+        result.optimum_proven = True
+        assert "(optimum)" in result.summary()
+
+
+class TestCircuitReport:
+    def _report(self):
+        report = CircuitReport(circuit="c", operator="or")
+        first = OutputResult(circuit="c", output_name="f", num_support=4)
+        first.results = {"STEP-QD": _result("STEP-QD", cpu=0.25), "LJH": _result("LJH", cpu=1.0)}
+        second = OutputResult(circuit="c", output_name="g", num_support=5)
+        second.results = {
+            "STEP-QD": _result("STEP-QD", decomposed=False, cpu=0.5),
+            "LJH": _result("LJH", cpu=0.5),
+        }
+        report.outputs = [first, second]
+        return report
+
+    def test_decomposed_count(self):
+        report = self._report()
+        assert report.decomposed_count("STEP-QD") == 1
+        assert report.decomposed_count("LJH") == 2
+        assert report.decomposed_count("STEP-MG") == 0
+
+    def test_cpu_seconds_sums_outputs(self):
+        report = self._report()
+        assert report.cpu_seconds("STEP-QD") == pytest.approx(0.75)
+        assert report.cpu_seconds("LJH") == pytest.approx(1.5)
+
+    def test_cpu_seconds_prefers_recorded_totals(self):
+        report = self._report()
+        report.total_cpu = {"STEP-QD": 2.0}
+        assert report.cpu_seconds("STEP-QD") == pytest.approx(2.0)
+
+    def test_output_result_lookup(self):
+        report = self._report()
+        assert report.outputs[0].result_for("LJH").engine == "LJH"
+        assert report.outputs[0].result_for("STEP-MG") is None

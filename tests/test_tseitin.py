@@ -1,0 +1,129 @@
+"""Tests for the gate-level Tseitin encoders (checked against truth tables)."""
+
+from itertools import product
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+from repro.sat.tseitin import (
+    encode_and,
+    encode_equiv,
+    encode_iff,
+    encode_implies,
+    encode_ite,
+    encode_or,
+    encode_relaxed_equiv,
+    encode_xor,
+)
+
+
+def _consistent_assignments(cnf, variables):
+    """All total assignments to ``variables`` satisfying ``cnf`` (brute force)."""
+    result = []
+    for bits in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        full = {v: assignment.get(v, False) for v in range(1, cnf.num_vars + 1)}
+        # Auxiliary variables beyond ``variables`` do not exist for these
+        # encoders, so evaluation over ``variables`` is total.
+        if cnf.evaluate(full):
+            result.append(assignment)
+    return result
+
+
+class TestAndOr:
+    @pytest.mark.parametrize("arity", [1, 2, 3])
+    def test_and_matches_semantics(self, arity):
+        cnf = CNF()
+        inputs = cnf.new_vars(arity)
+        out = cnf.new_var()
+        encode_and(cnf, out, inputs)
+        for assignment in _consistent_assignments(cnf, inputs + [out]):
+            assert assignment[out] == all(assignment[i] for i in inputs)
+
+    @pytest.mark.parametrize("arity", [1, 2, 3])
+    def test_or_matches_semantics(self, arity):
+        cnf = CNF()
+        inputs = cnf.new_vars(arity)
+        out = cnf.new_var()
+        encode_or(cnf, out, inputs)
+        for assignment in _consistent_assignments(cnf, inputs + [out]):
+            assert assignment[out] == any(assignment[i] for i in inputs)
+
+    def test_empty_and_is_true(self):
+        cnf = CNF()
+        out = cnf.new_var()
+        encode_and(cnf, out, [])
+        assert cnf.clauses == [(out,)]
+
+    def test_empty_or_is_false(self):
+        cnf = CNF()
+        out = cnf.new_var()
+        encode_or(cnf, out, [])
+        assert cnf.clauses == [(-out,)]
+
+    def test_negative_literal_inputs(self):
+        cnf = CNF()
+        a, b, out = cnf.new_vars(3)
+        encode_and(cnf, out, [a, -b])
+        for assignment in _consistent_assignments(cnf, [a, b, out]):
+            assert assignment[out] == (assignment[a] and not assignment[b])
+
+
+class TestXorEquiv:
+    def test_xor(self):
+        cnf = CNF()
+        a, b, out = cnf.new_vars(3)
+        encode_xor(cnf, out, a, b)
+        for assignment in _consistent_assignments(cnf, [a, b, out]):
+            assert assignment[out] == (assignment[a] != assignment[b])
+
+    def test_iff(self):
+        cnf = CNF()
+        a, b, out = cnf.new_vars(3)
+        encode_iff(cnf, out, a, b)
+        for assignment in _consistent_assignments(cnf, [a, b, out]):
+            assert assignment[out] == (assignment[a] == assignment[b])
+
+    def test_equiv(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        encode_equiv(cnf, a, b)
+        for assignment in _consistent_assignments(cnf, [a, b]):
+            assert assignment[a] == assignment[b]
+
+    def test_implies(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        encode_implies(cnf, a, b)
+        for assignment in _consistent_assignments(cnf, [a, b]):
+            assert (not assignment[a]) or assignment[b]
+
+
+class TestIte:
+    def test_ite_semantics(self):
+        cnf = CNF()
+        out, sel, t, e = cnf.new_vars(4)
+        encode_ite(cnf, out, sel, t, e)
+        for assignment in _consistent_assignments(cnf, [out, sel, t, e]):
+            expected = assignment[t] if assignment[sel] else assignment[e]
+            assert assignment[out] == expected
+
+
+class TestRelaxedEquiv:
+    def test_equality_enforced_when_control_false(self):
+        cnf = CNF()
+        a, b, relax = cnf.new_vars(3)
+        encode_relaxed_equiv(cnf, a, b, relax)
+        for assignment in _consistent_assignments(cnf, [a, b, relax]):
+            if not assignment[relax]:
+                assert assignment[a] == assignment[b]
+
+    def test_relaxed_when_control_true(self):
+        cnf = CNF()
+        a, b, relax = cnf.new_vars(3)
+        encode_relaxed_equiv(cnf, a, b, relax)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        assert solver.solve(assumptions=[relax, a, -b]).status is True
+        assert solver.solve(assumptions=[-relax, a, -b]).status is False
