@@ -82,3 +82,55 @@ def test_table4_optimum_proof_runtime(benchmark):
 
     result = benchmark(run)
     assert result.decomposed and result.optimum_proven
+
+
+def main(argv=None) -> int:
+    """Stand-alone smoke entry point (used by CI): ``--quick`` shrinks the sweep.
+
+    The quick mode decomposes two outputs per circuit with STEP-MG + STEP-QD
+    only, prints the solved-percentage table and fails (non-zero exit) if no
+    output was decomposed at all — a cheap end-to-end check that the whole
+    pipeline (generators, scheduler, SAT/QBF engines, reporting) still runs.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Table IV smoke runner")
+    parser.add_argument("--quick", action="store_true", help="reduced sweep")
+    args = parser.parse_args(argv)
+
+    from repro.core.spec import ENGINE_STEP_MG
+
+    config = CONFIG
+    if args.quick:
+        config = SweepConfig(
+            operator="or",
+            engines=(ENGINE_STEP_MG, ENGINE_STEP_QD),
+            max_outputs=2,
+            output_timeout=10.0,
+            per_call_timeout=1.0,
+        )
+    sweep = run_sweep(config)
+    attempted = decomposed = 0
+    for _, report in sweep:
+        for output in report.outputs:
+            result = output.results.get(ENGINE_STEP_QD)
+            if result is None:
+                continue
+            attempted += 1
+            if result.decomposed:
+                decomposed += 1
+    cache_hits = sum(report.schedule.get("cache_hits", 0) for _, report in sweep)
+    print(
+        f"quick sweep: {len(sweep)} circuits, STEP-QD attempted {attempted} "
+        f"outputs, decomposed {decomposed}, scheduler cache hits {cache_hits}"
+    )
+    if decomposed == 0:
+        print("smoke failure: no output decomposed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -43,7 +43,13 @@ DEFAULT_PER_CALL_TIMEOUT = 2.0
 
 @dataclass(frozen=True)
 class SweepConfig:
-    """One experiment sweep: which engines decompose which suite how."""
+    """One experiment sweep: which engines decompose which suite how.
+
+    ``jobs`` and ``dedup`` are forwarded to the batch scheduler
+    (:mod:`repro.core.scheduler`); any combination produces
+    fingerprint-identical reports, so sweeps cached under one configuration
+    remain comparable to sweeps run under another.
+    """
 
     operator: str = "or"
     engines: Tuple[str, ...] = ALL_ENGINES
@@ -51,6 +57,8 @@ class SweepConfig:
     max_outputs: int = DEFAULT_MAX_OUTPUTS
     output_timeout: float = DEFAULT_OUTPUT_TIMEOUT
     per_call_timeout: float = DEFAULT_PER_CALL_TIMEOUT
+    jobs: int = 1
+    dedup: bool = True
 
 
 _SWEEP_CACHE: Dict[SweepConfig, List[Tuple[BenchmarkCircuit, CircuitReport]]] = {}
@@ -64,6 +72,8 @@ def run_sweep(config: SweepConfig) -> List[Tuple[BenchmarkCircuit, CircuitReport
         per_call_timeout=config.per_call_timeout,
         output_timeout=config.output_timeout,
         extract=False,
+        jobs=config.jobs,
+        dedup=config.dedup,
     )
     step = BiDecomposer(options)
     results = []

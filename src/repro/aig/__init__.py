@@ -13,11 +13,14 @@ pure-Python replacement providing exactly those services:
 * :mod:`repro.aig.simulate` — bit-parallel simulation.
 * :mod:`repro.aig.cnf` — Tseitin encoding of cones into CNF.
 * :mod:`repro.aig.support` — structural and functional support computation.
+* :mod:`repro.aig.signature` — structural cone signatures and the memo cache
+  behind the batch scheduler's duplicate-cone dedup.
 """
 
 from repro.aig.aig import AIG, AigLiteral, FALSE_LIT, TRUE_LIT
 from repro.aig.function import BooleanFunction
 from repro.aig.cnf import cone_to_cnf, CnfMapping
+from repro.aig.signature import ConeCache, cone_signature
 from repro.aig.simulate import simulate, simulate_words
 from repro.aig.support import structural_support, functional_support
 
@@ -29,6 +32,8 @@ __all__ = [
     "BooleanFunction",
     "cone_to_cnf",
     "CnfMapping",
+    "ConeCache",
+    "cone_signature",
     "simulate",
     "simulate_words",
     "structural_support",

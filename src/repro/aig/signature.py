@@ -1,0 +1,109 @@
+"""Structural cone signatures and the decomposition memo cache.
+
+Multi-output circuits routinely drive several primary outputs with the same
+cone (buffered outputs, replicated slices, generator-produced circuits).
+Decomposing each such output from scratch repeats the exact same partition
+search, so the batch scheduler (:mod:`repro.core.scheduler`) memoises
+per-cone work keyed by a *structural signature*.
+
+The signature serialises the cone in its DFS (``AIG.cone_nodes``) order with
+every input replaced by its position in the function's input list.  Two
+cones with equal signatures are structurally identical up to a
+position-respecting renaming of their inputs: the per-output decomposition
+pipeline (CNF encoding, SAT search, QBF refinement) is a deterministic
+function of exactly this structure, so the memoised result — with input
+names mapped positionally — is the result a fresh run would have produced.
+
+Isomorphic cones whose traversal orders differ (e.g. commuted fanins from a
+different construction history) hash differently and simply miss the cache;
+a miss is never incorrect, only unexploited sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG, AigLiteral, lit_var
+from repro.errors import AigError
+
+ConeSignature = Tuple
+
+
+def cone_signature(aig: AIG, root: AigLiteral, inputs: Sequence[int]) -> ConeSignature:
+    """Canonical structural key of the cone of ``root`` over ``inputs``.
+
+    ``inputs`` is the function's ordered input node list (as in
+    :class:`repro.aig.function.BooleanFunction`); every input of the cone
+    must appear in it.  The returned tuple is hashable and equal for cones
+    that are structurally identical modulo input renaming (matched by
+    position) and node renumbering (matched by traversal order).
+    """
+    if lit_var(root) == 0:
+        # Same (num_inputs, gates, root) shape as gate cones so consumers can
+        # treat signatures uniformly; the tuple root marker cannot collide
+        # with a gate cone's integer root edge.
+        return (len(inputs), (), ("const", root))
+    position: Dict[int, int] = {node: pos for pos, node in enumerate(inputs)}
+    # Sequence ids: inputs take their positions, gates are numbered on from
+    # len(inputs) in cone traversal order.
+    seq: Dict[int, int] = {}
+    next_gate = len(inputs)
+    gates: List[Tuple[int, int]] = []
+    for index in aig.cone_nodes([root]):
+        if aig.is_and(index):
+            fanin0, fanin1 = aig.fanins(index)
+            edge0 = 2 * seq[lit_var(fanin0)] + (fanin0 & 1)
+            edge1 = 2 * seq[lit_var(fanin1)] + (fanin1 & 1)
+            seq[index] = next_gate
+            next_gate += 1
+            gates.append((edge0, edge1))
+        else:
+            if index not in position:
+                raise AigError(
+                    f"cone input {aig.input_name(index)} is not among the "
+                    "declared function inputs"
+                )
+            seq[index] = position[index]
+    root_edge = 2 * seq[lit_var(root)] + (root & 1)
+    return (len(inputs), tuple(gates), root_edge)
+
+
+class ConeCache:
+    """A memo cache with hit/miss accounting, keyed by hashable cone keys.
+
+    The scheduler stores one entry per unique (signature, name-order) key;
+    ``enabled=False`` turns every lookup into a miss so a single code path
+    serves both the deduplicating and the always-recompute configurations.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._store: Dict[Hashable, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def lookup(self, key: Hashable) -> Optional[object]:
+        """Return the cached value or ``None``, updating hit/miss counters."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, key: Hashable, value: object) -> None:
+        if self.enabled:
+            self._store[key] = value
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

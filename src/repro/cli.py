@@ -63,6 +63,9 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         per_call_timeout=args.qbf_timeout,
         output_timeout=args.output_timeout,
         verify=args.verify,
+        jobs=args.jobs,
+        dedup=not args.no_dedup,
+        seed=args.seed,
     )
     step = BiDecomposer(options)
     engines = args.engine or ["STEP-QD"]
@@ -81,6 +84,13 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         decomposed = report.decomposed_count(engine)
         cpu = report.cpu_seconds(engine)
         print(f"{engine:>10}: #Dec = {decomposed:4d}   CPU = {cpu:8.2f} s")
+    schedule = report.schedule
+    if schedule:
+        print(
+            f"{'schedule':>10}: jobs = {schedule.get('jobs', 1)}   "
+            f"unique cones = {schedule.get('unique_cones', 0)}   "
+            f"cache hits = {schedule.get('cache_hits', 0)}"
+        )
     return 0
 
 
@@ -125,6 +135,27 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--circuit-timeout", type=float, default=None)
     decompose.add_argument("--max-outputs", type=int, default=None)
     decompose.add_argument("--verify", action="store_true")
+    decompose.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the batch scheduler (default: 1)",
+    )
+    decompose.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable structural dedup of identical output cones",
+    )
+    decompose.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help=(
+            "run seed mixed into per-output job seeds (reserved for future "
+            "stochastic components; current engines are deterministic, so "
+            "results do not depend on it) (default: 0)"
+        ),
+    )
     decompose.set_defaults(handler=_cmd_decompose)
 
     generate = sub.add_parser("generate", help="write a generated benchmark circuit")

@@ -76,11 +76,39 @@ class EngineOptions:
     qbf_backend: str = "specialised"
     min_support: int = 2
     max_support: Optional[int] = None
+    # Batch-scheduler knobs (see repro.core.scheduler): worker processes per
+    # circuit, structural dedup of identical cones, and the run seed from
+    # which per-output job seeds are derived.
+    jobs: int = 1
+    dedup: bool = True
+    seed: int = 0
 
     def __post_init__(self) -> None:
         self.extraction = check_extraction(self.extraction)
         if self.qbf_strategy not in qbf_bidec.STRATEGIES:
             raise DecompositionError(f"unknown QBF strategy {self.qbf_strategy!r}")
+        if self.jobs < 1:
+            raise DecompositionError("jobs must be at least 1")
+
+
+def extract_and_verify(
+    function: BooleanFunction,
+    operator: str,
+    partition: VariablePartition,
+    options: "EngineOptions",
+) -> Tuple[BooleanFunction, BooleanFunction]:
+    """Extract ``fA``/``fB`` for a found partition, verifying if configured.
+
+    The single extraction policy shared by the sequential driver, the batch
+    scheduler's parent-side extraction of worker results and its cache
+    replay — keeping all three result paths byte-identical.
+    """
+    fa, fb = extract_functions(
+        function, operator, partition, method=options.extraction
+    )
+    if options.verify:
+        verify_decomposition(function, operator, fa, fb, partition)
+    return fa, fb
 
 
 class BiDecomposer:
@@ -130,13 +158,9 @@ class BiDecomposer:
                     backend=self.options.qbf_backend,
                 )
         if result.decomposed and result.partition is not None and self.options.extract:
-            result.fa, result.fb = extract_functions(
-                function, operator, result.partition, method=self.options.extraction
+            result.fa, result.fb = extract_and_verify(
+                function, operator, result.partition, self.options
             )
-            if self.options.verify:
-                verify_decomposition(
-                    function, operator, result.fa, result.fb, result.partition
-                )
         return result
 
     def decompose_function_all(
@@ -177,9 +201,16 @@ class BiDecomposer:
         operator: str,
         engines: Sequence[str],
         circuit_name: Optional[str] = None,
+        function: Optional[BooleanFunction] = None,
     ) -> OutputResult:
-        """Decompose one primary output with the requested engines."""
-        function = BooleanFunction.from_output(aig, output)
+        """Decompose one primary output with the requested engines.
+
+        ``function`` optionally supplies the output's already-extracted cone
+        (the batch scheduler builds it during planning) to avoid a second
+        support traversal.
+        """
+        if function is None:
+            function = BooleanFunction.from_output(aig, output)
         name = output if isinstance(output, str) else aig.outputs[output][0]
         record = OutputResult(
             circuit=circuit_name or aig.name,
@@ -204,33 +235,39 @@ class BiDecomposer:
         circuit_timeout: Optional[float] = None,
         max_outputs: Optional[int] = None,
         circuit_name: Optional[str] = None,
+        jobs: Optional[int] = None,
+        dedup: Optional[bool] = None,
     ) -> CircuitReport:
         """Decompose every primary output of a circuit.
 
         Sequential circuits are made combinational first (the ABC ``comb``
         step of the paper's flow).  ``circuit_timeout`` mirrors the paper's
         per-circuit budget; outputs past the deadline are skipped.
+
+        The per-output work is planned and executed by
+        :class:`repro.core.scheduler.BatchScheduler`: structurally identical
+        cones are decomposed once (``dedup``) and unique cones can fan out to
+        ``jobs`` worker processes; both knobs default to the engine options.
+        The report is fingerprint-identical for every (jobs, dedup)
+        combination, provided no engine call is truncated by its wall-clock
+        budget (truncation reflects machine load, which no mode controls).
         """
-        operator = check_operator(operator)
-        engines = [check_engine(e) for e in engines]
-        if aig.latches:
-            aig = aig.make_combinational()
-        report = CircuitReport(circuit=circuit_name or aig.name, operator=operator)
-        deadline = Deadline(circuit_timeout) if circuit_timeout is not None else None
-        totals: Dict[str, float] = {engine: 0.0 for engine in engines}
-        for index, (name, _) in enumerate(aig.outputs):
-            if max_outputs is not None and index >= max_outputs:
-                break
-            if deadline is not None and deadline.expired:
-                break
-            record = self.decompose_output(
-                aig, name, operator, engines, circuit_name=report.circuit
-            )
-            report.outputs.append(record)
-            for engine, result in record.results.items():
-                totals[engine] = totals.get(engine, 0.0) + result.cpu_seconds
-        report.total_cpu = totals
-        return report
+        from repro.core.scheduler import BatchScheduler
+
+        scheduler = BatchScheduler(
+            self,
+            jobs=self.options.jobs if jobs is None else jobs,
+            dedup=self.options.dedup if dedup is None else dedup,
+            seed=self.options.seed,
+        )
+        return scheduler.run(
+            aig,
+            operator,
+            engines,
+            circuit_timeout=circuit_timeout,
+            max_outputs=max_outputs,
+            circuit_name=circuit_name,
+        )
 
     # -- BDD baseline -----------------------------------------------------------------
 

@@ -20,13 +20,19 @@ from repro.core.partition import VariablePartition
 
 @dataclass
 class SearchStatistics:
-    """Solver-level statistics accumulated while searching for a partition."""
+    """Solver-level statistics accumulated while searching for a partition.
+
+    ``cache_hits`` is set by the batch scheduler when the result was replayed
+    from the cone memo cache instead of being searched for; the remaining
+    counters then describe the original (memoised) search.
+    """
 
     sat_calls: int = 0
     qbf_iterations: int = 0
     qbf_calls: int = 0
     refinements: int = 0
     conflicts: int = 0
+    cache_hits: int = 0
     bound_sequence: List[int] = field(default_factory=list)
 
     def merge(self, other: "SearchStatistics") -> None:
@@ -35,7 +41,19 @@ class SearchStatistics:
         self.qbf_calls += other.qbf_calls
         self.refinements += other.refinements
         self.conflicts += other.conflicts
+        self.cache_hits += other.cache_hits
         self.bound_sequence.extend(other.bound_sequence)
+
+    def copy(self) -> "SearchStatistics":
+        return SearchStatistics(
+            sat_calls=self.sat_calls,
+            qbf_iterations=self.qbf_iterations,
+            qbf_calls=self.qbf_calls,
+            refinements=self.refinements,
+            conflicts=self.conflicts,
+            cache_hits=self.cache_hits,
+            bound_sequence=list(self.bound_sequence),
+        )
 
 
 @dataclass
@@ -89,6 +107,36 @@ class BiDecResult:
             f"[{self.cpu_seconds:.3f}s]"
         )
 
+    def fingerprint(self) -> tuple:
+        """Canonical decomposition content, excluding timing and cache marks.
+
+        Two results with equal fingerprints represent the same decomposition
+        found by the same search (same partition, same proof status, same
+        solver work).  ``cpu_seconds`` and ``stats.cache_hits`` are excluded:
+        they describe *how long* and *where* the result was computed, not
+        *what* was computed — the batch scheduler's identity guarantee
+        (batched == sequential) is stated over this fingerprint.
+        """
+        partition = None
+        if self.partition is not None:
+            partition = (self.partition.xa, self.partition.xb, self.partition.xc)
+        return (
+            self.engine,
+            self.operator,
+            self.decomposed,
+            partition,
+            self.optimum_proven,
+            self.timed_out,
+            self.stats.sat_calls,
+            self.stats.qbf_iterations,
+            self.stats.qbf_calls,
+            self.stats.refinements,
+            self.stats.conflicts,
+            tuple(self.stats.bound_sequence),
+            _function_fingerprint(self.fa),
+            _function_fingerprint(self.fb),
+        )
+
 
 @dataclass
 class OutputResult:
@@ -102,15 +150,32 @@ class OutputResult:
     def result_for(self, engine: str) -> Optional[BiDecResult]:
         return self.results.get(engine)
 
+    def fingerprint(self) -> tuple:
+        return (
+            self.circuit,
+            self.output_name,
+            self.num_support,
+            tuple(
+                (engine, result.fingerprint())
+                for engine, result in sorted(self.results.items())
+            ),
+        )
+
 
 @dataclass
 class CircuitReport:
-    """All outputs of one circuit, decomposed by the requested engines."""
+    """All outputs of one circuit, decomposed by the requested engines.
+
+    ``schedule`` summarises how the batch scheduler executed the run
+    (worker count, unique cones, dedup cache hits); it is informational and
+    excluded from :meth:`fingerprint`.
+    """
 
     circuit: str
     operator: str
     outputs: List[OutputResult] = field(default_factory=list)
     total_cpu: Dict[str, float] = field(default_factory=dict)
+    schedule: Dict[str, int] = field(default_factory=dict)
 
     def decomposed_count(self, engine: str) -> int:
         """The paper's ``#Dec`` column: outputs the engine decomposed."""
@@ -131,3 +196,47 @@ class CircuitReport:
                 if engine in output.results
             ),
         )
+
+    def cache_hits(self) -> int:
+        """Replayed *engine results* across all outputs.
+
+        Counts per (output, engine) pair, so it is ``len(engines)`` times the
+        per-job count in ``schedule["cache_hits"]`` (one cache entry replays
+        every engine's result for that output at once).
+        """
+        return sum(
+            result.stats.cache_hits
+            for output in self.outputs
+            for result in output.results.values()
+        )
+
+    def fingerprint(self) -> tuple:
+        """Canonical report content (see :meth:`BiDecResult.fingerprint`).
+
+        Batched, parallel and sequential runs of the same circuit must
+        produce equal fingerprints; timing (``cpu_seconds``, ``total_cpu``)
+        and the ``schedule`` summary are excluded.
+        """
+        return (
+            self.circuit,
+            self.operator,
+            tuple(output.fingerprint() for output in self.outputs),
+        )
+
+
+def _function_fingerprint(function) -> Optional[tuple]:
+    """Semantic identity of an extracted sub-function.
+
+    Compares input names plus the truth table (functions this small are the
+    only ones the engines extract); the hosting AIG's node numbering is
+    deliberately ignored so that replayed (cache-hit) and worker-side
+    extractions compare equal to freshly computed ones.  Beyond the truth
+    table limit only the input names are compared — weaker discrimination,
+    but never a spurious mismatch from host-AIG state.
+    """
+    if function is None:
+        return None
+    names = tuple(function.input_names)
+    if function.num_inputs <= 16:
+        return (names, function.truth_table())
+    return (names, "wide")

@@ -1,0 +1,468 @@
+"""Batched multi-output decomposition scheduling.
+
+The paper's STEP flow decomposes every primary output independently, which
+makes the circuit driver embarrassingly parallel and highly redundant:
+multi-output circuits routinely drive several outputs with structurally
+identical cones.  :class:`BatchScheduler` exploits both properties while
+preserving the sequential driver's results exactly:
+
+* **Planning** — every primary output becomes an :class:`OutputJob` carrying
+  its cone's structural signature (:func:`repro.aig.signature.cone_signature`),
+  a cost estimate (cone size) and a derived deterministic seed.
+* **Dedup** — jobs whose cones are structurally identical up to a
+  position-respecting input renaming share one partition search: the first
+  job computes, the rest *replay* the memoised result with input names mapped
+  positionally (extraction and verification re-run against the actual cone,
+  so the replayed ``fA``/``fB`` are exactly what a fresh run would build).
+* **Fan-out** — with ``jobs > 1`` the unique cones are dispatched to a
+  ``multiprocessing`` pool, heaviest cone first; the single-process path is
+  the deterministic fallback (and the two produce identical
+  :meth:`repro.core.result.CircuitReport.fingerprint` values, which the
+  differential tests assert).
+
+The identity guarantee is stated for runs whose engine calls finish within
+their wall-clock budgets: a search truncated by ``per_call_timeout`` /
+``output_timeout`` reflects machine load, and load differs between runs
+regardless of jobs count — timed-out results (and searches completed near
+the budget) can therefore differ run to run on the sequential path too.
+
+Every job runs under a seed derived from (run seed, circuit, output name) —
+never from scheduling order or worker identity — so parallel runs are
+bit-for-bit reproducible (:mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG
+from repro.aig.function import BooleanFunction
+from repro.aig.signature import ConeCache, cone_signature
+from repro.core.engine import BiDecomposer, EngineOptions, extract_and_verify
+from repro.core.partition import VariablePartition
+from repro.core.result import BiDecResult, CircuitReport, OutputResult
+from repro.core.spec import check_engine, check_operator
+from repro.errors import DecompositionError
+from repro.utils.rng import derive_seed, seeded_job
+from repro.utils.timer import Deadline, Stopwatch
+
+# Template stored in the cone cache: the primary job's input names (for the
+# positional rename) and its fully computed per-engine record.
+_CacheEntry = Tuple[Tuple[str, ...], OutputResult]
+
+
+def _replayable(record: OutputResult) -> bool:
+    """Only complete searches are memoised: replaying a budget-truncated
+    result would amplify one transient timeout across every duplicate cone,
+    where recomputing gives each duplicate its own fresh budget."""
+    return all(not result.timed_out for result in record.results.values())
+
+
+@dataclass
+class OutputJob:
+    """One primary output scheduled for decomposition.
+
+    ``function`` carries the cone extracted during planning so the in-process
+    execution paths do not traverse the support again; workers rebuild it in
+    their own process (only the job identity crosses the pipe).
+    """
+
+    index: int
+    output_name: str
+    num_support: int
+    input_names: Tuple[str, ...]
+    cost: int
+    seed: int
+    cache_key: Optional[tuple]
+    function: Optional[BooleanFunction] = None
+
+
+class BatchScheduler:
+    """Plan and execute per-output decomposition jobs for one circuit.
+
+    Parameters
+    ----------
+    decomposer:
+        The :class:`BiDecomposer` whose options and per-output pipeline the
+        scheduler delegates to; ``scheduler.run(...)`` returns the same
+        :class:`CircuitReport` the decomposer's sequential driver would.
+    jobs:
+        Worker processes; ``1`` keeps everything in-process (deterministic
+        fallback).
+    dedup:
+        Memoise structurally identical cones (see module docstring).
+    seed:
+        Run seed from which every job's seed is derived.
+    """
+
+    def __init__(
+        self,
+        decomposer: BiDecomposer,
+        jobs: int = 1,
+        dedup: bool = True,
+        seed: int | str | None = 0,
+    ) -> None:
+        if jobs < 1:
+            raise DecompositionError("jobs must be at least 1")
+        self._decomposer = decomposer
+        self.jobs = jobs
+        self.dedup = dedup
+        self.seed = seed
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(
+        self,
+        aig: AIG,
+        max_outputs: Optional[int] = None,
+        circuit_name: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> List[OutputJob]:
+        """Build the job list: one entry per primary output, in output order.
+
+        Planning stops at the circuit ``deadline``: outputs past it could
+        never be executed, so their cones are not even extracted.  Planning
+        itself (one linear cone traversal per output, before any search
+        runs) consumes an O(circuit-size) slice of the budget that the old
+        interleaved driver spent output by output.
+        """
+        circuit = circuit_name or aig.name
+        options = self._decomposer.options
+        jobs: List[OutputJob] = []
+        for index, (name, _) in enumerate(aig.outputs):
+            if max_outputs is not None and index >= max_outputs:
+                break
+            if deadline is not None and deadline.expired:
+                break
+            function = BooleanFunction.from_output(aig, name)
+            names = tuple(function.input_names)
+            searchable = function.num_inputs >= options.min_support and (
+                options.max_support is None
+                or function.num_inputs <= options.max_support
+            )
+            cache_key = None
+            cost = 0
+            # The signature serves dedup keys and parallel dispatch costs;
+            # a plain sequential no-dedup run needs neither.
+            if searchable and (self.dedup or self.jobs > 1):
+                signature = cone_signature(
+                    function.aig, function.root, function.inputs
+                )
+                # Cone size (inputs + gates), read off the signature.
+                cost = signature[0] + len(signature[1])
+                if self.dedup:
+                    # The engines iterate variables in input order but sort
+                    # name sets in a few places (QBF blocking clauses, BDD
+                    # cofactor order), so memoised results are only replayed
+                    # for cones whose input names sort in the same relative
+                    # order — then the search is literally the same
+                    # computation.
+                    sort_perm = tuple(
+                        sorted(range(len(names)), key=names.__getitem__)
+                    )
+                    cache_key = (signature, sort_perm)
+            jobs.append(
+                OutputJob(
+                    index=index,
+                    output_name=name,
+                    num_support=function.num_inputs,
+                    input_names=names,
+                    cost=cost,
+                    seed=derive_seed(self.seed, circuit, name),
+                    cache_key=cache_key,
+                    function=function,
+                )
+            )
+        return jobs
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        aig: AIG,
+        operator: str,
+        engines: Sequence[str],
+        circuit_timeout: Optional[float] = None,
+        max_outputs: Optional[int] = None,
+        circuit_name: Optional[str] = None,
+    ) -> CircuitReport:
+        """Decompose every primary output and assemble the circuit report."""
+        operator = check_operator(operator)
+        engines = [check_engine(engine) for engine in engines]
+        if aig.latches:
+            aig = aig.make_combinational()
+        report = CircuitReport(circuit=circuit_name or aig.name, operator=operator)
+        deadline = Deadline(circuit_timeout) if circuit_timeout is not None else None
+        jobs = self.plan(
+            aig,
+            max_outputs=max_outputs,
+            circuit_name=report.circuit,
+            deadline=deadline,
+        )
+        cache = ConeCache(enabled=self.dedup)
+        records: Dict[int, OutputResult] = {}
+
+        # A circuit deadline forces the sequential path: its semantics
+        # (outputs processed in order, stop at expiry) cannot be preempted
+        # across pool workers, and honouring them is what keeps reports
+        # fingerprint-identical for every jobs count.
+        used_workers = 0
+        if self.jobs > 1 and len(jobs) > 1 and deadline is None:
+            used_workers = self._run_parallel(
+                aig, jobs, operator, engines, report.circuit, cache, records
+            )
+        if not used_workers:
+            self._run_sequential(
+                aig, jobs, operator, engines, report.circuit, cache, records, deadline
+            )
+
+        for index in sorted(records):
+            records[index].circuit = report.circuit
+            report.outputs.append(records[index])
+        totals: Dict[str, float] = {engine: 0.0 for engine in engines}
+        for record in report.outputs:
+            for engine, result in record.results.items():
+                totals[engine] = totals.get(engine, 0.0) + result.cpu_seconds
+        report.total_cpu = totals
+        report.schedule = {
+            # "jobs" is the worker count the run actually used: the pool
+            # size on the parallel path, 1 whenever the scheduler fell back
+            # to (or was forced onto) the sequential path.
+            "jobs": used_workers or 1,
+            "requested_jobs": self.jobs,
+            "planned": len(jobs),
+            "executed": len(records),
+            "unique_cones": len(cache),
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+        }
+        return report
+
+    def _run_sequential(
+        self,
+        aig: AIG,
+        jobs: List[OutputJob],
+        operator: str,
+        engines: List[str],
+        circuit_name: str,
+        cache: ConeCache,
+        records: Dict[int, OutputResult],
+        deadline: Optional[Deadline],
+    ) -> None:
+        """In-process execution in output order (mirrors the legacy driver)."""
+        for job in jobs:
+            if deadline is not None and deadline.expired:
+                break
+            records[job.index] = self._execute_job(
+                aig, job, operator, engines, circuit_name, cache
+            )
+
+    def _execute_job(
+        self,
+        aig: AIG,
+        job: OutputJob,
+        operator: str,
+        engines: List[str],
+        circuit_name: str,
+        cache: ConeCache,
+    ) -> OutputResult:
+        """Run one job, consulting and feeding the cone memo cache."""
+        if job.cache_key is not None:
+            entry = cache.lookup(job.cache_key)
+            if entry is not None:
+                return self._replay(aig, job, operator, entry)
+        with seeded_job(job.seed):
+            record = self._decomposer.decompose_output(
+                aig,
+                job.output_name,
+                operator,
+                engines,
+                circuit_name=circuit_name,
+                function=job.function,
+            )
+        if job.cache_key is not None and _replayable(record):
+            cache.store(job.cache_key, (job.input_names, record))
+        return record
+
+    def _run_parallel(
+        self,
+        aig: AIG,
+        jobs: List[OutputJob],
+        operator: str,
+        engines: List[str],
+        circuit_name: str,
+        cache: ConeCache,
+        records: Dict[int, OutputResult],
+    ) -> int:
+        """Fan unique cones out to a process pool; replay duplicates locally.
+
+        Returns the pool's worker count, or ``0`` when a pool could not be
+        created (restricted environments); the caller then falls back to the
+        sequential path.
+        """
+        primaries: List[OutputJob] = []
+        followers: List[OutputJob] = []
+        seen: set = set()
+        for job in jobs:
+            if self.dedup and job.cache_key is not None and job.cache_key in seen:
+                followers.append(job)
+                continue
+            if job.cache_key is not None:
+                seen.add(job.cache_key)
+            primaries.append(job)
+
+        # Heaviest cones first so stragglers start early (cost-ordered
+        # scheduling); results are placed back by output index.  Workers run
+        # the partition search only: extraction (and verification) happen in
+        # the parent against its own AIG, so results do not ship whole
+        # worker-side AIG copies through the pipe and the returned
+        # sub-functions live in the parent's circuit exactly as on the
+        # sequential path.
+        dispatch = sorted(primaries, key=lambda job: (-job.cost, job.index))
+        options = self._decomposer.options
+        worker_options = replace(options, jobs=1, extract=False, verify=False)
+        worker_count = min(self.jobs, len(dispatch))
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            context = multiprocessing.get_context()
+        try:
+            pool = context.Pool(
+                processes=worker_count,
+                initializer=_worker_init,
+                initargs=(aig, operator, engines, worker_options, circuit_name),
+            )
+        except (OSError, ValueError, ImportError, AssertionError):  # pragma: no cover
+            # No pool in this environment (restricted sandbox, or a daemonic
+            # worker process, which multiprocessing rejects via
+            # AssertionError): fall back to the sequential path.  Exceptions
+            # raised *inside* jobs propagate from pool.map below, exactly as
+            # they would from the sequential driver.
+            return 0
+        with pool:
+            computed = pool.map(
+                _worker_run,
+                [(job.index, job.output_name, job.seed) for job in dispatch],
+            )
+
+        by_index = dict(computed)
+        for job in dispatch:
+            record = by_index[job.index]
+            if options.extract:
+                self._extract_record(aig, job, operator, record)
+            records[job.index] = record
+            if job.cache_key is not None:
+                # Mirror the sequential path's miss accounting before storing
+                # so hit/miss counters are identical for any jobs count.
+                cache.lookup(job.cache_key)
+                if _replayable(record):
+                    cache.store(job.cache_key, (job.input_names, record))
+        for job in followers:
+            # _execute_job replays on a hit; when the primary's record was
+            # not cached (budget-truncated), it recomputes with a fresh
+            # budget — exactly as the sequential path would.
+            records[job.index] = self._execute_job(
+                aig, job, operator, engines, circuit_name, cache
+            )
+        return worker_count
+
+    def _extract_record(
+        self, aig: AIG, job: OutputJob, operator: str, record: OutputResult
+    ) -> None:
+        """Extract (and optionally verify) fA/fB for a worker-computed record."""
+        options = self._decomposer.options
+        function = job.function
+        for result in record.results.values():
+            if not result.decomposed or result.partition is None:
+                continue
+            if function is None:
+                function = BooleanFunction.from_output(aig, job.output_name)
+            result.fa, result.fb = extract_and_verify(
+                function, operator, result.partition, options
+            )
+
+    # -- cache replay -------------------------------------------------------------
+
+    def _replay(
+        self, aig: AIG, job: OutputJob, operator: str, entry: _CacheEntry
+    ) -> OutputResult:
+        """Reconstruct a memoised record for a structurally identical cone.
+
+        Partition names are mapped positionally from the primary cone's
+        inputs to this cone's; extraction and verification are re-run against
+        the actual cone so the sub-functions are the ones a fresh
+        decomposition would have produced.
+        """
+        template_names, template = entry
+        options = self._decomposer.options
+        function = job.function  # planned cone; only consumed when extracting
+        mapping = dict(zip(template_names, job.input_names))
+        record = OutputResult(
+            circuit=template.circuit,
+            output_name=job.output_name,
+            num_support=job.num_support,
+        )
+        for engine, result in template.results.items():
+            stopwatch = Stopwatch().start()
+            partition = None
+            if result.partition is not None:
+                partition = VariablePartition(
+                    tuple(mapping[name] for name in result.partition.xa),
+                    tuple(mapping[name] for name in result.partition.xb),
+                    tuple(mapping[name] for name in result.partition.xc),
+                )
+            stats = result.stats.copy()
+            stats.cache_hits += 1
+            replayed = BiDecResult(
+                engine=result.engine,
+                operator=result.operator,
+                decomposed=result.decomposed,
+                partition=partition,
+                optimum_proven=result.optimum_proven,
+                timed_out=result.timed_out,
+                stats=stats,
+            )
+            if replayed.decomposed and partition is not None and options.extract:
+                if function is None:
+                    function = BooleanFunction.from_output(aig, job.output_name)
+                replayed.fa, replayed.fb = extract_and_verify(
+                    function, operator, partition, options
+                )
+            replayed.cpu_seconds = stopwatch.stop()
+            record.results[engine] = replayed
+        return record
+
+
+# -- worker-process plumbing (module level for pickling) ------------------------
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _worker_init(
+    aig: AIG,
+    operator: str,
+    engines: List[str],
+    options: EngineOptions,
+    circuit_name: str,
+) -> None:
+    _WORKER_STATE["decomposer"] = BiDecomposer(options)
+    _WORKER_STATE["aig"] = aig
+    _WORKER_STATE["operator"] = operator
+    _WORKER_STATE["engines"] = engines
+    _WORKER_STATE["circuit_name"] = circuit_name
+
+
+def _worker_run(args: Tuple[int, str, int]) -> Tuple[int, OutputResult]:
+    index, output_name, seed = args
+    decomposer: BiDecomposer = _WORKER_STATE["decomposer"]  # type: ignore[assignment]
+    with seeded_job(seed):
+        record = decomposer.decompose_output(
+            _WORKER_STATE["aig"],  # type: ignore[arg-type]
+            output_name,
+            _WORKER_STATE["operator"],  # type: ignore[arg-type]
+            _WORKER_STATE["engines"],  # type: ignore[arg-type]
+            circuit_name=_WORKER_STATE["circuit_name"],  # type: ignore[arg-type]
+        )
+    return index, record

@@ -14,9 +14,13 @@ The solver implements the standard conflict-driven clause learning loop:
   bi-decomposition engine turns into the functions ``fA`` and ``fB``.
 
 The implementation favours clarity over raw speed but is careful about the
-usual hot spots: propagation is a tight loop over watcher lists and literals
-are encoded as small integers internally (``2*var`` for the positive literal,
-``2*var + 1`` for the negative one).
+usual hot spots: literals are encoded as small integers internally (``2*var``
+for the positive literal, ``2*var + 1`` for the negative one) and propagation
+is a tight loop over watcher lists.  Binary clauses — the majority in Tseitin
+encodings — are propagated from dedicated ``(other, clause)`` watch lists
+that need no watch moves and never touch the clause's literal array; long
+clauses use the classic two-watched-literal scheme with in-place watcher-list
+compaction.
 """
 
 from __future__ import annotations
@@ -103,7 +107,14 @@ class Solver:
         self._num_vars = 0
         self._clauses: List[_Clause] = []
         self._learnts: List[_Clause] = []
+        # _watches[ilit] holds the long clauses watching the negation of ilit
+        # (clauses to inspect when ilit becomes true).  Binary clauses live in
+        # _bin_watches[ilit] as (other, clause) tuples: when ilit becomes
+        # true, ``other`` is the only literal that can still satisfy the
+        # clause, so propagation needs no watch moves and never touches the
+        # clause's literal array.
         self._watches: List[List[_Clause]] = [[], []]
+        self._bin_watches: List[List[Tuple[int, _Clause]]] = [[], []]
         self._assigns: List[int] = [UNASSIGNED]
         self._level: List[int] = [0]
         self._reason: List[Optional[_Clause]] = [None]
@@ -113,9 +124,9 @@ class Solver:
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [False]
         self._var_inc = 1.0
-        self._var_decay = 0.95
+        self._var_inc_growth = 1.0 / 0.95  # reciprocal of the VSIDS decay
         self._cla_inc = 1.0
-        self._cla_decay = 0.999
+        self._cla_inc_growth = 1.0 / 0.999  # reciprocal of the clause decay
         self._order_heap: List[Tuple[float, int]] = []
         self._ok = True
         self._proof: Optional[Proof] = Proof() if proof else None
@@ -151,6 +162,8 @@ class Solver:
         self._seen.append(0)
         self._watches.append([])  # 2*var
         self._watches.append([])  # 2*var + 1
+        self._bin_watches.append([])
+        self._bin_watches.append([])
         heappush(self._order_heap, (0.0, var))
         return var
 
@@ -406,47 +419,103 @@ class Solver:
         working[1], working[j] = working[j], working[1]
 
     def _attach(self, clause: _Clause) -> None:
-        self._watches[_neg(clause.lits[0])].append(clause)
-        self._watches[_neg(clause.lits[1])].append(clause)
+        lits = clause.lits
+        if len(lits) == 2:
+            self._bin_watches[lits[0] ^ 1].append((lits[1], clause))
+            self._bin_watches[lits[1] ^ 1].append((lits[0], clause))
+            return
+        self._watches[lits[0] ^ 1].append(clause)
+        self._watches[lits[1] ^ 1].append(clause)
 
     def _propagate(self) -> Optional[_Clause]:
-        while self._qhead < len(self._trail):
-            ilit = self._trail[self._qhead]
-            self._qhead += 1
-            self.propagations += 1
-            watch_list = self._watches[ilit]
-            new_list: List[_Clause] = []
-            idx = 0
+        # The propagation loop is the solver's hot path: every container and
+        # value test is kept local and inlined (no _value or _enqueue calls,
+        # no attribute chasing), binary clauses are propagated from their own
+        # immutable watch lists, and long-clause watcher lists are compacted
+        # in place instead of being rebuilt.
+        qhead = self._qhead
+        trail = self._trail
+        if qhead == len(trail):
+            return None
+        watches = self._watches
+        bin_watches = self._bin_watches
+        assigns = self._assigns
+        levels = self._level
+        reasons = self._reason
+        phases = self._phase
+        level = len(self._trail_lim)
+        propagated = 0
+        conflict: Optional[_Clause] = None
+        while conflict is None and qhead < len(trail):
+            ilit = trail[qhead]
+            qhead += 1
+            propagated += 1
+
+            # Binary clauses: the other literal is unit unless already true.
+            for other, clause in bin_watches[ilit]:
+                other_val = assigns[other >> 1]
+                if other_val < 0:
+                    var = other >> 1
+                    assigns[var] = 1 ^ (other & 1)
+                    levels[var] = level
+                    reasons[var] = clause
+                    phases[var] = not (other & 1)
+                    trail.append(other)
+                elif other_val == (other & 1):
+                    conflict = clause
+                    qhead = len(trail)
+                    break
+            if conflict is not None:
+                break
+
+            watch_list = watches[ilit]
+            false_lit = ilit ^ 1
+            i = j = 0
             count = len(watch_list)
-            while idx < count:
-                clause = watch_list[idx]
-                idx += 1
+            while i < count:
+                clause = watch_list[i]
+                i += 1
                 lits = clause.lits
-                false_lit = _neg(ilit)
                 if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
                 first = lits[0]
-                if self._value(first) == TRUE:
-                    new_list.append(clause)
+                first_val = assigns[first >> 1]
+                if first_val == 1 ^ (first & 1):
+                    watch_list[j] = clause
+                    j += 1
                     continue
-                moved = False
                 for k in range(2, len(lits)):
-                    if self._value(lits[k]) != FALSE:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[_neg(lits[1])].append(clause)
-                        moved = True
+                    other = lits[k]
+                    if assigns[other >> 1] != (other & 1):
+                        # Not false: move the watch to this literal.
+                        lits[1] = other
+                        lits[k] = false_lit
+                        watches[other ^ 1].append(clause)
                         break
-                if moved:
-                    continue
-                new_list.append(clause)
-                if self._value(first) == FALSE:
-                    new_list.extend(watch_list[idx:])
-                    self._watches[ilit] = new_list
-                    self._qhead = len(self._trail)
-                    return clause
-                self._enqueue(first, clause)
-            self._watches[ilit] = new_list
-        return None
+                else:
+                    watch_list[j] = clause
+                    j += 1
+                    if first_val == (first & 1):
+                        # Every literal false: conflict.
+                        while i < count:
+                            watch_list[j] = watch_list[i]
+                            j += 1
+                            i += 1
+                        conflict = clause
+                        qhead = len(trail)
+                        break
+                    # Unit: enqueue (the inlined unassigned case of _enqueue).
+                    var = first >> 1
+                    assigns[var] = 1 ^ (first & 1)
+                    levels[var] = level
+                    reasons[var] = clause
+                    phases[var] = not (first & 1)
+                    trail.append(first)
+            del watch_list[j:]
+        self._qhead = qhead
+        self.propagations += propagated
+        return conflict
 
     def _analyze(self, conflict: _Clause) -> Tuple[List[int], int, ResolutionChain]:
         """First-UIP conflict analysis.
@@ -586,12 +655,17 @@ class Solver:
         return None
 
     def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
+        activity = self._activity
+        activity[var] += self._var_inc
+        if activity[var] > 1e100:
             for v in range(1, self._num_vars + 1):
-                self._activity[v] *= 1e-100
+                activity[v] *= 1e-100
             self._var_inc *= 1e-100
-        heappush(self._order_heap, (-self._activity[var], var))
+        # Assigned variables are pushed by _cancel_until when they become
+        # selectable again (with their then-current activity), so pushing here
+        # would only add stale heap entries.
+        if self._assigns[var] == UNASSIGNED:
+            heappush(self._order_heap, (-activity[var], var))
 
     def _bump_clause(self, clause: _Clause) -> None:
         clause.activity += self._cla_inc
@@ -601,8 +675,10 @@ class Solver:
             self._cla_inc *= 1e-20
 
     def _decay_activities(self) -> None:
-        self._var_inc /= self._var_decay
-        self._cla_inc /= self._cla_decay
+        # Decay by growing the increment (one multiplication per conflict)
+        # instead of rescaling stored activities.
+        self._var_inc *= self._var_inc_growth
+        self._cla_inc *= self._cla_inc_growth
 
     def _reduce_db(self) -> None:
         """Discard the least active half of the (long) learned clauses."""

@@ -93,3 +93,37 @@ class TestDecompose:
         assert main(["decompose", "full_adder", "--operator", "xor"]) == 0
         out = capsys.readouterr().out
         assert "STEP-QD" in out
+
+    def test_decompose_jobs_and_dedup_flags(self, adder_blif, capsys):
+        code = main(
+            [
+                "decompose",
+                adder_blif,
+                "--engine",
+                "STEP-MG",
+                "--jobs",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The effective jobs count depends on pool availability (the
+        # scheduler may fall back to sequential); only the line's presence
+        # is environment-independent.
+        assert "jobs = " in out
+        assert "cache hits" in out
+
+    def test_decompose_no_dedup(self, adder_blif, capsys):
+        code = main(
+            ["decompose", adder_blif, "--engine", "STEP-MG", "--no-dedup"]
+        )
+        assert code == 0
+        assert "cache hits = 0" in capsys.readouterr().out
+
+    def test_jobs_must_be_positive(self, adder_blif, capsys):
+        assert main(
+            ["decompose", adder_blif, "--engine", "STEP-MG", "--jobs", "0"]
+        ) == 1
+        assert "jobs" in capsys.readouterr().err

@@ -1,0 +1,267 @@
+"""Tests for the batch decomposition scheduler and the cone memo cache.
+
+The scheduler's contract is *identity*: for any (jobs, dedup) combination it
+must produce the same :meth:`CircuitReport.fingerprint` as the sequential,
+no-dedup driver.  These tests assert that over an engine x circuit matrix,
+check the dedup accounting on circuits with duplicated cones, and pin the
+seed-derivation regression (``--jobs 1`` == ``--jobs 4``).
+"""
+
+import pytest
+
+from repro.aig.aig import AIG
+from repro.aig.function import BooleanFunction
+from repro.aig.signature import ConeCache, cone_signature
+from repro.circuits.generators import (
+    decomposable_by_construction,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.core.engine import BiDecomposer, EngineOptions
+from repro.core.scheduler import BatchScheduler
+from repro.core.spec import (
+    ENGINE_BDD,
+    ENGINE_LJH,
+    ENGINE_STEP_MG,
+    ENGINE_STEP_QD,
+)
+from repro.core.verify import verify_decomposition
+from repro.errors import DecompositionError
+from repro.utils.rng import derive_seed
+
+
+def duplicated_cone_circuit(copies=4, seed=7):
+    """One decomposable cone driving ``copies`` primary outputs."""
+    aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=seed)
+    root = aig.outputs[0][1]
+    for k in range(1, copies):
+        aig.add_output(f"f{k}", root)
+    return aig
+
+
+def renamed_cone_circuit():
+    """The same cone instantiated twice over differently named inputs."""
+    source, *_ = decomposable_by_construction("or", 3, 2, 1, seed=13)
+    root = source.outputs[0][1]
+    cone_inputs = [
+        node for node in source.inputs if node in set(source.cone_nodes([root]))
+    ]
+    target = AIG("renamed")
+    first = {node: target.add_input(f"p{pos}") for pos, node in enumerate(cone_inputs)}
+    second = {node: target.add_input(f"q{pos}") for pos, node in enumerate(cone_inputs)}
+    target.add_output("f_first", source.copy_cone(root, target, first))
+    target.add_output("f_second", source.copy_cone(root, target, second))
+    return target
+
+
+class TestConeSignature:
+    def test_identical_cones_share_a_signature(self):
+        aig = duplicated_cone_circuit(copies=2)
+        f0 = BooleanFunction.from_output(aig, "f")
+        f1 = BooleanFunction.from_output(aig, "f1")
+        assert cone_signature(aig, f0.root, f0.inputs) == cone_signature(
+            aig, f1.root, f1.inputs
+        )
+
+    def test_renamed_copies_share_a_signature(self):
+        aig = renamed_cone_circuit()
+        f0 = BooleanFunction.from_output(aig, "f_first")
+        f1 = BooleanFunction.from_output(aig, "f_second")
+        assert cone_signature(aig, f0.root, f0.inputs) == cone_signature(
+            aig, f1.root, f1.inputs
+        )
+
+    def test_different_cones_differ(self):
+        aig = ripple_carry_adder(2)
+        s0 = BooleanFunction.from_output(aig, "s0")
+        s1 = BooleanFunction.from_output(aig, "s1")
+        assert cone_signature(aig, s0.root, s0.inputs) != cone_signature(
+            aig, s1.root, s1.inputs
+        )
+
+    def test_constant_roots(self):
+        aig = AIG("consts")
+        aig.add_output("t", 1)
+        aig.add_output("f", 0)
+        assert cone_signature(aig, 1, []) != cone_signature(aig, 0, [])
+
+    def test_cache_accounting(self):
+        cache = ConeCache()
+        assert cache.lookup("k") is None
+        cache.store("k", 42)
+        assert cache.lookup("k") == 42
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_disabled_cache_never_hits(self):
+        cache = ConeCache(enabled=False)
+        cache.store("k", 42)
+        assert cache.lookup("k") is None
+        assert cache.hits == 0 and cache.misses == 1
+
+
+# The engine x circuit identity matrix.  BDD and LJH cover the non-SAT and
+# heuristic paths; STEP-MG/STEP-QD cover the core-guided and QBF paths.
+MATRIX = [
+    (ripple_carry_adder, (2,), [ENGINE_STEP_MG, ENGINE_STEP_QD]),
+    (mux_tree, (2,), [ENGINE_LJH, ENGINE_STEP_MG]),
+    (parity_tree, (4,), [ENGINE_BDD, ENGINE_STEP_MG]),
+    (duplicated_cone_circuit, (3,), [ENGINE_LJH, ENGINE_STEP_MG, ENGINE_STEP_QD]),
+]
+
+
+class TestBatchedEqualsSequential:
+    @pytest.mark.parametrize("builder,args,engines", MATRIX)
+    def test_fingerprints_match_across_modes(self, builder, args, engines):
+        aig = builder(*args)
+        sequential = BiDecomposer(EngineOptions(dedup=False)).decompose_circuit(
+            aig, "or", engines
+        )
+        batched = BiDecomposer(EngineOptions(dedup=True)).decompose_circuit(
+            aig, "or", engines
+        )
+        assert sequential.fingerprint() == batched.fingerprint()
+
+    def test_xor_operator_matches(self):
+        aig = parity_tree(5)
+        sequential = BiDecomposer(EngineOptions(dedup=False)).decompose_circuit(
+            aig, "xor", [ENGINE_STEP_MG]
+        )
+        batched = BiDecomposer(EngineOptions(dedup=True)).decompose_circuit(
+            aig, "xor", [ENGINE_STEP_MG]
+        )
+        assert sequential.fingerprint() == batched.fingerprint()
+
+    def test_parallel_matches_sequential(self):
+        aig = ripple_carry_adder(2)
+        sequential = BiDecomposer(EngineOptions(dedup=False)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        parallel = BiDecomposer(EngineOptions(dedup=True, jobs=3)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        assert sequential.fingerprint() == parallel.fingerprint()
+        # "requested_jobs" is asserted rather than the effective "jobs" so
+        # the test also holds where no process pool can be created and the
+        # scheduler legitimately falls back to the sequential path.
+        assert parallel.schedule["requested_jobs"] == 3
+
+    def test_jobs_1_equals_jobs_4(self):
+        """Regression: per-job seeds derive from job identity, not order."""
+        aig = duplicated_cone_circuit(copies=4, seed=21)
+        one = BiDecomposer(EngineOptions(jobs=1)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG, ENGINE_STEP_QD]
+        )
+        four = BiDecomposer(EngineOptions(jobs=4)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG, ENGINE_STEP_QD]
+        )
+        assert one.fingerprint() == four.fingerprint()
+        assert one.schedule["cache_hits"] == four.schedule["cache_hits"]
+        assert one.schedule["cache_misses"] == four.schedule["cache_misses"]
+
+
+class TestDedup:
+    def test_duplicate_cones_decomposed_once(self):
+        aig = duplicated_cone_circuit(copies=4)
+        report = BiDecomposer(EngineOptions()).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        assert report.schedule["unique_cones"] == 1
+        assert report.schedule["cache_hits"] == 3
+        # Replayed results are flagged in SearchStatistics ...
+        assert report.cache_hits() == 3
+        flags = [
+            output.results[ENGINE_STEP_MG].stats.cache_hits
+            for output in report.outputs
+        ]
+        assert flags == [0, 1, 1, 1]
+        # ... but carry the memoised search's counters.
+        base = report.outputs[0].results[ENGINE_STEP_MG]
+        for output in report.outputs[1:]:
+            assert output.results[ENGINE_STEP_MG].stats.sat_calls == base.stats.sat_calls
+
+    def test_renamed_duplicates_replay_with_renamed_partitions(self):
+        aig = renamed_cone_circuit()
+        options = EngineOptions(verify=True)
+        report = BiDecomposer(options).decompose_circuit(aig, "or", [ENGINE_STEP_MG])
+        assert report.schedule["cache_hits"] == 1
+        first = report.outputs[0].results[ENGINE_STEP_MG]
+        second = report.outputs[1].results[ENGINE_STEP_MG]
+        assert first.decomposed and second.decomposed
+        assert all(name.startswith("p") for name in first.partition.variables)
+        assert all(name.startswith("q") for name in second.partition.variables)
+        # The replayed decomposition verifies against its own cone.
+        function = BooleanFunction.from_output(aig, "f_second")
+        assert verify_decomposition(
+            function, "or", second.fa, second.fb, second.partition
+        )
+
+    def test_dedup_off_recomputes_everything(self):
+        aig = duplicated_cone_circuit(copies=3)
+        report = BiDecomposer(EngineOptions(dedup=False)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        assert report.schedule["cache_hits"] == 0
+        assert report.cache_hits() == 0
+
+    def test_small_support_outputs_not_cached(self):
+        aig = AIG("tiny")
+        x = aig.add_input("x")
+        aig.add_output("o1", x)
+        aig.add_output("o2", x)
+        report = BiDecomposer(EngineOptions()).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        assert len(report.outputs) == 2
+        assert report.schedule["unique_cones"] == 0
+        assert all(not output.results for output in report.outputs)
+
+
+class TestSchedulerPlanning:
+    def test_plan_orders_and_costs(self):
+        aig = ripple_carry_adder(3)
+        scheduler = BatchScheduler(BiDecomposer())
+        jobs = scheduler.plan(aig)
+        assert [job.index for job in jobs] == list(range(len(aig.outputs)))
+        # Later sum bits have strictly larger cones than s0.
+        costs = {job.output_name: job.cost for job in jobs}
+        assert costs["s2"] > costs["s0"]
+
+    def test_plan_respects_max_outputs(self):
+        aig = ripple_carry_adder(3)
+        jobs = BatchScheduler(BiDecomposer()).plan(aig, max_outputs=2)
+        assert len(jobs) == 2
+
+    def test_seeds_depend_on_identity_not_order(self):
+        aig = ripple_carry_adder(2)
+        jobs = BatchScheduler(BiDecomposer(), seed=5).plan(aig)
+        expected = [
+            derive_seed(5, aig.name, job.output_name) for job in jobs
+        ]
+        assert [job.seed for job in jobs] == expected
+        assert len({job.seed for job in jobs}) == len(jobs)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(DecompositionError):
+            BatchScheduler(BiDecomposer(), jobs=0)
+        with pytest.raises(DecompositionError):
+            EngineOptions(jobs=0)
+
+    def test_circuit_timeout_stops_scheduling(self):
+        aig = ripple_carry_adder(3)
+        report = BiDecomposer(EngineOptions(jobs=2)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG], circuit_timeout=0.0
+        )
+        assert len(report.outputs) == 0
+
+    def test_circuit_timeout_forces_identical_reports_across_jobs(self):
+        """Deadline semantics must not depend on the jobs count."""
+        aig = ripple_carry_adder(2)
+        reports = [
+            BiDecomposer(EngineOptions(jobs=jobs)).decompose_circuit(
+                aig, "or", [ENGINE_STEP_MG], circuit_timeout=300.0
+            )
+            for jobs in (1, 4)
+        ]
+        assert reports[0].fingerprint() == reports[1].fingerprint()
+        assert len(reports[0].outputs) == len(aig.outputs)

@@ -1,0 +1,128 @@
+"""Fuzz tests for the CDCL solver against a brute-force reference.
+
+Random 3-CNF instances around the satisfiability phase transition are solved
+by the CDCL solver and cross-checked against exhaustive enumeration
+(:func:`tests.reference.brute_force_sat`):
+
+* SAT answers must come with a model that satisfies every clause,
+* UNSAT answers must agree with the brute-force verdict and, when proof
+  logging is on, carry a resolution refutation that replays to the empty
+  clause,
+* UNSAT-under-assumptions answers must return a core whose literals are
+  assumptions and whose conjunction with the formula is brute-force UNSAT.
+"""
+
+import pytest
+
+from tests.reference import brute_force_sat
+from repro.sat.solver import Solver
+from repro.utils.rng import deterministic_rng
+
+
+def random_3cnf(num_vars, num_clauses, seed):
+    rng = deterministic_rng(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in chosen))
+    return clauses
+
+
+def model_satisfies(model, clauses):
+    return all(
+        any(model[abs(l)] if l > 0 else not model[abs(l)] for l in clause)
+        for clause in clauses
+    )
+
+
+def instances():
+    """A deterministic mix of SAT and UNSAT instances (7-9 variables)."""
+    cases = []
+    for trial in range(30):
+        num_vars = 7 + trial % 3
+        num_clauses = int(num_vars * (3.5 + 0.1 * (trial % 14)))
+        cases.append(
+            (f"fuzz-{trial}", num_vars, random_3cnf(num_vars, num_clauses, f"fuzz-{trial}"))
+        )
+    return cases
+
+
+INSTANCES = instances()
+
+
+def test_population_is_mixed():
+    verdicts = {brute_force_sat(clauses, n) is not None for _, n, clauses in INSTANCES}
+    assert verdicts == {True, False}
+
+
+@pytest.mark.parametrize("label,num_vars,clauses", INSTANCES)
+def test_verdict_matches_brute_force(label, num_vars, clauses):
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve()
+    expected = brute_force_sat(clauses, num_vars)
+    assert result.status is (expected is not None)
+    if result.status:
+        model = solver.model()
+        assert model_satisfies(model, clauses)
+
+
+@pytest.mark.parametrize(
+    "label,num_vars,clauses",
+    [case for case in INSTANCES if brute_force_sat(case[2], case[1]) is None],
+)
+def test_unsat_proofs_replay_to_the_empty_clause(label, num_vars, clauses):
+    solver = Solver(proof=True)
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve()
+    assert result.status is False
+    proof = solver.proof()
+    assert proof.has_refutation
+    # check() replays every learned chain and the final refutation chain.
+    assert proof.check()
+    assert proof.replay_chain(proof.empty_chain) == set()
+
+
+@pytest.mark.parametrize("label,num_vars,clauses", INSTANCES[:12])
+def test_assumption_cores_are_sound(label, num_vars, clauses):
+    rng = deterministic_rng(f"assume-{label}")
+    assumptions = [
+        v if rng.random() < 0.5 else -v
+        for v in rng.sample(range(1, num_vars + 1), 3)
+    ]
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve(assumptions=assumptions)
+    augmented = list(clauses) + [(lit,) for lit in assumptions]
+    expected = brute_force_sat(augmented, num_vars)
+    if result.status is None:
+        pytest.skip("budget exhausted (not expected at this size)")
+    assert result.status is (expected is not None)
+    if result.status:
+        model = solver.model()
+        assert model_satisfies(model, augmented)
+    elif brute_force_sat(clauses, num_vars) is not None:
+        # The formula alone is SAT, so the conflict involves assumptions and
+        # the reported core must pin it: formula + core is still UNSAT.
+        core = solver.core()
+        assert core
+        assert set(core) <= set(assumptions)
+        with_core = list(clauses) + [(lit,) for lit in core]
+        assert brute_force_sat(with_core, num_vars) is None
+
+
+def test_incremental_reuse_across_calls():
+    """The same solver object stays sound over repeated solve/add cycles."""
+    label, num_vars, clauses = INSTANCES[0]
+    solver = Solver()
+    for clause in clauses[: len(clauses) // 2]:
+        solver.add_clause(clause)
+    first = solver.solve()
+    assert first.status is (brute_force_sat(clauses[: len(clauses) // 2], num_vars) is not None)
+    for clause in clauses[len(clauses) // 2 :]:
+        solver.add_clause(clause)
+    second = solver.solve()
+    assert second.status is (brute_force_sat(clauses, num_vars) is not None)
