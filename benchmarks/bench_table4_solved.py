@@ -91,24 +91,49 @@ def main(argv=None) -> int:
     only, prints the solved-percentage table and fails (non-zero exit) if no
     output was decomposed at all — a cheap end-to-end check that the whole
     pipeline (generators, scheduler, SAT/QBF engines, reporting) still runs.
+
+    ``--cache-dir DIR`` routes the sweep through the persistent cone cache;
+    ``--expect-warm`` additionally fails unless the run replayed at least
+    one entry from it.  The CI warm-cache smoke job runs the sweep twice
+    with the same directory and diffs the printed ``sweep fingerprint``
+    lines, asserting warm == cold results.
     """
     import argparse
 
+    from harness import sweep_fingerprint
+
     parser = argparse.ArgumentParser(description="Table IV smoke runner")
     parser.add_argument("--quick", action="store_true", help="reduced sweep")
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent cone cache directory"
+    )
+    parser.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help="fail unless the persistent cache produced at least one hit",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.spec import ENGINE_STEP_MG
 
     config = CONFIG
     if args.quick:
+        # Every search on these scaled-down circuits finishes in
+        # milliseconds, so the budgets are pure headroom — kept generous
+        # because a budget-truncated search is excluded from the
+        # fingerprint-identity guarantee, and the warm-cache smoke diffs
+        # cold vs warm fingerprints on shared (loaded) CI runners.
         config = SweepConfig(
             operator="or",
             engines=(ENGINE_STEP_MG, ENGINE_STEP_QD),
             max_outputs=2,
-            output_timeout=10.0,
-            per_call_timeout=1.0,
+            output_timeout=30.0,
+            per_call_timeout=4.0,
         )
+    if args.cache_dir is not None:
+        from dataclasses import replace
+
+        config = replace(config, cache_dir=args.cache_dir)
     sweep = run_sweep(config)
     attempted = decomposed = 0
     for _, report in sweep:
@@ -120,12 +145,20 @@ def main(argv=None) -> int:
             if result.decomposed:
                 decomposed += 1
     cache_hits = sum(report.schedule.get("cache_hits", 0) for _, report in sweep)
+    persistent_hits = sum(
+        report.schedule.get("persistent_hits", 0) for _, report in sweep
+    )
     print(
         f"quick sweep: {len(sweep)} circuits, STEP-QD attempted {attempted} "
-        f"outputs, decomposed {decomposed}, scheduler cache hits {cache_hits}"
+        f"outputs, decomposed {decomposed}, scheduler cache hits {cache_hits}, "
+        f"persistent cache hits {persistent_hits}"
     )
+    print(f"sweep fingerprint: {sweep_fingerprint(sweep)}")
     if decomposed == 0:
         print("smoke failure: no output decomposed")
+        return 1
+    if args.expect_warm and persistent_hits == 0:
+        print("smoke failure: expected warm persistent-cache hits, saw none")
         return 1
     return 0
 

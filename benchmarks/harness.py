@@ -49,6 +49,12 @@ class SweepConfig:
     (:mod:`repro.core.scheduler`); any combination produces
     fingerprint-identical reports, so sweeps cached under one configuration
     remain comparable to sweeps run under another.
+
+    ``cache_dir`` enables the *persistent* cone cache: a second run of the
+    same sweep — in this process or a later one — replays every partition
+    search it already did from ``<cache_dir>/cone_cache.json``.  It defaults
+    to the ``STEP_CACHE_DIR`` environment variable so a benchmark session
+    can be made warm-start without touching the table modules.
     """
 
     operator: str = "or"
@@ -59,6 +65,7 @@ class SweepConfig:
     per_call_timeout: float = DEFAULT_PER_CALL_TIMEOUT
     jobs: int = 1
     dedup: bool = True
+    cache_dir: Optional[str] = None
 
 
 _SWEEP_CACHE: Dict[SweepConfig, List[Tuple[BenchmarkCircuit, CircuitReport]]] = {}
@@ -74,6 +81,7 @@ def run_sweep(config: SweepConfig) -> List[Tuple[BenchmarkCircuit, CircuitReport
         extract=False,
         jobs=config.jobs,
         dedup=config.dedup,
+        cache_dir=config.cache_dir or os.environ.get("STEP_CACHE_DIR") or None,
     )
     step = BiDecomposer(options)
     results = []
@@ -88,6 +96,20 @@ def run_sweep(config: SweepConfig) -> List[Tuple[BenchmarkCircuit, CircuitReport
         results.append((circuit, report))
     _SWEEP_CACHE[config] = results
     return results
+
+
+def sweep_fingerprint(sweep: List[Tuple[BenchmarkCircuit, CircuitReport]]) -> str:
+    """A short stable digest of every report fingerprint in the sweep.
+
+    Cold and warm-cache runs of the same sweep must print the same digest;
+    the CI warm-cache smoke job diffs the two.
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for _, report in sweep:
+        hasher.update(repr(report.fingerprint()).encode("utf-8"))
+    return hasher.hexdigest()[:16]
 
 
 # ---------------------------------------------------------------------------

@@ -13,14 +13,20 @@ pure-Python replacement providing exactly those services:
 * :mod:`repro.aig.simulate` — bit-parallel simulation.
 * :mod:`repro.aig.cnf` — Tseitin encoding of cones into CNF.
 * :mod:`repro.aig.support` — structural and functional support computation.
-* :mod:`repro.aig.signature` — structural cone signatures and the memo cache
-  behind the batch scheduler's duplicate-cone dedup.
+* :mod:`repro.aig.signature` — structural cone signatures (exact and
+  canonical/fanin-commutative), the memo cache behind the batch scheduler's
+  duplicate-cone dedup, and its persistent cross-run snapshot.
 """
 
 from repro.aig.aig import AIG, AigLiteral, FALSE_LIT, TRUE_LIT
 from repro.aig.function import BooleanFunction
 from repro.aig.cnf import cone_to_cnf, CnfMapping
-from repro.aig.signature import ConeCache, cone_signature
+from repro.aig.signature import (
+    ConeCache,
+    PersistentConeCache,
+    canonical_cone_signature,
+    cone_signature,
+)
 from repro.aig.simulate import simulate, simulate_words
 from repro.aig.support import structural_support, functional_support
 
@@ -33,6 +39,8 @@ __all__ = [
     "cone_to_cnf",
     "CnfMapping",
     "ConeCache",
+    "PersistentConeCache",
+    "canonical_cone_signature",
     "cone_signature",
     "simulate",
     "simulate_words",

@@ -1,4 +1,4 @@
-"""Structural cone signatures and the decomposition memo cache.
+"""Structural cone signatures and the decomposition memo caches.
 
 Multi-output circuits routinely drive several primary outputs with the same
 cone (buffered outputs, replicated slices, generator-produced circuits).
@@ -6,22 +6,42 @@ Decomposing each such output from scratch repeats the exact same partition
 search, so the batch scheduler (:mod:`repro.core.scheduler`) memoises
 per-cone work keyed by a *structural signature*.
 
-The signature serialises the cone in its DFS (``AIG.cone_nodes``) order with
-every input replaced by its position in the function's input list.  Two
-cones with equal signatures are structurally identical up to a
-position-respecting renaming of their inputs: the per-output decomposition
-pipeline (CNF encoding, SAT search, QBF refinement) is a deterministic
-function of exactly this structure, so the memoised result — with input
-names mapped positionally — is the result a fresh run would have produced.
+Two signatures are provided:
 
-Isomorphic cones whose traversal orders differ (e.g. commuted fanins from a
-different construction history) hash differently and simply miss the cache;
-a miss is never incorrect, only unexploited sharing.
+* :func:`cone_signature` serialises the cone in its DFS (``AIG.cone_nodes``)
+  order with every input replaced by its position in the function's input
+  list.  Two cones with equal signatures are structurally identical up to a
+  position-respecting renaming of their inputs: the per-output decomposition
+  pipeline (CNF encoding, SAT search, QBF refinement) is a deterministic
+  function of exactly this structure, so the memoised result — with input
+  names mapped positionally — is the result a fresh run would have produced.
+  Isomorphic cones whose traversal orders differ (commuted fanins from a
+  different construction history) hash differently and miss.
+
+* :func:`canonical_cone_signature` closes that gap: every node receives a
+  bottom-up digest in which an AND node's two fanin edges are *sorted*, so
+  the signature is invariant under fanin commutation (and therefore under
+  any construction-order difference, since traversal order only ever
+  reorders fanins).  Equal canonical signatures mean the cones compute the
+  same Boolean function under the positional input mapping, so a memoised
+  partition remains *valid* for the duplicate — though a fresh search over
+  the permuted encoding could have found a different (equally valid)
+  partition, which is why the scheduler's bit-exactness guarantee is stated
+  for traversal-order-exact duplicates only (see ``docs/architecture.md``).
+  The digest is a stable 128-bit BLAKE2b hash, reproducible across runs and
+  machines — the property the persistent cache below relies on.
+
+:class:`PersistentConeCache` snapshots replayable cache entries to a JSON
+file keyed by (canonical signature, operator, engine set, engine-options
+fingerprint) so a later run over the same suite starts with a warm cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+import hashlib
+import json
+import os
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.aig.aig import AIG, AigLiteral, lit_var
 from repro.errors import AigError
@@ -68,22 +88,81 @@ def cone_signature(aig: AIG, root: AigLiteral, inputs: Sequence[int]) -> ConeSig
     return (len(inputs), tuple(gates), root_edge)
 
 
+def canonical_cone_signature(
+    aig: AIG, root: AigLiteral, inputs: Sequence[int]
+) -> ConeSignature:
+    """Fanin-commutative structural key of the cone of ``root``.
+
+    Shaped ``(num_inputs, num_gates, root_edge)`` where ``root_edge`` is a
+    hex BLAKE2b-128 digest prefixed with ``!`` when the root is complemented
+    (or ``const0``/``const1`` for constant roots).  Each input's digest is
+    its position in ``inputs``; each AND node's digest hashes its two fanin
+    ``(digest, complemented)`` edges in sorted order, so two cones that are
+    isomorphic up to AND-fanin order — matched positionally on their inputs
+    — share one signature and compute the same Boolean function.
+
+    The tuple contains only ints and strings, so it survives a JSON
+    round-trip (modulo list/tuple conversion) and is stable across runs:
+    exactly what :class:`PersistentConeCache` keys entries by.
+    """
+    if lit_var(root) == 0:
+        return (len(inputs), 0, f"const{root & 1}")
+    position: Dict[int, int] = {node: pos for pos, node in enumerate(inputs)}
+    digests: Dict[int, bytes] = {}
+    num_gates = 0
+    for index in aig.cone_nodes([root]):
+        if aig.is_and(index):
+            fanin0, fanin1 = aig.fanins(index)
+            edges = sorted(
+                (digests[lit_var(fanin)], fanin & 1) for fanin in (fanin0, fanin1)
+            )
+            hasher = hashlib.blake2b(b"and", digest_size=16)
+            for digest, complemented in edges:
+                hasher.update(digest)
+                hasher.update(b"!" if complemented else b".")
+            digests[index] = hasher.digest()
+            num_gates += 1
+        else:
+            if index not in position:
+                raise AigError(
+                    f"cone input {aig.input_name(index)} is not among the "
+                    "declared function inputs"
+                )
+            digests[index] = hashlib.blake2b(
+                b"in%d" % position[index], digest_size=16
+            ).digest()
+    root_edge = digests[lit_var(root)].hex()
+    if root & 1:
+        root_edge = "!" + root_edge
+    return (len(inputs), num_gates, root_edge)
+
+
 class ConeCache:
     """A memo cache with hit/miss accounting, keyed by hashable cone keys.
 
     The scheduler stores one entry per unique (signature, name-order) key;
     ``enabled=False`` turns every lookup into a miss so a single code path
     serves both the deduplicating and the always-recompute configurations.
+
+    Entries installed through :meth:`warm` (from a persistent snapshot) are
+    tracked separately: a lookup that hits one also bumps ``warm_hits``, the
+    number the scheduler reports as persistent-cache hits.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.warm_hits = 0
         self._store: Dict[Hashable, object] = {}
+        self._warmed: set = set()
 
     def __len__(self) -> int:
         return len(self._store)
+
+    def contains(self, key: Hashable) -> bool:
+        """Non-counting peek (the parallel scheduler's dispatch planning)."""
+        return self.enabled and key in self._store
 
     def lookup(self, key: Hashable) -> Optional[object]:
         """Return the cached value or ``None``, updating hit/miss counters."""
@@ -95,15 +174,220 @@ class ConeCache:
             self.misses += 1
         else:
             self.hits += 1
+            if key in self._warmed:
+                self.warm_hits += 1
         return value
 
     def store(self, key: Hashable, value: object) -> None:
         if self.enabled:
             self._store[key] = value
+            # A recomputed entry supersedes the warmed one; subsequent hits
+            # are in-run dedup, not persistent-cache reuse.
+            self._warmed.discard(key)
+
+    def warm(self, key: Hashable, value: object) -> None:
+        """Install an entry restored from a persistent snapshot."""
+        if self.enabled:
+            self._store[key] = value
+            self._warmed.add(key)
+
+    def items(self) -> Iterable[Tuple[Hashable, object]]:
+        return self._store.items()
 
     def stats(self) -> Dict[str, int]:
         return {
             "entries": len(self._store),
             "hits": self.hits,
             "misses": self.misses,
+            "warm_hits": self.warm_hits,
         }
+
+
+class PersistentConeCache:
+    """A cross-run snapshot of replayable cone-cache entries (JSON on disk).
+
+    One file holds any number of *contexts*; a context key is the stable
+    string built by the scheduler from ``(operator, sorted engine set,
+    EngineOptions.search_fingerprint())``.  Within a context, entries are
+    keyed by the scheduler's in-memory cache key — ``(canonical signature,
+    input-name sort permutation)`` — serialised to JSON.  Only replayable
+    entries (no engine result timed out) are ever stored, mirroring the
+    in-memory cache's memoisation rule, and the extracted sub-functions are
+    *not* persisted: cache replay re-extracts ``fA``/``fB`` against the
+    actual cone, so only the partition search outcome needs to survive.
+
+    A missing, corrupted or version-incompatible file is treated as empty —
+    a persistent cache can always be deleted (or lost) safely.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.loaded_entries = 0
+        self._contexts: Dict[str, Dict[str, dict]] = {}
+        self._load()
+
+    # -- disk format ------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict) or payload.get("version") != self.VERSION:
+                return
+            contexts = payload.get("contexts")
+            if not isinstance(contexts, dict):
+                return
+            # Drop structurally invalid contexts/entries up front so the
+            # per-entry decode in warm() and the merge in absorb() only ever
+            # see {key_json: dict} maps — a hand-edited or truncated file
+            # degrades to "fewer warm entries", never to a crash.
+            self._contexts = {
+                context: {
+                    key: entry
+                    for key, entry in entries.items()
+                    if isinstance(key, str) and isinstance(entry, dict)
+                }
+                for context, entries in contexts.items()
+                if isinstance(context, str) and isinstance(entries, dict)
+            }
+            self.loaded_entries = sum(len(v) for v in self._contexts.values())
+        except (OSError, ValueError):
+            # Missing file (first run) or corrupted JSON: start empty.
+            return
+
+    def save(self) -> None:
+        """Atomically rewrite the snapshot (write-temp-then-replace)."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        payload = {"version": self.VERSION, "contexts": self._contexts}
+        temp_path = f"{self.path}.tmp.{os.getpid()}"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_path, self.path)
+
+    # -- cache interchange -------------------------------------------------------
+
+    def warm(self, cache: ConeCache, context: str) -> int:
+        """Install this context's decodable entries into ``cache``."""
+        restored = 0
+        for key_json, entry in self._contexts.get(context, {}).items():
+            try:
+                key = _tuplify(json.loads(key_json))
+                value = _decode_entry(entry)
+            except (KeyError, TypeError, ValueError):
+                continue  # one undecodable entry never poisons the rest
+            cache.warm(key, value)
+            restored += 1
+        return restored
+
+    def absorb(self, cache: ConeCache, context: str) -> int:
+        """Merge a finished run's *new* cache entries into this context.
+
+        Returns how many entries were actually added.  Keys already in the
+        snapshot are skipped without re-encoding: a warmed key is never
+        recomputed within a run (its lookups hit), so the stored entry is
+        still current — which keeps a fully-warm run from re-serialising
+        the whole snapshot, and lets the caller skip :meth:`save` entirely
+        when nothing changed.
+        """
+        entries = self._contexts.setdefault(context, {})
+        absorbed = 0
+        for key, value in cache.items():
+            key_json = json.dumps(key, separators=(",", ":"))
+            if key_json in entries:
+                continue
+            entries[key_json] = _encode_entry(value)
+            absorbed += 1
+        return absorbed
+
+
+def _tuplify(value):
+    """Recursively convert JSON lists back into the hashable tuple form."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _encode_entry(value) -> dict:
+    """Serialise a ``(input_names, OutputResult)`` cache entry to JSON types."""
+    input_names, record = value
+    results = []
+    for engine, result in record.results.items():
+        partition = None
+        if result.partition is not None:
+            partition = {
+                "xa": list(result.partition.xa),
+                "xb": list(result.partition.xb),
+                "xc": list(result.partition.xc),
+            }
+        stats = result.stats
+        results.append(
+            {
+                "engine": engine,
+                "operator": result.operator,
+                "decomposed": result.decomposed,
+                "partition": partition,
+                "optimum_proven": result.optimum_proven,
+                "stats": {
+                    "sat_calls": stats.sat_calls,
+                    "qbf_iterations": stats.qbf_iterations,
+                    "qbf_calls": stats.qbf_calls,
+                    "refinements": stats.refinements,
+                    "conflicts": stats.conflicts,
+                    "cache_hits": stats.cache_hits,
+                    "bound_sequence": list(stats.bound_sequence),
+                },
+            }
+        )
+    return {
+        "inputs": list(input_names),
+        "circuit": record.circuit,
+        "output_name": record.output_name,
+        "num_support": record.num_support,
+        "results": results,
+    }
+
+
+def _decode_entry(entry: dict):
+    """Rebuild a ``(input_names, OutputResult)`` entry from its JSON form."""
+    # Imported lazily: repro.core imports this module at import time, so a
+    # module-level import here would be circular layering.
+    from repro.core.partition import VariablePartition
+    from repro.core.result import BiDecResult, OutputResult, SearchStatistics
+
+    record = OutputResult(
+        circuit=str(entry["circuit"]),
+        output_name=str(entry["output_name"]),
+        num_support=int(entry["num_support"]),
+    )
+    for item in entry["results"]:
+        partition = None
+        if item["partition"] is not None:
+            partition = VariablePartition(
+                tuple(item["partition"]["xa"]),
+                tuple(item["partition"]["xb"]),
+                tuple(item["partition"]["xc"]),
+            )
+        stats = SearchStatistics(
+            sat_calls=int(item["stats"]["sat_calls"]),
+            qbf_iterations=int(item["stats"]["qbf_iterations"]),
+            qbf_calls=int(item["stats"]["qbf_calls"]),
+            refinements=int(item["stats"]["refinements"]),
+            conflicts=int(item["stats"]["conflicts"]),
+            cache_hits=int(item["stats"]["cache_hits"]),
+            bound_sequence=[int(b) for b in item["stats"]["bound_sequence"]],
+        )
+        record.results[str(item["engine"])] = BiDecResult(
+            engine=str(item["engine"]),
+            operator=str(item["operator"]),
+            decomposed=bool(item["decomposed"]),
+            partition=partition,
+            optimum_proven=bool(item["optimum_proven"]),
+            # Only replayable (untruncated) entries are ever persisted.
+            timed_out=False,
+            stats=stats,
+        )
+    return (tuple(str(name) for name in entry["inputs"]), record)

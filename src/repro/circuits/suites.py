@@ -111,8 +111,8 @@ def _build_rows(extra: int) -> List[BenchmarkCircuit]:
         ),
         BenchmarkCircuit(
             name="s9234.1",
-            aig=generators.mux_tree(3, name="s9234_syn"),
-            stand_in="8-to-1 multiplexer tree",
+            aig=generators.mux_tree(3 + extra, name="s9234_syn"),
+            stand_in=f"{2 ** (3 + extra)}-to-1 multiplexer tree",
             paper_stats={"#In": 247, "#InM": 83, "#Out": 250},
         ),
         BenchmarkCircuit(

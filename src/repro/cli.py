@@ -45,19 +45,36 @@ _GENERATORS = {
 def _load_circuit(path: str) -> AIG:
     if path in classic_circuit_names():
         return classic_circuit(path)
-    if path.endswith(".bench"):
-        return read_bench(path)
-    return read_blif(path)
+    # Parse errors are already ReproErrors; OS-level failures (missing file,
+    # permissions, binary junk that is not even text) are wrapped so main()
+    # prints a one-line error instead of leaking a traceback.
+    try:
+        if path.endswith(".bench"):
+            return read_bench(path)
+        return read_blif(path)
+    except FileNotFoundError:
+        raise ReproError(
+            f"no such circuit file or library circuit: {path!r}"
+        ) from None
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ReproError(f"cannot read circuit file {path!r}: {exc}") from exc
 
 
 def _save_circuit(aig: AIG, path: str) -> None:
-    if path.endswith(".bench"):
-        write_bench(aig, path)
-    else:
-        write_blif(aig, path)
+    try:
+        if path.endswith(".bench"):
+            write_bench(aig, path)
+        else:
+            write_blif(aig, path)
+    except OSError as exc:
+        raise ReproError(f"cannot write circuit file {path!r}: {exc}") from exc
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
+    if args.cache_dir is not None and args.no_dedup:
+        # The persistent cache rides on the dedup cache; accepting both
+        # flags would silently persist nothing.
+        raise ReproError("--cache-dir requires cone dedup; drop --no-dedup")
     aig = _load_circuit(args.circuit)
     options = EngineOptions(
         per_call_timeout=args.qbf_timeout,
@@ -66,6 +83,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         dedup=not args.no_dedup,
         seed=args.seed,
+        cache_dir=args.cache_dir,
     )
     step = BiDecomposer(options)
     engines = args.engine or ["STEP-QD"]
@@ -86,11 +104,22 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         print(f"{engine:>10}: #Dec = {decomposed:4d}   CPU = {cpu:8.2f} s")
     schedule = report.schedule
     if schedule:
-        print(
+        line = (
             f"{'schedule':>10}: jobs = {schedule.get('jobs', 1)}   "
             f"unique cones = {schedule.get('unique_cones', 0)}   "
             f"cache hits = {schedule.get('cache_hits', 0)}"
         )
+        if "persistent_hits" in schedule:
+            line += f"   persistent hits = {schedule['persistent_hits']}"
+        if schedule.get("fallback"):
+            line += f"   fallback = {schedule['fallback']}"
+        print(line)
+        skipped = schedule.get("skipped") or []
+        if skipped:
+            print(
+                f"{'skipped':>10}: {len(skipped)} output(s) past the circuit "
+                f"budget: {', '.join(skipped)}"
+            )
     return 0
 
 
@@ -145,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dedup",
         action="store_true",
         help="disable structural dedup of identical output cones",
+    )
+    decompose.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory for the persistent cone cache: replayable partition "
+            "searches are snapshotted there and warm the next run over the "
+            "same engines/options (default: no persistence)"
+        ),
     )
     decompose.add_argument(
         "--seed",

@@ -77,11 +77,13 @@ class EngineOptions:
     min_support: int = 2
     max_support: Optional[int] = None
     # Batch-scheduler knobs (see repro.core.scheduler): worker processes per
-    # circuit, structural dedup of identical cones, and the run seed from
-    # which per-output job seeds are derived.
+    # circuit, structural dedup of identical cones, the run seed from which
+    # per-output job seeds are derived, and an optional directory for the
+    # persistent (cross-run) cone cache.
     jobs: int = 1
     dedup: bool = True
     seed: int = 0
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.extraction = check_extraction(self.extraction)
@@ -89,6 +91,21 @@ class EngineOptions:
             raise DecompositionError(f"unknown QBF strategy {self.qbf_strategy!r}")
         if self.jobs < 1:
             raise DecompositionError("jobs must be at least 1")
+
+    def search_fingerprint(self) -> str:
+        """Stable key of every option that can change a partition search.
+
+        Part of the persistent cone cache's context key: a snapshot taken
+        under one set of search budgets/strategies must never be replayed
+        under another.  Extraction/verification options are excluded —
+        replay re-runs them against the actual cone — as are the scheduler
+        knobs (jobs, dedup, seed, cache_dir), which never change results.
+        """
+        return (
+            f"pct={self.per_call_timeout}|ot={self.output_timeout}"
+            f"|strategy={self.qbf_strategy}|backend={self.qbf_backend}"
+            f"|min={self.min_support}|max={self.max_support}"
+        )
 
 
 def extract_and_verify(
@@ -126,10 +143,18 @@ class BiDecomposer:
         engine: str = ENGINE_STEP_QD,
         bootstrap: Optional[VariablePartition] = None,
         deadline: Optional[Deadline] = None,
+        extract: Optional[bool] = None,
     ) -> BiDecResult:
-        """Decompose one function with one engine."""
+        """Decompose one function with one engine.
+
+        ``extract`` overrides ``options.extract`` for this call; the driver
+        uses it to skip sub-function extraction on bootstrap-only passes
+        whose ``fA``/``fB`` nobody will read.
+        """
         operator = check_operator(operator)
         engine = check_engine(engine)
+        if extract is None:
+            extract = self.options.extract
         deadline = deadline or Deadline(self.options.output_timeout)
         if function.num_inputs < self.options.min_support:
             return BiDecResult(engine=engine, operator=operator, decomposed=False)
@@ -157,7 +182,7 @@ class BiDecomposer:
                     deadline=deadline,
                     backend=self.options.qbf_backend,
                 )
-        if result.decomposed and result.partition is not None and self.options.extract:
+        if result.decomposed and result.partition is not None and extract:
             result.fa, result.fb = extract_and_verify(
                 function, operator, result.partition, self.options
             )
@@ -170,7 +195,13 @@ class BiDecomposer:
         engines: Sequence[str],
         deadline: Optional[Deadline] = None,
     ) -> Dict[str, BiDecResult]:
-        """Decompose one function with several engines, sharing the bootstrap."""
+        """Decompose one function with several engines, sharing the bootstrap.
+
+        ``deadline`` is the enclosing *circuit* budget: each engine call runs
+        under ``deadline.sub_deadline(output_timeout)``, i.e. its usual
+        per-output budget capped by whatever the circuit has left.  Without
+        one, every engine gets a fresh per-output budget (legacy behaviour).
+        """
         engines = [check_engine(e) for e in engines]
         results: Dict[str, BiDecResult] = {}
         bootstrap: Optional[VariablePartition] = None
@@ -179,12 +210,19 @@ class BiDecomposer:
         if needs_bootstrap and ENGINE_STEP_MG not in ordered:
             ordered.insert(0, ENGINE_STEP_MG)
         for engine in ordered:
+            engine_deadline = None
+            if deadline is not None:
+                engine_deadline = deadline.sub_deadline(self.options.output_timeout)
             result = self.decompose_function(
                 function,
                 operator,
                 engine,
                 bootstrap=bootstrap,
-                deadline=deadline,
+                deadline=engine_deadline,
+                # A bootstrap-only pass (STEP-MG inserted for the QBF
+                # engines) only contributes its partition; extracting
+                # fA/fB for it would be thrown away immediately.
+                extract=None if engine in engines else False,
             )
             if engine == ENGINE_STEP_MG and result.decomposed:
                 bootstrap = result.partition
@@ -202,12 +240,15 @@ class BiDecomposer:
         engines: Sequence[str],
         circuit_name: Optional[str] = None,
         function: Optional[BooleanFunction] = None,
+        deadline: Optional[Deadline] = None,
     ) -> OutputResult:
         """Decompose one primary output with the requested engines.
 
         ``function`` optionally supplies the output's already-extracted cone
         (the batch scheduler builds it during planning) to avoid a second
-        support traversal.
+        support traversal.  ``deadline`` is the circuit budget the scheduler
+        plumbs through (including into pool workers); each engine runs under
+        its per-output budget capped by the circuit's remaining time.
         """
         if function is None:
             function = BooleanFunction.from_output(aig, output)
@@ -224,7 +265,9 @@ class BiDecomposer:
             and function.num_inputs > self.options.max_support
         ):
             return record
-        record.results = self.decompose_function_all(function, operator, engines)
+        record.results = self.decompose_function_all(
+            function, operator, engines, deadline=deadline
+        )
         return record
 
     def decompose_circuit(
@@ -237,20 +280,28 @@ class BiDecomposer:
         circuit_name: Optional[str] = None,
         jobs: Optional[int] = None,
         dedup: Optional[bool] = None,
+        cache_dir: Optional[str] = None,
     ) -> CircuitReport:
         """Decompose every primary output of a circuit.
 
         Sequential circuits are made combinational first (the ABC ``comb``
         step of the paper's flow).  ``circuit_timeout`` mirrors the paper's
-        per-circuit budget; outputs past the deadline are skipped.
+        per-circuit budget: outputs past the deadline are skipped (and named
+        in ``report.schedule["skipped"]``), and outputs in flight finish
+        under sub-deadlines capped by the circuit's remaining time — on the
+        sequential path and across pool workers alike.
 
         The per-output work is planned and executed by
         :class:`repro.core.scheduler.BatchScheduler`: structurally identical
-        cones are decomposed once (``dedup``) and unique cones can fan out to
-        ``jobs`` worker processes; both knobs default to the engine options.
+        cones are decomposed once (``dedup``), unique cones can fan out to
+        ``jobs`` worker processes, and with ``cache_dir`` the cone cache is
+        persisted across runs; the knobs default to the engine options.
         The report is fingerprint-identical for every (jobs, dedup)
         combination, provided no engine call is truncated by its wall-clock
-        budget (truncation reflects machine load, which no mode controls).
+        budget (truncation reflects machine load, which no mode controls)
+        and duplicate cones are traversal-order-exact (canonical dedup of
+        merely fanin-permuted cones replays a valid partition that a fresh
+        search might not have chosen — see ``docs/architecture.md``).
         """
         from repro.core.scheduler import BatchScheduler
 
@@ -259,6 +310,7 @@ class BiDecomposer:
             jobs=self.options.jobs if jobs is None else jobs,
             dedup=self.options.dedup if dedup is None else dedup,
             seed=self.options.seed,
+            cache_dir=self.options.cache_dir if cache_dir is None else cache_dir,
         )
         return scheduler.run(
             aig,
@@ -290,16 +342,23 @@ class BiDecomposer:
                 function, operator, sorted(xa), sorted(xb), xc, bdd=manager
             )
 
+        # ``truncated`` records whether the deadline actually cut a search
+        # loop short.  Reporting ``deadline.expired`` at result-construction
+        # time would flag runs whose search completed just before expiry as
+        # timed out — and make the scheduler refuse to memoise a perfectly
+        # good result (see ``repro.core.scheduler._replayable``).
+        truncated = False
         partition: Optional[VariablePartition] = None
         seed: Optional[Tuple[str, str]] = None
         for i, first in enumerate(variables):
             for second in variables[i + 1 :]:
                 if deadline is not None and deadline.expired:
+                    truncated = True
                     break
                 if check({first}, {second}):
                     seed = (first, second)
                     break
-            if seed or (deadline is not None and deadline.expired):
+            if seed or truncated:
                 break
         if seed is not None:
             xa, xb = {seed[0]}, {seed[1]}
@@ -307,6 +366,7 @@ class BiDecomposer:
                 if name in xa or name in xb:
                     continue
                 if deadline is not None and deadline.expired:
+                    truncated = True
                     break
                 order = ("A", "B") if len(xa) <= len(xb) else ("B", "A")
                 for block in order:
@@ -328,6 +388,6 @@ class BiDecomposer:
             partition=partition,
             optimum_proven=False,
             cpu_seconds=elapsed,
-            timed_out=deadline is not None and deadline.expired,
+            timed_out=truncated,
             stats=stats,
         )

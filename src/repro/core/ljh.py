@@ -26,19 +26,26 @@ from repro.core.checks import CheckOutcome, RelaxationChecker
 from repro.core.partition import VariablePartition
 from repro.core.result import BiDecResult, SearchStatistics
 from repro.core.spec import ENGINE_LJH, check_operator
-from repro.utils.timer import Deadline, Stopwatch
+from repro.utils.timer import Deadline, Stopwatch, TruncationWitness
 
 
 def ljh_find_partition(
     checker: RelaxationChecker,
     deadline: Optional[Deadline] = None,
     stats: Optional[SearchStatistics] = None,
+    witness: Optional[TruncationWitness] = None,
 ) -> Optional[VariablePartition]:
-    """Search for a non-trivial decomposable partition, LJH style."""
+    """Search for a non-trivial decomposable partition, LJH style.
+
+    ``witness`` (when given) records whether the search was cut short by
+    the deadline, so the caller can distinguish a truncated search from one
+    that completed just before expiry.
+    """
     variables = checker.variables
     stats = stats if stats is not None else SearchStatistics()
+    witness = witness if witness is not None else TruncationWitness()
 
-    seed = _find_seed(checker, variables, deadline, stats)
+    seed = _find_seed(checker, variables, deadline, stats, witness)
     if seed is None:
         return None
     xa, xb = {seed[0]}, {seed[1]}
@@ -47,7 +54,7 @@ def ljh_find_partition(
     blocked_a: Set[str] = set()
     blocked_b: Set[str] = set()
     for name in list(xc):
-        if deadline is not None and deadline.expired:
+        if witness.check(deadline):
             break
         # Try the block that currently improves balancedness the most first.
         order = ("A", "B") if len(xa) <= len(xb) else ("B", "A")
@@ -66,6 +73,8 @@ def ljh_find_partition(
                 placed = True
                 break
             if outcome.decomposable is None:
+                # Budget-induced unknown from the SAT call: truncated too.
+                witness.mark()
                 return _partition(variables, xa, xb)
         if not placed:
             continue
@@ -77,14 +86,19 @@ def _find_seed(
     variables: List[str],
     deadline: Optional[Deadline],
     stats: SearchStatistics,
+    witness: TruncationWitness,
 ) -> Optional[Tuple[str, str]]:
     for i, first in enumerate(variables):
         for second in variables[i + 1 :]:
-            if deadline is not None and deadline.expired:
+            if witness.check(deadline):
                 return None
             outcome = _check(checker, variables, {first}, {second}, deadline, stats)
             if outcome.decomposable:
                 return first, second
+            if outcome.decomposable is None:
+                # A budget-truncated check: a later "no seed found" verdict
+                # is not definitive, so record the truncation.
+                witness.mark()
     return None
 
 
@@ -130,9 +144,14 @@ def ljh_decompose(
     """
     stopwatch = Stopwatch().start()
     stats = SearchStatistics()
-    partition = ljh_find_partition(checker, deadline=deadline, stats=stats)
+    witness = TruncationWitness()
+    partition = ljh_find_partition(
+        checker, deadline=deadline, stats=stats, witness=witness
+    )
     elapsed = stopwatch.stop()
-    timed_out = deadline is not None and deadline.expired
+    # Only an actually truncated search is a timeout; completing just
+    # before expiry is a full (memoisable) result.
+    timed_out = witness.truncated
     return BiDecResult(
         engine=ENGINE_LJH,
         operator=checker.operator,

@@ -34,17 +34,24 @@ from repro.core.checks import RelaxationChecker
 from repro.core.partition import VariablePartition
 from repro.core.result import BiDecResult, SearchStatistics
 from repro.core.spec import ENGINE_STEP_MG
-from repro.utils.timer import Deadline, Stopwatch
+from repro.utils.timer import Deadline, Stopwatch, TruncationWitness
 
 
 def mus_find_partition(
     checker: RelaxationChecker,
     deadline: Optional[Deadline] = None,
     stats: Optional[SearchStatistics] = None,
+    witness: Optional[TruncationWitness] = None,
 ) -> Optional[VariablePartition]:
-    """Derive a partition from a deletion group-MUS over equality groups."""
+    """Derive a partition from a deletion group-MUS over equality groups.
+
+    ``witness`` (when given) records whether the search was cut short by
+    the deadline, so the caller can tell a truncated negative apart from a
+    definitive one.
+    """
     variables = checker.variables
     stats = stats if stats is not None else SearchStatistics()
+    witness = witness if witness is not None else TruncationWitness()
 
     free: Set[str] = set()          # relaxable on both copies
     needed: Set[str] = set(variables)  # groups currently enforced
@@ -53,6 +60,8 @@ def mus_find_partition(
     # already rules many groups out of the MUS (clause-set refinement).
     outcome = _check(checker, variables, relaxed=free, deadline=deadline, stats=stats)
     if outcome.decomposable is None:
+        # Budget-induced unknown: this negative is truncated, not proven.
+        witness.mark()
         return None
     if not outcome.decomposable:
         # Cannot happen for a well-formed completely specified function, but
@@ -65,13 +74,14 @@ def mus_find_partition(
 
     # Deletion loop over the surviving groups.
     for name in [v for v in variables if v in needed]:
-        if deadline is not None and deadline.expired:
+        if witness.check(deadline):
             break
         if name in free:
             continue
         candidate = free | {name}
         outcome = _check(checker, variables, relaxed=candidate, deadline=deadline, stats=stats)
         if outcome.decomposable is None:
+            witness.mark()
             break
         if outcome.decomposable:
             free = candidate
@@ -86,7 +96,7 @@ def mus_find_partition(
 
     # Fallback: single-sided greedy growth (the group-MUS found at most one
     # fully relaxable variable, but one-sided relaxations may still work).
-    return _greedy_fallback(checker, variables, deadline, stats)
+    return _greedy_fallback(checker, variables, deadline, stats, witness)
 
 
 def _check(
@@ -125,6 +135,7 @@ def _greedy_fallback(
     variables: Sequence[str],
     deadline: Optional[Deadline],
     stats: SearchStatistics,
+    witness: TruncationWitness,
 ) -> Optional[VariablePartition]:
     """One-sided relaxation pass used when the group-MUS is too coarse."""
     xa: Set[str] = set()
@@ -137,12 +148,16 @@ def _greedy_fallback(
             {v: v in candidate_b for v in variables},
             deadline=deadline,
         )
+        if outcome.decomposable is None:
+            # A budget-truncated check counts as truncation: the "no"
+            # answer it degrades to is not definitive.
+            witness.mark()
         return bool(outcome.decomposable)
 
     # Explicit seed-pair search (bounded by the first success).
     for i, first in enumerate(variables):
         for second in variables[i + 1 :]:
-            if deadline is not None and deadline.expired:
+            if witness.check(deadline):
                 return None
             if attempt({first}, {second}):
                 xa, xb = {first}, {second}
@@ -154,7 +169,7 @@ def _greedy_fallback(
     for name in variables:
         if name in xa or name in xb:
             continue
-        if deadline is not None and deadline.expired:
+        if witness.check(deadline):
             break
         target_first = "A" if len(xa) <= len(xb) else "B"
         for block in (target_first, "B" if target_first == "A" else "A"):
@@ -176,9 +191,14 @@ def mus_decompose(
     """Run the STEP-MG engine and package the outcome (partition only)."""
     stopwatch = Stopwatch().start()
     stats = SearchStatistics()
-    partition = mus_find_partition(checker, deadline=deadline, stats=stats)
+    witness = TruncationWitness()
+    partition = mus_find_partition(
+        checker, deadline=deadline, stats=stats, witness=witness
+    )
     elapsed = stopwatch.stop()
-    timed_out = deadline is not None and deadline.expired
+    # Only an actually truncated search is a timeout; completing just
+    # before expiry is a full (memoisable) result.
+    timed_out = witness.truncated
     return BiDecResult(
         engine=ENGINE_STEP_MG,
         operator=checker.operator,

@@ -166,16 +166,20 @@ class OutputResult:
 class CircuitReport:
     """All outputs of one circuit, decomposed by the requested engines.
 
-    ``schedule`` summarises how the batch scheduler executed the run
-    (worker count, unique cones, dedup cache hits); it is informational and
-    excluded from :meth:`fingerprint`.
+    ``schedule`` summarises how the batch scheduler executed the run:
+    worker count (plus ``fallback``, the reason a jobs>1 request ran
+    sequentially), unique cones and dedup cache hits, the names of
+    budget-``skipped`` outputs, and — when a persistent cache directory is
+    configured — ``persistent_hits``/``persistent_loaded``/
+    ``persistent_saved``.  It is informational and excluded from
+    :meth:`fingerprint`.
     """
 
     circuit: str
     operator: str
     outputs: List[OutputResult] = field(default_factory=list)
     total_cpu: Dict[str, float] = field(default_factory=dict)
-    schedule: Dict[str, int] = field(default_factory=dict)
+    schedule: Dict[str, object] = field(default_factory=dict)
 
     def decomposed_count(self, engine: str) -> int:
         """The paper's ``#Dec`` column: outputs the engine decomposed."""

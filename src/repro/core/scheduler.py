@@ -19,12 +19,32 @@ preserving the sequential driver's results exactly:
   the deterministic fallback (and the two produce identical
   :meth:`repro.core.result.CircuitReport.fingerprint` values, which the
   differential tests assert).
+* **Deadlines** — a circuit budget (``circuit_timeout``) is honoured on
+  *both* paths: every engine call runs under a sub-deadline capped by the
+  circuit's remaining time (the :class:`repro.utils.timer.Deadline` is
+  shipped to pool workers, whose monotonic clock is shared with the
+  parent), a worker whose job starts after expiry skips it immediately, and
+  the report names every budget-skipped output in
+  ``schedule["skipped"]``.  On the sequential path skips follow output
+  order; on the pool path they are whichever jobs had not started at
+  expiry — on a budget generous enough that nothing is truncated the two
+  sets are identically empty (differential-tested).
+* **Persistence** — with ``cache_dir`` set, replayable cache entries are
+  snapshotted to ``<cache_dir>/cone_cache.json`` keyed by (canonical
+  signature, operator, engine set, options fingerprint); the next run over
+  the same configuration warms its cache from the snapshot and reports the
+  reuse in ``schedule["persistent_hits"]``.
 
 The identity guarantee is stated for runs whose engine calls finish within
 their wall-clock budgets: a search truncated by ``per_call_timeout`` /
-``output_timeout`` reflects machine load, and load differs between runs
-regardless of jobs count — timed-out results (and searches completed near
-the budget) can therefore differ run to run on the sequential path too.
+``output_timeout`` / ``circuit_timeout`` reflects machine load, and load
+differs between runs regardless of jobs count — timed-out results (and
+searches completed near the budget) can therefore differ run to run on the
+sequential path too.  Dedup is keyed by the *canonical* (fanin-commutative)
+cone signature: for traversal-order-exact duplicates the replay is
+bit-for-bit what a fresh search would produce, while for merely
+fanin-permuted duplicates it is a valid partition of the same function that
+a fresh search over the permuted encoding might not have chosen.
 
 Every job runs under a seed derived from (run seed, circuit, output name) —
 never from scheduling order or worker identity — so parallel runs are
@@ -34,12 +54,17 @@ bit-for-bit reproducible (:mod:`repro.utils.rng`).
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aig.aig import AIG
 from repro.aig.function import BooleanFunction
-from repro.aig.signature import ConeCache, cone_signature
+from repro.aig.signature import (
+    ConeCache,
+    PersistentConeCache,
+    canonical_cone_signature,
+)
 from repro.core.engine import BiDecomposer, EngineOptions, extract_and_verify
 from repro.core.partition import VariablePartition
 from repro.core.result import BiDecResult, CircuitReport, OutputResult
@@ -47,6 +72,16 @@ from repro.core.spec import check_engine, check_operator
 from repro.errors import DecompositionError
 from repro.utils.rng import derive_seed, seeded_job
 from repro.utils.timer import Deadline, Stopwatch
+
+# File name of the persistent cone cache inside ``cache_dir``.
+PERSISTENT_CACHE_FILENAME = "cone_cache.json"
+
+# Fallback reasons recorded in ``CircuitReport.schedule["fallback"]`` when a
+# parallel run ends up on the sequential path.
+FALLBACK_DEADLINE = "deadline"
+FALLBACK_POOL_UNAVAILABLE = "pool-unavailable"
+FALLBACK_WARM_CACHE = "warm-cache"
+FALLBACK_SINGLE_JOB = "single-job"
 
 # Template stored in the cone cache: the primary job's input names (for the
 # positional rename) and its fully computed per-engine record.
@@ -95,6 +130,9 @@ class BatchScheduler:
         Memoise structurally identical cones (see module docstring).
     seed:
         Run seed from which every job's seed is derived.
+    cache_dir:
+        Directory for the persistent (cross-run) cone cache; ``None`` keeps
+        the cache in-memory only.  Only meaningful with ``dedup``.
     """
 
     def __init__(
@@ -103,6 +141,7 @@ class BatchScheduler:
         jobs: int = 1,
         dedup: bool = True,
         seed: int | str | None = 0,
+        cache_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise DecompositionError("jobs must be at least 1")
@@ -110,6 +149,7 @@ class BatchScheduler:
         self.jobs = jobs
         self.dedup = dedup
         self.seed = seed
+        self.cache_dir = cache_dir
 
     # -- planning -----------------------------------------------------------------
 
@@ -147,11 +187,11 @@ class BatchScheduler:
             # The signature serves dedup keys and parallel dispatch costs;
             # a plain sequential no-dedup run needs neither.
             if searchable and (self.dedup or self.jobs > 1):
-                signature = cone_signature(
+                signature = canonical_cone_signature(
                     function.aig, function.root, function.inputs
                 )
                 # Cone size (inputs + gates), read off the signature.
-                cost = signature[0] + len(signature[1])
+                cost = signature[0] + signature[1]
                 if self.dedup:
                     # The engines iterate variables in input order but sort
                     # name sets in a few places (QBF blocking clauses, BDD
@@ -202,17 +242,31 @@ class BatchScheduler:
             deadline=deadline,
         )
         cache = ConeCache(enabled=self.dedup)
+        persistent, context = self._open_persistent_cache(operator, engines)
+        warmed = persistent.warm(cache, context) if persistent is not None else 0
         records: Dict[int, OutputResult] = {}
 
-        # A circuit deadline forces the sequential path: its semantics
-        # (outputs processed in order, stop at expiry) cannot be preempted
-        # across pool workers, and honouring them is what keeps reports
-        # fingerprint-identical for every jobs count.
         used_workers = 0
-        if self.jobs > 1 and len(jobs) > 1 and deadline is None:
-            used_workers = self._run_parallel(
-                aig, jobs, operator, engines, report.circuit, cache, records
-            )
+        fallback: Optional[str] = None
+        if self.jobs > 1:
+            if deadline is not None and deadline.expired:
+                # The budget was consumed by planning alone; forking a pool
+                # just to have every worker skip its job would be waste.
+                fallback = FALLBACK_DEADLINE
+            elif len(jobs) <= 1:
+                # Nothing to fan out: the circuit planned at most one job.
+                fallback = FALLBACK_SINGLE_JOB
+            else:
+                used_workers, fallback = self._run_parallel(
+                    aig,
+                    jobs,
+                    operator,
+                    engines,
+                    report.circuit,
+                    cache,
+                    records,
+                    deadline,
+                )
         if not used_workers:
             self._run_sequential(
                 aig, jobs, operator, engines, report.circuit, cache, records, deadline
@@ -226,6 +280,10 @@ class BatchScheduler:
             for engine, result in record.results.items():
                 totals[engine] = totals.get(engine, 0.0) + result.cpu_seconds
         report.total_cpu = totals
+        executed_names = {record.output_name for record in report.outputs}
+        considered = [name for name, _ in aig.outputs]
+        if max_outputs is not None:
+            considered = considered[:max_outputs]
         report.schedule = {
             # "jobs" is the worker count the run actually used: the pool
             # size on the parallel path, 1 whenever the scheduler fell back
@@ -234,11 +292,44 @@ class BatchScheduler:
             "requested_jobs": self.jobs,
             "planned": len(jobs),
             "executed": len(records),
+            # Outputs the circuit budget cut off (never planned, or planned
+            # but not started before expiry), in output order.
+            "skipped": [name for name in considered if name not in executed_names],
+            # Why a jobs>1 request ran sequentially (None when it did not).
+            "fallback": fallback,
             "unique_cones": len(cache),
             "cache_hits": cache.hits,
             "cache_misses": cache.misses,
         }
+        if persistent is not None:
+            saved = persistent.absorb(cache, context)
+            if saved:
+                persistent.save()
+            report.schedule["persistent_hits"] = cache.warm_hits
+            report.schedule["persistent_loaded"] = warmed
+            report.schedule["persistent_saved"] = saved
         return report
+
+    def _open_persistent_cache(
+        self, operator: str, engines: List[str]
+    ) -> Tuple[Optional[PersistentConeCache], str]:
+        """The cross-run snapshot (if configured) and this run's context key.
+
+        The context key ties entries to everything that determines a
+        partition search besides the cone itself: the gate operator, the
+        engine *set* (order never changes results — the driver always runs
+        STEP-MG first and shares its bootstrap) and the search-relevant
+        engine options.  Without dedup there is nothing to warm or absorb,
+        so the snapshot is not even opened.
+        """
+        context = (
+            f"op={operator}|engines={','.join(sorted(set(engines)))}"
+            f"|{self._decomposer.options.search_fingerprint()}"
+        )
+        if self.cache_dir is None or not self.dedup:
+            return None, context
+        path = os.path.join(self.cache_dir, PERSISTENT_CACHE_FILENAME)
+        return PersistentConeCache(path), context
 
     def _run_sequential(
         self,
@@ -256,7 +347,7 @@ class BatchScheduler:
             if deadline is not None and deadline.expired:
                 break
             records[job.index] = self._execute_job(
-                aig, job, operator, engines, circuit_name, cache
+                aig, job, operator, engines, circuit_name, cache, deadline
             )
 
     def _execute_job(
@@ -267,6 +358,7 @@ class BatchScheduler:
         engines: List[str],
         circuit_name: str,
         cache: ConeCache,
+        deadline: Optional[Deadline] = None,
     ) -> OutputResult:
         """Run one job, consulting and feeding the cone memo cache."""
         if job.cache_key is not None:
@@ -281,6 +373,7 @@ class BatchScheduler:
                 engines,
                 circuit_name=circuit_name,
                 function=job.function,
+                deadline=deadline,
             )
         if job.cache_key is not None and _replayable(record):
             cache.store(job.cache_key, (job.input_names, record))
@@ -295,23 +388,45 @@ class BatchScheduler:
         circuit_name: str,
         cache: ConeCache,
         records: Dict[int, OutputResult],
-    ) -> int:
+        deadline: Optional[Deadline],
+    ) -> Tuple[int, Optional[str]]:
         """Fan unique cones out to a process pool; replay duplicates locally.
 
-        Returns the pool's worker count, or ``0`` when a pool could not be
-        created (restricted environments); the caller then falls back to the
-        sequential path.
+        Returns ``(worker_count, fallback_reason)``: the pool's worker count
+        on success, or ``0`` plus the reason when the run belongs on the
+        sequential path instead — no pool could be created (restricted
+        environments), or every cone replays from the warmed persistent
+        cache and forking would be pure overhead.
+
+        Stop-at-expiry semantics under a circuit ``deadline``: the deadline
+        object is shipped to every worker (wall-clock deadlines compare the
+        shared system monotonic clock, so parent and workers agree on
+        expiry), a worker whose job starts after expiry returns a skip
+        marker instead of searching, and engine calls inside a job run under
+        sub-deadlines capped by the circuit's remaining time.  Which jobs
+        get skipped depends on dispatch order and worker load — the
+        sequential path skips in output order instead — but on budgets
+        generous enough that nothing is truncated both paths skip nothing
+        and stay fingerprint-identical.
         """
         primaries: List[OutputJob] = []
         followers: List[OutputJob] = []
         seen: set = set()
         for job in jobs:
-            if self.dedup and job.cache_key is not None and job.cache_key in seen:
+            if job.cache_key is not None and (
+                job.cache_key in seen or cache.contains(job.cache_key)
+            ):
+                # In-run duplicate, or a cone the persistent snapshot
+                # already answers: replay locally, never dispatch.
                 followers.append(job)
                 continue
             if job.cache_key is not None:
                 seen.add(job.cache_key)
             primaries.append(job)
+
+        if not primaries:
+            # Everything replays from the warmed cache; no pool needed.
+            return 0, FALLBACK_WARM_CACHE
 
         # Heaviest cones first so stragglers start early (cost-ordered
         # scheduling); results are placed back by output index.  Workers run
@@ -322,7 +437,9 @@ class BatchScheduler:
         # sequential path.
         dispatch = sorted(primaries, key=lambda job: (-job.cost, job.index))
         options = self._decomposer.options
-        worker_options = replace(options, jobs=1, extract=False, verify=False)
+        worker_options = replace(
+            options, jobs=1, extract=False, verify=False, cache_dir=None
+        )
         worker_count = min(self.jobs, len(dispatch))
         try:
             context = multiprocessing.get_context("fork")
@@ -340,16 +457,21 @@ class BatchScheduler:
             # AssertionError): fall back to the sequential path.  Exceptions
             # raised *inside* jobs propagate from pool.map below, exactly as
             # they would from the sequential driver.
-            return 0
+            return 0, FALLBACK_POOL_UNAVAILABLE
         with pool:
             computed = pool.map(
                 _worker_run,
-                [(job.index, job.output_name, job.seed) for job in dispatch],
+                [
+                    (job.index, job.output_name, job.seed, deadline)
+                    for job in dispatch
+                ],
             )
 
         by_index = dict(computed)
         for job in dispatch:
             record = by_index[job.index]
+            if record is None:
+                continue  # budget-skipped in the worker
             if options.extract:
                 self._extract_record(aig, job, operator, record)
             records[job.index] = record
@@ -360,13 +482,15 @@ class BatchScheduler:
                 if _replayable(record):
                     cache.store(job.cache_key, (job.input_names, record))
         for job in followers:
+            if deadline is not None and deadline.expired:
+                break
             # _execute_job replays on a hit; when the primary's record was
-            # not cached (budget-truncated), it recomputes with a fresh
-            # budget — exactly as the sequential path would.
+            # not cached (budget-truncated or skipped), it recomputes with a
+            # fresh budget — exactly as the sequential path would.
             records[job.index] = self._execute_job(
-                aig, job, operator, engines, circuit_name, cache
+                aig, job, operator, engines, circuit_name, cache, deadline
             )
-        return worker_count
+        return worker_count, None
 
     def _extract_record(
         self, aig: AIG, job: OutputJob, operator: str, record: OutputResult
@@ -454,8 +578,22 @@ def _worker_init(
     _WORKER_STATE["circuit_name"] = circuit_name
 
 
-def _worker_run(args: Tuple[int, str, int]) -> Tuple[int, OutputResult]:
-    index, output_name, seed = args
+def _worker_run(
+    args: Tuple[int, str, int, Optional[Deadline]]
+) -> Tuple[int, Optional[OutputResult]]:
+    """Run one job in a pool worker, honouring the circuit deadline.
+
+    The :class:`Deadline` crosses the pipe as plain data; its expiry check
+    compares the system-wide monotonic clock, which parent and (forked or
+    spawned) workers on one machine share, so "expired" means the same thing
+    on both sides.  A job that starts after expiry is skipped (``None``
+    marker — the parent reports it in ``schedule["skipped"]``); a job that
+    starts before expiry runs its engines under sub-deadlines capped by the
+    circuit's remaining budget.
+    """
+    index, output_name, seed, deadline = args
+    if deadline is not None and deadline.expired:
+        return index, None
     decomposer: BiDecomposer = _WORKER_STATE["decomposer"]  # type: ignore[assignment]
     with seeded_job(seed):
         record = decomposer.decompose_output(
@@ -464,5 +602,6 @@ def _worker_run(args: Tuple[int, str, int]) -> Tuple[int, OutputResult]:
             _WORKER_STATE["operator"],  # type: ignore[arg-type]
             _WORKER_STATE["engines"],  # type: ignore[arg-type]
             circuit_name=_WORKER_STATE["circuit_name"],  # type: ignore[arg-type]
+            deadline=deadline,
         )
     return index, record

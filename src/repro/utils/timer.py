@@ -90,3 +90,28 @@ class Deadline:
         if budget is None:
             return Deadline(remaining)
         return Deadline(min(budget, remaining))
+
+
+@dataclass
+class TruncationWitness:
+    """Records whether a search was actually cut short by its deadline.
+
+    An engine's ``timed_out`` flag must reflect *truncation*, not merely
+    "the deadline had expired by the time the result was packaged" — a
+    search that completed just before expiry is a full, memoisable result.
+    Search loops call :meth:`check` wherever they would break on expiry (and
+    :meth:`mark` for budget-induced unknowns from deeper calls); the wrapper
+    reads :attr:`truncated` afterwards.
+    """
+
+    truncated: bool = False
+
+    def mark(self) -> None:
+        self.truncated = True
+
+    def check(self, deadline: "Deadline | None") -> bool:
+        """True — and recorded as truncation — when ``deadline`` expired."""
+        if deadline is not None and deadline.expired:
+            self.truncated = True
+            return True
+        return False

@@ -231,6 +231,13 @@ class TestLibraryAndSuites:
         medium = {row.name: row.num_inputs for row in quality_suite("medium")}
         assert any(medium[name] > small[name] for name in small)
 
+    def test_s9234_row_scales_with_suite(self):
+        """Regression: the s9234.1 mux-tree stand-in ignored the suite scale."""
+        small = {row.name: row for row in quality_suite("small")}
+        medium = {row.name: row for row in quality_suite("medium")}
+        assert medium["s9234.1"].num_inputs > small["s9234.1"].num_inputs
+        assert "16-to-1" in medium["s9234.1"].stand_in
+
     def test_unknown_scale_rejected(self):
         with pytest.raises(ReproError):
             quality_suite("enormous")

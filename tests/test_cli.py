@@ -127,3 +127,102 @@ class TestDecompose:
             ["decompose", adder_blif, "--engine", "STEP-MG", "--jobs", "0"]
         ) == 1
         assert "jobs" in capsys.readouterr().err
+
+    def test_circuit_timeout_composes_with_jobs(self, adder_blif, capsys):
+        code = main(
+            [
+                "decompose",
+                adder_blif,
+                "--engine",
+                "STEP-MG",
+                "--jobs",
+                "2",
+                "--circuit-timeout",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs = " in out
+        assert "skipped" not in out  # generous budget: nothing cut off
+
+    def test_zero_circuit_timeout_reports_skipped_outputs(self, adder_blif, capsys):
+        code = main(
+            [
+                "decompose",
+                adder_blif,
+                "--engine",
+                "STEP-MG",
+                "--circuit-timeout",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+        assert "past the circuit budget" in out
+
+    def test_cache_dir_warms_second_run(self, adder_blif, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "decompose",
+            adder_blif,
+            "--engine",
+            "STEP-MG",
+            "--cache-dir",
+            cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "persistent hits = 0" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "persistent hits = 0" not in warm
+        assert "persistent hits = " in warm
+
+    def test_cache_dir_conflicts_with_no_dedup(self, adder_blif, tmp_path, capsys):
+        code = main(
+            [
+                "decompose",
+                adder_blif,
+                "--engine",
+                "STEP-MG",
+                "--cache-dir",
+                str(tmp_path),
+                "--no-dedup",
+            ]
+        )
+        assert code == 1
+        assert "--no-dedup" in capsys.readouterr().err
+
+
+class TestErrorReporting:
+    def test_missing_circuit_file_is_one_line_error(self, capsys):
+        assert main(["decompose", "no_such_circuit.blif"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no_such_circuit.blif" in err
+        assert "Traceback" not in err
+
+    def test_missing_file_for_info(self, capsys):
+        assert main(["info", "missing.bench"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_circuit_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.blif"
+        path.write_text(".model broken\n.names a b\nnot-a-cover\n")
+        assert main(["decompose", str(path)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_binary_circuit_file(self, tmp_path, capsys):
+        path = tmp_path / "binary.blif"
+        path.write_bytes(b"\xff\xfe\x00\x80junk")
+        assert main(["info", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unwritable_output_path(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "out.blif"
+        assert main(["generate", "rca", "--width", "2", "--out", str(target)]) == 1
+        assert capsys.readouterr().err.startswith("error:")

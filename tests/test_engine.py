@@ -147,6 +147,96 @@ class TestDecomposeOutputAndCircuit:
         assert len(report.outputs) == 0
 
 
+class _ScriptedDeadline:
+    """A deadline whose ``expired`` reads follow a fixed script.
+
+    Once the script is exhausted every further read returns ``True``, so a
+    count mismatch surfaces as a spurious timeout rather than silently
+    passing.
+    """
+
+    def __init__(self, *script: bool) -> None:
+        self._script = list(script)
+
+    @property
+    def expired(self) -> bool:
+        if self._script:
+            return self._script.pop(0)
+        return True
+
+
+class TestBddTimeoutFlag:
+    def test_completed_search_is_not_flagged_timed_out(self):
+        """Regression: BDD reported ``deadline.expired`` even on success.
+
+        ``f = x0 OR x1`` seeds on the very first pair check, so the whole
+        search reads the deadline exactly once (inside the seed loop).  The
+        old code read it once more while building the result — after the
+        search had already completed — and flagged the run timed out, which
+        also made the scheduler refuse to memoise it.
+        """
+        function = BooleanFunction.from_truth_table(0b1110, 2)
+        step = BiDecomposer(EngineOptions())
+        result = step.decompose_function(
+            function, "or", engine=ENGINE_BDD, deadline=_ScriptedDeadline(False)
+        )
+        assert result.decomposed
+        assert not result.timed_out
+
+    def test_truncated_seed_search_is_flagged(self):
+        function = BooleanFunction.from_truth_table(0b1110, 2)
+        step = BiDecomposer(EngineOptions())
+        result = step.decompose_function(
+            function, "or", engine=ENGINE_BDD, deadline=_ScriptedDeadline()
+        )
+        assert not result.decomposed
+        assert result.timed_out
+
+    def test_completed_bdd_result_is_memoised_by_scheduler(self):
+        """The fixed flag keeps BDD results replayable under a budget."""
+        aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=5)
+        root = aig.outputs[0][1]
+        aig.add_output("f_dup", root)
+        report = BiDecomposer(EngineOptions()).decompose_circuit(
+            aig, "or", [ENGINE_BDD], circuit_timeout=300.0
+        )
+        assert report.schedule["cache_hits"] == 1
+        for output in report.outputs:
+            assert output.results[ENGINE_BDD].decomposed
+            assert not output.results[ENGINE_BDD].timed_out
+
+
+class TestBootstrapExtractionSkip:
+    def test_bootstrap_only_pass_skips_extraction(self, or_function, monkeypatch):
+        """Regression: the inserted STEP-MG pass extracted fA/fB for nothing."""
+        import repro.core.engine as engine_module
+
+        calls = []
+        real_extract = engine_module.extract_functions
+
+        def counting_extract(*args, **kwargs):
+            calls.append(args)
+            return real_extract(*args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "extract_functions", counting_extract)
+        step = BiDecomposer(EngineOptions())
+        results = step.decompose_function_all(or_function, "or", [ENGINE_STEP_QD])
+        assert set(results) == {ENGINE_STEP_QD}
+        assert results[ENGINE_STEP_QD].decomposed
+        # Exactly one extraction: the requested engine's.  The bootstrap
+        # STEP-MG pass contributes only its partition.
+        assert len(calls) == 1
+
+    def test_requested_mg_still_extracts(self, or_function):
+        step = BiDecomposer(EngineOptions())
+        results = step.decompose_function_all(
+            or_function, "or", [ENGINE_STEP_MG, ENGINE_STEP_QD]
+        )
+        for engine in (ENGINE_STEP_MG, ENGINE_STEP_QD):
+            assert results[engine].fa is not None
+            assert results[engine].fb is not None
+
+
 class TestOptions:
     def test_invalid_extraction_rejected(self):
         with pytest.raises(DecompositionError):

@@ -94,6 +94,72 @@ class TestStepMg:
         assert check_decomposable(f, "xor", partition)
 
 
+class _CountingDeadline:
+    """Never expires; counts how often ``expired`` is read."""
+
+    def __init__(self):
+        self.reads = 0
+
+    @property
+    def expired(self):
+        self.reads += 1
+        return False
+
+
+class _ScriptedDeadline:
+    """``expired`` is False for the first ``quota`` reads, then True."""
+
+    def __init__(self, quota):
+        self.quota = quota
+
+    @property
+    def expired(self):
+        self.quota -= 1
+        return self.quota < 0
+
+
+class TestTimedOutReflectsTruncation:
+    """``timed_out`` means "the search was cut short", not "time is up now".
+
+    Calibration trick: a first run counts every ``expired`` read the search
+    performs; a second run answers False for exactly that many reads and
+    True afterwards.  The searches are deterministic, so the second run
+    completes untruncated — and any reintroduced post-completion read of
+    the deadline (the old bug: ``timed_out = deadline.expired`` at
+    result-construction time) would see True and fail these tests.
+    """
+
+    @pytest.mark.parametrize("decompose", [ljh_decompose, mus_decompose])
+    def test_completed_search_not_flagged(self, decompose):
+        counter = _CountingDeadline()
+        calibration = decompose(_checker_for("or", seed=19)[0], deadline=counter)
+        assert calibration.decomposed and not calibration.timed_out
+        result = decompose(
+            _checker_for("or", seed=19)[0],
+            deadline=_ScriptedDeadline(counter.reads),
+        )
+        assert result.decomposed
+        assert not result.timed_out
+
+    @pytest.mark.parametrize("decompose", [ljh_decompose, mus_decompose])
+    def test_truncated_search_is_flagged(self, decompose):
+        result = decompose(_checker_for("or", seed=19)[0], deadline=Deadline(0.0))
+        assert result.timed_out
+        assert not result.decomposed
+
+    @pytest.mark.parametrize("decompose", [ljh_decompose, mus_decompose])
+    def test_mid_search_truncation_is_flagged(self, decompose):
+        """Cutting the budget partway through must still read as a timeout."""
+        counter = _CountingDeadline()
+        decompose(_checker_for("or", 3, 3, 2, seed=3)[0], deadline=counter)
+        assert counter.reads > 2
+        result = decompose(
+            _checker_for("or", 3, 3, 2, seed=3)[0],
+            deadline=_ScriptedDeadline(counter.reads // 2),
+        )
+        assert result.timed_out
+
+
 class TestAgainstExhaustiveReference:
     @settings(max_examples=40, deadline=None)
     @given(

@@ -1,0 +1,229 @@
+"""Tests for the persistent (cross-run) cone cache.
+
+The contract: a run with ``cache_dir`` set snapshots every replayable cone
+entry to ``<cache_dir>/cone_cache.json``; a later run over the same
+(operator, engine set, options fingerprint) context warms its in-memory
+cache from the snapshot, replays those searches and produces a
+fingerprint-identical :class:`CircuitReport`.  A corrupted or missing
+snapshot is treated as empty, never as an error.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.aig.aig import AIG
+from repro.aig.signature import ConeCache, PersistentConeCache
+from repro.circuits.generators import decomposable_by_construction
+from repro.core.engine import BiDecomposer, EngineOptions
+from repro.core.scheduler import PERSISTENT_CACHE_FILENAME
+from repro.core.spec import ENGINE_LJH, ENGINE_STEP_MG, ENGINE_STEP_QD
+
+
+def build_circuit(copies=3, seed=11):
+    """One decomposable cone driving ``copies`` primary outputs."""
+    aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=seed)
+    root = aig.outputs[0][1]
+    for k in range(1, copies):
+        aig.add_output(f"f{k}", root)
+    return aig
+
+
+def run(aig, cache_dir, engines=(ENGINE_STEP_MG,), jobs=1, **option_kwargs):
+    options = EngineOptions(cache_dir=str(cache_dir), jobs=jobs, **option_kwargs)
+    return BiDecomposer(options).decompose_circuit(aig, "or", list(engines))
+
+
+class TestColdWarmRoundTrip:
+    def test_second_run_is_warm_and_fingerprint_identical(self, tmp_path):
+        aig = build_circuit()
+        cold = run(aig, tmp_path)
+        assert cold.schedule["persistent_loaded"] == 0
+        assert cold.schedule["persistent_hits"] == 0
+        assert cold.schedule["persistent_saved"] == 1
+        assert os.path.exists(tmp_path / PERSISTENT_CACHE_FILENAME)
+
+        warm = run(aig, tmp_path)
+        assert warm.schedule["persistent_loaded"] == 1
+        assert warm.schedule["persistent_hits"] >= 1
+        assert warm.schedule["unique_cones"] == 1
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_fully_warm_run_does_not_rewrite_snapshot(self, tmp_path):
+        aig = build_circuit()
+        run(aig, tmp_path)
+        path = tmp_path / PERSISTENT_CACHE_FILENAME
+        before = path.stat().st_mtime_ns
+        warm = run(aig, tmp_path)
+        # Nothing new was computed: no entries absorbed, file untouched.
+        assert warm.schedule["persistent_saved"] == 0
+        assert path.stat().st_mtime_ns == before
+
+    def test_warm_run_skips_every_search(self, tmp_path):
+        aig = build_circuit(copies=4)
+        cold = run(aig, tmp_path)
+        assert cold.schedule["cache_misses"] == 1  # one unique cone searched
+        warm = run(aig, tmp_path)
+        # Every output replays: no fresh search at all on the warm run.
+        assert warm.schedule["cache_misses"] == 0
+        assert warm.schedule["cache_hits"] == 4
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_warm_parallel_run_reports_warm_cache_fallback(self, tmp_path):
+        aig = build_circuit(copies=4)
+        cold = run(aig, tmp_path)
+        warm = run(aig, tmp_path, jobs=4)
+        # All cones answer from the snapshot: forking a pool would be pure
+        # overhead, and the schedule says exactly that.
+        assert warm.schedule["fallback"] == "warm-cache"
+        assert warm.schedule["jobs"] == 1
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_multi_engine_round_trip(self, tmp_path):
+        aig = build_circuit()
+        engines = (ENGINE_STEP_MG, ENGINE_STEP_QD, ENGINE_LJH)
+        cold = run(aig, tmp_path, engines=engines)
+        warm = run(aig, tmp_path, engines=engines)
+        assert warm.schedule["persistent_hits"] >= 1
+        assert warm.fingerprint() == cold.fingerprint()
+        for output in warm.outputs:
+            assert set(output.results) == set(engines)
+
+    def test_extraction_reruns_on_warm_replay(self, tmp_path):
+        """fA/fB are not persisted; replay re-extracts and re-verifies."""
+        aig = build_circuit()
+        run(aig, tmp_path)
+        warm = run(aig, tmp_path, verify=True)
+        result = warm.outputs[0].results[ENGINE_STEP_MG]
+        assert result.decomposed
+        assert result.fa is not None and result.fb is not None
+
+
+class TestContextIsolation:
+    def test_different_options_do_not_share_entries(self, tmp_path):
+        aig = build_circuit()
+        run(aig, tmp_path)
+        other = run(aig, tmp_path, per_call_timeout=2.5)
+        # Same circuit, different search budget: different context, no reuse.
+        assert other.schedule["persistent_hits"] == 0
+
+    def test_different_engine_sets_do_not_share_entries(self, tmp_path):
+        aig = build_circuit()
+        run(aig, tmp_path, engines=(ENGINE_STEP_MG,))
+        other = run(aig, tmp_path, engines=(ENGINE_STEP_MG, ENGINE_STEP_QD))
+        assert other.schedule["persistent_hits"] == 0
+
+    def test_engine_order_is_irrelevant(self, tmp_path):
+        aig = build_circuit()
+        cold = run(aig, tmp_path, engines=(ENGINE_STEP_MG, ENGINE_STEP_QD))
+        warm = run(aig, tmp_path, engines=(ENGINE_STEP_QD, ENGINE_STEP_MG))
+        assert warm.schedule["persistent_hits"] >= 1
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_no_dedup_disables_persistence(self, tmp_path):
+        aig = build_circuit()
+        report = run(aig, tmp_path, dedup=False)
+        assert "persistent_hits" not in report.schedule
+        assert not os.path.exists(tmp_path / PERSISTENT_CACHE_FILENAME)
+
+
+class TestCorruption:
+    def test_corrupted_snapshot_is_ignored(self, tmp_path):
+        aig = build_circuit()
+        path = tmp_path / PERSISTENT_CACHE_FILENAME
+        path.write_text("{ this is not json")
+        report = run(aig, tmp_path)
+        assert report.schedule["persistent_loaded"] == 0
+        assert report.schedule["persistent_hits"] == 0
+        # The run rewrote a valid snapshot over the corrupted one ...
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        # ... which the next run warms from normally.
+        warm = run(aig, tmp_path)
+        assert warm.schedule["persistent_hits"] >= 1
+
+    def test_wrong_version_is_ignored(self, tmp_path):
+        path = tmp_path / PERSISTENT_CACHE_FILENAME
+        path.write_text(json.dumps({"version": 999, "contexts": {"c": {}}}))
+        cache = PersistentConeCache(str(path))
+        assert cache.loaded_entries == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        cache = PersistentConeCache(str(tmp_path / "nope" / "cone_cache.json"))
+        assert cache.loaded_entries == 0
+        assert cache.warm(ConeCache(), "any-context") == 0
+
+    def test_malformed_context_value_is_dropped_not_fatal(self, tmp_path):
+        """A context whose value is not a dict must not crash warm/absorb."""
+        aig = build_circuit()
+        cold = run(aig, tmp_path)
+        path = tmp_path / PERSISTENT_CACHE_FILENAME
+        payload = json.loads(path.read_text())
+        (context,) = payload["contexts"]
+        payload["contexts"]["other-context"] = ["junk"]
+        payload["contexts"][context] = "not-a-dict"
+        path.write_text(json.dumps(payload))
+        report = run(aig, tmp_path)  # would raise AttributeError before
+        assert report.schedule["persistent_loaded"] == 0
+        assert report.fingerprint() == cold.fingerprint()
+
+    def test_undecodable_entry_skipped_without_poisoning_rest(self, tmp_path):
+        aig = build_circuit()
+        run(aig, tmp_path)
+        path = tmp_path / PERSISTENT_CACHE_FILENAME
+        payload = json.loads(path.read_text())
+        (context,) = payload["contexts"]
+        payload["contexts"][context]['["bogus",[0]]'] = {"inputs": "garbage"}
+        path.write_text(json.dumps(payload))
+        warm = run(aig, tmp_path)
+        assert warm.schedule["persistent_loaded"] == 1  # the good entry
+        assert warm.schedule["persistent_hits"] >= 1
+
+
+class TestSnapshotFormat:
+    def test_snapshot_is_replayable_json(self, tmp_path):
+        aig = build_circuit()
+        run(aig, tmp_path, engines=(ENGINE_STEP_MG, ENGINE_STEP_QD))
+        payload = json.loads((tmp_path / PERSISTENT_CACHE_FILENAME).read_text())
+        assert payload["version"] == 1
+        (context,) = payload["contexts"]
+        assert context.startswith("op=or|engines=STEP-MG,STEP-QD|")
+        (entry,) = payload["contexts"][context].values()
+        assert set(entry["results"][0]) >= {
+            "engine",
+            "operator",
+            "decomposed",
+            "partition",
+            "optimum_proven",
+            "stats",
+        }
+
+    def test_absorb_then_warm_round_trip(self, tmp_path):
+        """Direct ConeCache -> snapshot -> ConeCache interchange."""
+        aig = build_circuit()
+        path = str(tmp_path / "c.json")
+        source = ConeCache()
+        from repro.core.scheduler import BatchScheduler
+
+        scheduler = BatchScheduler(BiDecomposer(EngineOptions()))
+        jobs = scheduler.plan(aig)
+        record = scheduler._execute_job(
+            aig, jobs[0], "or", [ENGINE_STEP_MG], "c", source
+        )
+        assert record.results[ENGINE_STEP_MG].decomposed
+        snapshot = PersistentConeCache(path)
+        assert snapshot.absorb(source, "ctx") == 1
+        snapshot.save()
+
+        target = ConeCache()
+        assert PersistentConeCache(path).warm(target, "ctx") == 1
+        (key, value) = next(iter(target.items()))
+        (source_key, source_value) = next(iter(source.items()))
+        assert key == source_key
+        names, restored = value
+        source_names, original = source_value
+        assert names == source_names
+        restored_result = restored.results[ENGINE_STEP_MG]
+        original_result = original.results[ENGINE_STEP_MG]
+        assert restored_result.fingerprint()[:6] == original_result.fingerprint()[:6]

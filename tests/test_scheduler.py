@@ -11,7 +11,11 @@ import pytest
 
 from repro.aig.aig import AIG
 from repro.aig.function import BooleanFunction
-from repro.aig.signature import ConeCache, cone_signature
+from repro.aig.signature import (
+    ConeCache,
+    canonical_cone_signature,
+    cone_signature,
+)
 from repro.circuits.generators import (
     decomposable_by_construction,
     mux_tree,
@@ -55,6 +59,27 @@ def renamed_cone_circuit():
     return target
 
 
+def permuted_fanin_circuit():
+    """Two isomorphic cones whose gates were created in opposite orders.
+
+    Both outputs compute ``NOT((i0 AND i1) AND (i2 AND i3))`` — which is
+    OR-decomposable as ``NOT(i0 AND i1) OR NOT(i2 AND i3)`` — but the second
+    cone creates its lower AND gates in reverse order, so the top gate's
+    strashed fanins (sorted by node index) come out commuted relative to the
+    first cone and the exact DFS signature differs.
+    """
+    aig = AIG("permuted")
+    a = [aig.add_input(f"a{k}") for k in range(4)]
+    b = [aig.add_input(f"b{k}") for k in range(4)]
+    g_ab = aig.add_and(a[0], a[1])
+    g_cd = aig.add_and(a[2], a[3])
+    aig.add_output("f_first", aig.lnot(aig.add_and(g_ab, g_cd)))
+    g_rs = aig.add_and(b[2], b[3])  # lower gates in reverse creation order
+    g_pq = aig.add_and(b[0], b[1])
+    aig.add_output("f_second", aig.lnot(aig.add_and(g_pq, g_rs)))
+    return aig
+
+
 class TestConeSignature:
     def test_identical_cones_share_a_signature(self):
         aig = duplicated_cone_circuit(copies=2)
@@ -91,13 +116,87 @@ class TestConeSignature:
         assert cache.lookup("k") is None
         cache.store("k", 42)
         assert cache.lookup("k") == 42
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "warm_hits": 0,
+        }
 
     def test_disabled_cache_never_hits(self):
         cache = ConeCache(enabled=False)
         cache.store("k", 42)
         assert cache.lookup("k") is None
         assert cache.hits == 0 and cache.misses == 1
+
+    def test_warm_entries_tracked_separately(self):
+        cache = ConeCache()
+        cache.warm("w", 1)
+        cache.store("s", 2)
+        assert cache.lookup("w") == 1
+        assert cache.lookup("s") == 2
+        assert cache.hits == 2 and cache.warm_hits == 1
+        # Recomputing a warmed key demotes it to a plain in-run entry.
+        cache.store("w", 3)
+        assert cache.lookup("w") == 3
+        assert cache.warm_hits == 1
+
+
+class TestCanonicalSignature:
+    def test_permuted_fanin_cones_share_canonical_signature(self):
+        aig = permuted_fanin_circuit()
+        f0 = BooleanFunction.from_output(aig, "f_first")
+        f1 = BooleanFunction.from_output(aig, "f_second")
+        # The exact DFS signature sees the commuted construction order ...
+        assert cone_signature(aig, f0.root, f0.inputs) != cone_signature(
+            aig, f1.root, f1.inputs
+        )
+        # ... the canonical (fanin-commutative) signature does not.
+        assert canonical_cone_signature(
+            aig, f0.root, f0.inputs
+        ) == canonical_cone_signature(aig, f1.root, f1.inputs)
+
+    def test_identical_cones_share_canonical_signature(self):
+        aig = duplicated_cone_circuit(copies=2)
+        f0 = BooleanFunction.from_output(aig, "f")
+        f1 = BooleanFunction.from_output(aig, "f1")
+        assert canonical_cone_signature(
+            aig, f0.root, f0.inputs
+        ) == canonical_cone_signature(aig, f1.root, f1.inputs)
+
+    def test_different_functions_differ(self):
+        aig = ripple_carry_adder(2)
+        s0 = BooleanFunction.from_output(aig, "s0")
+        s1 = BooleanFunction.from_output(aig, "s1")
+        assert canonical_cone_signature(
+            aig, s0.root, s0.inputs
+        ) != canonical_cone_signature(aig, s1.root, s1.inputs)
+
+    def test_negated_root_differs(self):
+        aig = AIG("neg")
+        x = aig.add_input("x")
+        y = aig.add_input("y")
+        g = aig.add_and(x, y)
+        assert canonical_cone_signature(aig, g, [1, 2]) != canonical_cone_signature(
+            aig, aig.lnot(g), [1, 2]
+        )
+
+    def test_constant_roots(self):
+        aig = AIG("consts")
+        assert canonical_cone_signature(aig, 1, []) != canonical_cone_signature(
+            aig, 0, []
+        )
+
+    def test_shape_is_json_stable(self):
+        import json
+
+        aig = permuted_fanin_circuit()
+        f0 = BooleanFunction.from_output(aig, "f_first")
+        signature = canonical_cone_signature(aig, f0.root, f0.inputs)
+        num_inputs, num_gates, root = signature
+        assert (num_inputs, num_gates) == (4, 3)
+        assert isinstance(root, str)
+        assert json.loads(json.dumps(signature)) == list(signature)
 
 
 # The engine x circuit identity matrix.  BDD and LJH cover the non-SAT and
@@ -265,3 +364,106 @@ class TestSchedulerPlanning:
         ]
         assert reports[0].fingerprint() == reports[1].fingerprint()
         assert len(reports[0].outputs) == len(aig.outputs)
+
+
+class TestCanonicalDedup:
+    def test_permuted_fanin_cones_share_one_search(self):
+        """Acceptance: fanin-permuted isomorphic cones dedup canonically."""
+        aig = permuted_fanin_circuit()
+        report = BiDecomposer(EngineOptions(verify=True)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        assert report.schedule["unique_cones"] == 1
+        assert report.schedule["cache_hits"] == 1
+        first = report.outputs[0].results[ENGINE_STEP_MG]
+        second = report.outputs[1].results[ENGINE_STEP_MG]
+        assert first.decomposed and second.decomposed
+        # The replayed partition names live on the duplicate's own inputs
+        # and verify against its own cone (verify=True above re-checked it).
+        assert all(name.startswith("a") for name in first.partition.variables)
+        assert all(name.startswith("b") for name in second.partition.variables)
+        function = BooleanFunction.from_output(aig, "f_second")
+        assert verify_decomposition(
+            function, "or", second.fa, second.fb, second.partition
+        )
+
+    def test_no_dedup_still_recomputes_permuted_cones(self):
+        aig = permuted_fanin_circuit()
+        report = BiDecomposer(EngineOptions(dedup=False)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        assert report.schedule["cache_hits"] == 0
+        assert all(output.results[ENGINE_STEP_MG].decomposed for output in report.outputs)
+
+
+class TestDeadlineSemantics:
+    """Circuit budgets compose with the pool path (PR 2 tentpole)."""
+
+    def test_deadline_no_longer_forces_sequential(self):
+        """Acceptance: circuit_timeout + jobs=4 still uses the pool."""
+        aig = ripple_carry_adder(3)
+        report = BiDecomposer(EngineOptions(jobs=4, dedup=False)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG], circuit_timeout=300.0
+        )
+        # In environments where no process pool can be created the scheduler
+        # must say so; everywhere else the pool must actually be used.
+        if report.schedule["fallback"] is None:
+            assert report.schedule["jobs"] == 4
+        else:
+            assert report.schedule["fallback"] == "pool-unavailable"
+        assert report.schedule["skipped"] == []
+        assert len(report.outputs) == len(aig.outputs)
+
+    def test_skipped_accounting_identical_across_jobs(self):
+        """jobs=1 and jobs=4 report the same skipped set on a generous budget."""
+        aig = duplicated_cone_circuit(copies=4, seed=33)
+        reports = [
+            BiDecomposer(EngineOptions(jobs=jobs)).decompose_circuit(
+                aig, "or", [ENGINE_STEP_MG, ENGINE_STEP_QD], circuit_timeout=600.0
+            )
+            for jobs in (1, 4)
+        ]
+        assert reports[0].fingerprint() == reports[1].fingerprint()
+        assert reports[0].schedule["skipped"] == reports[1].schedule["skipped"] == []
+        assert reports[0].schedule["cache_hits"] == reports[1].schedule["cache_hits"]
+
+    def test_zero_budget_reports_every_output_skipped(self):
+        aig = ripple_carry_adder(3)
+        for jobs in (1, 4):
+            report = BiDecomposer(EngineOptions(jobs=jobs)).decompose_circuit(
+                aig, "or", [ENGINE_STEP_MG], circuit_timeout=0.0
+            )
+            assert report.schedule["executed"] == 0
+            assert report.schedule["skipped"] == [name for name, _ in aig.outputs]
+            if jobs > 1:
+                assert report.schedule["fallback"] == "deadline"
+
+    def test_single_planned_job_reports_fallback(self):
+        """jobs>1 on a one-output circuit is a reported sequential fallback."""
+        aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=9)
+        report = BiDecomposer(EngineOptions(jobs=4)).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG]
+        )
+        assert report.schedule["jobs"] == 1
+        assert report.schedule["fallback"] == "single-job"
+
+    def test_skipped_respects_max_outputs(self):
+        aig = ripple_carry_adder(3)
+        report = BiDecomposer(EngineOptions()).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG], circuit_timeout=0.0, max_outputs=2
+        )
+        # Outputs beyond max_outputs were excluded by request, not budget.
+        assert report.schedule["skipped"] == [name for name, _ in aig.outputs[:2]]
+
+    def test_workers_skip_jobs_past_expiry(self):
+        """A pool worker whose job starts after expiry returns a skip marker."""
+        from repro.core.scheduler import _worker_init, _worker_run
+        from repro.utils.timer import Deadline
+
+        aig = duplicated_cone_circuit(copies=2)
+        options = EngineOptions(extract=False)
+        _worker_init(aig, "or", [ENGINE_STEP_MG], options, "dup")
+        index, record = _worker_run((0, "f", 7, Deadline(0.0)))
+        assert index == 0 and record is None
+        index, record = _worker_run((0, "f", 7, Deadline(60.0)))
+        assert record is not None and record.results[ENGINE_STEP_MG].decomposed
