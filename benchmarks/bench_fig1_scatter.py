@@ -86,15 +86,17 @@ def test_figure1_scatter_series(benchmark):
 @pytest.mark.benchmark(group="figure1")
 def test_figure1_full_circuit_runtime(benchmark):
     """Micro-benchmark: one full circuit decomposed by STEP-QD alone."""
+    from repro import Budgets, DecompositionRequest, Session
     from repro.circuits.generators import comparator
-    from repro.core.engine import BiDecomposer, EngineOptions
 
-    aig = comparator(4)
-    step = BiDecomposer(
-        EngineOptions(extract=False, per_call_timeout=2.0, output_timeout=15.0)
+    request = DecompositionRequest(
+        circuit=comparator(4),
+        operator="or",
+        engines=("STEP-QD",),
+        budgets=Budgets(per_call=2.0, per_output=15.0),
+        max_outputs=3,
+        extract=False,
     )
 
-    report = benchmark(
-        step.decompose_circuit, aig, "or", ["STEP-QD"], None, 3
-    )
+    report = benchmark(Session().run, request)
     assert report.outputs

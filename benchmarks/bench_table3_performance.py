@@ -113,27 +113,30 @@ def test_table3_batched_dedup_speedup():
     """
     import time
 
+    from repro import Budgets, DecompositionRequest, Parallelism, Session
     from repro.circuits.generators import decomposable_by_construction
-    from repro.core.engine import BiDecomposer, EngineOptions
 
     copies = 6
     aig, *_ = decomposable_by_construction("or", 4, 4, 2, seed="table3-dedup")
     root = aig.outputs[0][1]
     for k in range(1, copies):
         aig.add_output(f"f{k}", root)
-    engines = [ENGINE_STEP_MG, ENGINE_STEP_QD]
+    engines = (ENGINE_STEP_MG, ENGINE_STEP_QD)
 
     def run(dedup):
-        step = BiDecomposer(
-            EngineOptions(
-                extract=False, per_call_timeout=2.0, output_timeout=60.0, dedup=dedup
-            )
+        request = DecompositionRequest(
+            circuit=aig,
+            operator="or",
+            engines=engines,
+            budgets=Budgets(per_call=2.0, per_output=60.0),
+            parallelism=Parallelism(dedup=dedup),
+            extract=False,
         )
         # CPU time, not wall time: immune to machine load, and the dedup win
         # is saved computation.  The cache_hits assertion below anchors the
         # mechanism (5 of 6 searches skipped); the ratio check quantifies it.
         start = time.process_time()
-        report = step.decompose_circuit(aig, "or", engines)
+        report = Session().run(request)
         return report, time.process_time() - start
 
     sequential_report, sequential_time = run(dedup=False)

@@ -18,8 +18,14 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.api import (
+    Budgets,
+    CachePolicy,
+    DecompositionRequest,
+    Parallelism,
+    Session,
+)
 from repro.circuits.suites import BenchmarkCircuit, performance_suite, quality_suite
-from repro.core.engine import BiDecomposer, EngineOptions
 from repro.core.result import CircuitReport
 from repro.core.spec import (
     ENGINE_LJH,
@@ -72,28 +78,37 @@ _SWEEP_CACHE: Dict[SweepConfig, List[Tuple[BenchmarkCircuit, CircuitReport]]] = 
 
 
 def run_sweep(config: SweepConfig) -> List[Tuple[BenchmarkCircuit, CircuitReport]]:
-    """Run (or fetch from cache) the per-output decomposition sweep."""
+    """Run (or fetch from cache) the per-output decomposition sweep.
+
+    The whole suite is submitted to one :class:`repro.api.Session`, so with
+    ``jobs > 1`` every circuit's outputs are sharded across a *single*
+    shared worker pool (cross-circuit load balancing) instead of paying
+    pool startup per circuit.  Reports come back in submit order and are
+    fingerprint-identical to per-circuit runs.
+    """
     if config in _SWEEP_CACHE:
         return _SWEEP_CACHE[config]
-    options = EngineOptions(
-        per_call_timeout=config.per_call_timeout,
-        output_timeout=config.output_timeout,
-        extract=False,
-        jobs=config.jobs,
-        dedup=config.dedup,
-        cache_dir=config.cache_dir or os.environ.get("STEP_CACHE_DIR") or None,
-    )
-    step = BiDecomposer(options)
-    results = []
-    for circuit in quality_suite(config.scale):
-        report = step.decompose_circuit(
-            circuit.aig,
-            config.operator,
-            list(config.engines),
+    cache_dir = config.cache_dir or os.environ.get("STEP_CACHE_DIR") or None
+    circuits = quality_suite(config.scale)
+    requests = [
+        DecompositionRequest(
+            circuit=circuit.aig,
+            operator=config.operator,
+            engines=tuple(config.engines),
+            budgets=Budgets(
+                per_call=config.per_call_timeout,
+                per_output=config.output_timeout,
+            ),
+            parallelism=Parallelism(jobs=config.jobs, dedup=config.dedup),
+            cache=CachePolicy(directory=cache_dir),
+            name=circuit.name,
             max_outputs=config.max_outputs,
-            circuit_name=circuit.name,
+            extract=False,
         )
-        results.append((circuit, report))
+        for circuit in circuits
+    ]
+    reports = Session().run_suite(requests)
+    results = list(zip(circuits, reports))
     _SWEEP_CACHE[config] = results
     return results
 

@@ -4,17 +4,18 @@ This mirrors how the paper's tool STEP is used inside a synthesis flow: a
 multi-output combinational circuit (here a small ALU slice, standing in for
 an ISCAS benchmark) is loaded and every primary output is bi-decomposed.
 Real flows try the gate types in sequence — OR, then AND, then XOR — and
-keep the first one that succeeds; the example does the same with both the
-fast heuristic engine (STEP-MG) and the exact QBF engine (STEP-QD), and
-compares the achieved quality metrics — the comparison the paper's Table I
-reports at benchmark scale.
+keep the first one that succeeds; the example submits one request *per
+operator* to a single :class:`repro.Session` suite, so all three sweeps
+share one worker pool and stream their per-output results back as they
+complete, then picks each output's first successful gate type — the
+comparison the paper's Table I reports at benchmark scale.
 
 Run with::
 
     python examples/circuit_synthesis_flow.py
 """
 
-from repro import BiDecomposer, EngineOptions
+from repro import Budgets, DecompositionRequest, Parallelism, Session
 from repro.circuits import alu_slice
 from repro.io import aig_to_blif
 
@@ -22,22 +23,43 @@ ENGINES = ["STEP-MG", "STEP-QD"]
 OPERATORS = ["or", "and", "xor"]
 
 
-def first_successful(step, function, engine):
-    """Try OR, AND, XOR in order; return (operator, result) of the first hit."""
+def first_successful(by_operator, output_name, engine):
+    """The first gate type (OR, AND, XOR order) the engine decomposed."""
     for operator in OPERATORS:
-        result = step.decompose_function(function, operator, engine=engine)
-        if result.decomposed:
+        record = by_operator[operator][output_name]
+        result = record.results.get(engine)
+        if result is not None and result.decomposed:
             return operator, result
     return None, None
 
 
 def main() -> None:
-    from repro import BooleanFunction
-
     circuit = alu_slice(3, name="alu3")
     print(f"circuit: {circuit.name}  inputs={len(circuit.inputs)}  outputs={len(circuit.outputs)}")
 
-    step = BiDecomposer(EngineOptions(per_call_timeout=4.0, output_timeout=30.0))
+    session = Session()
+    session.submit(
+        DecompositionRequest(
+            circuit=circuit,
+            operator=operator,
+            engines=tuple(ENGINES),
+            budgets=Budgets(per_call=4.0, per_output=30.0),
+            parallelism=Parallelism(jobs=2),
+            name=f"{circuit.name}:{operator}",
+        )
+        for operator in OPERATORS
+    )
+    # One shared pool decomposes all three operator sweeps; results stream
+    # back output by output, from whichever sweep finished one.
+    streamed = 0
+    for record in session.as_completed():
+        streamed += 1
+    reports = session.reports()
+    print(f"streamed {streamed} per-output results from {len(reports)} suite requests")
+    by_operator = {
+        operator: {record.output_name: record for record in report.outputs}
+        for operator, report in zip(OPERATORS, reports)
+    }
 
     header = f"{'output':>8} {'support':>8}"
     for engine in ENGINES:
@@ -48,11 +70,11 @@ def main() -> None:
     cpu = {engine: 0.0 for engine in ENGINES}
     improved = 0
     for name, _ in circuit.outputs:
-        function = BooleanFunction.from_output(circuit, name)
-        line = f"{name:>8} {function.num_inputs:>8}"
+        support = by_operator[OPERATORS[0]][name].num_support
+        line = f"{name:>8} {support:>8}"
         per_engine = {}
         for engine in ENGINES:
-            operator, result = first_successful(step, function, engine)
+            operator, result = first_successful(by_operator, name, engine)
             per_engine[engine] = result
             if result is None:
                 line += f" | {'--':>8} {'--':>5} {'--':>5} {'--':>5}"

@@ -14,7 +14,14 @@ Run with::
 import os
 import tempfile
 
-from repro import AIG, BiDecomposer, BooleanFunction, EngineOptions
+from repro import (
+    AIG,
+    Budgets,
+    BooleanFunction,
+    DecompositionRequest,
+    ENGINE_STEP_QD,
+    Session,
+)
 from repro.circuits.library import _BENCH_CIRCUITS
 from repro.io import aig_to_blif, parse_bench, read_bench, write_bench
 
@@ -55,16 +62,20 @@ def main() -> None:
         circuit = sequential.make_combinational()
         print(f"after comb: inputs={len(circuit.inputs)} outputs={len(circuit.outputs)}")
 
-        step = BiDecomposer(
-            EngineOptions(per_call_timeout=4.0, output_timeout=30.0, verify=True)
+        request = DecompositionRequest(
+            circuit=circuit,
+            operator="or",
+            engines=(ENGINE_STEP_QD,),
+            budgets=Budgets(per_call=4.0, per_output=30.0),
+            verify=True,
         )
+        report = Session().run(request)
         results = []
-        for name, _ in circuit.outputs:
-            record = step.decompose_output(circuit, name, "or", ["STEP-QD"])
-            result = record.results.get("STEP-QD")
-            results.append((name, result))
+        for record in report.outputs:
+            result = record.results.get(ENGINE_STEP_QD)
+            results.append((record.output_name, result))
             status = result.summary() if result else "skipped (support too small)"
-            print(f"  {name:>10}: {status}")
+            print(f"  {record.output_name:>10}: {status}")
 
         network = build_decomposed_network(circuit, results)
         blif_path = os.path.join(workdir, "controller_decomposed.blif")

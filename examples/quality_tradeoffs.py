@@ -3,35 +3,43 @@
 The paper's three QBF engines optimise different targets: STEP-QD minimises
 the number of shared variables, STEP-QB minimises the size difference
 between the private blocks, and STEP-QDB minimises their (equally weighted)
-sum.  This example runs all three on the same function — together with the
-heuristic baselines LJH and STEP-MG — and prints the resulting metric
-profile, illustrating why "optimal" depends on the cost function (Definition
-4 of the paper).
+sum.  This example submits one request naming all of them — together with
+the heuristic baselines LJH and STEP-MG and the BDD baseline — and prints
+the resulting metric profile, illustrating why "optimal" depends on the
+cost function (Definition 4 of the paper).  One request, six engines: the
+driver runs STEP-MG first and shares its partition as the QBF bootstrap,
+exactly as the circuit-scale benchmark sweeps do.
 
 Run with::
 
     python examples/quality_tradeoffs.py
 """
 
-from repro import BiDecomposer, BooleanFunction, EngineOptions
-from repro.circuits import mux_tree
+from repro import Budgets, DecompositionRequest, ENGINES, Session
 
-ENGINES = ["LJH", "STEP-MG", "STEP-QD", "STEP-QB", "STEP-QDB", "BDD"]
+ENGINE_ORDER = ["LJH", "STEP-MG", "STEP-QD", "STEP-QB", "STEP-QDB", "BDD"]
 
 
 def main() -> None:
+    from repro.circuits import mux_tree
+
     # An 8-to-1 multiplexer output: decomposable in several ways with very
     # different partition shapes.
     circuit = mux_tree(3)
-    function = BooleanFunction.from_output(circuit, "y")
-    print(f"function: 8-to-1 mux, support = {function.input_names}\n")
-
-    step = BiDecomposer(EngineOptions(per_call_timeout=4.0, output_timeout=60.0))
+    request = DecompositionRequest(
+        circuit=circuit,
+        operator="or",
+        engines=tuple(ENGINE_ORDER),
+        budgets=Budgets(per_call=4.0, per_output=60.0),
+    )
+    report = Session().run(request)
+    record = report.outputs[0]
+    print(f"function: 8-to-1 mux, support = {record.num_support} variables\n")
 
     print(f"{'engine':>10} {'eD':>6} {'eB':>6} {'eD+eB':>7} {'optimum':>8} {'CPU(s)':>8}  partition")
     print("-" * 100)
-    for engine in ENGINES:
-        result = step.decompose_function(function, "or", engine=engine)
+    for engine in ENGINE_ORDER:
+        result = record.results[engine]
         if not result.decomposed:
             print(f"{engine:>10} {'--':>6} {'--':>6} {'--':>7} {'--':>8}")
             continue
@@ -41,6 +49,7 @@ def main() -> None:
             f"{result.cpu_seconds:8.3f}  {result.partition}"
         )
 
+    assert set(ENGINE_ORDER) == set(ENGINES)
     print(
         "\nSTEP-QD reaches the smallest eD, STEP-QB the smallest eB and "
         "STEP-QDB the smallest sum — the heuristic engines land wherever "

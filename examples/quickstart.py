@@ -1,16 +1,24 @@
 """Quickstart: bi-decompose one Boolean function with the QBF engine.
 
-Builds the carry-out of a small ALU slice, asks STEP-QD (optimum
-disjointness) for an OR bi-decomposition, and prints the partition, the
-quality metrics and the extracted sub-functions, finishing with an
-independent equivalence check.
+Builds a function that is OR bi-decomposable by construction, asks STEP-QD
+(optimum disjointness) for an OR bi-decomposition through the session API —
+a typed :class:`repro.DecompositionRequest` run by a :class:`repro.Session`
+— and prints the partition, the quality metrics and the extracted
+sub-functions, finishing with an independent equivalence check.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import BiDecomposer, BooleanFunction, EngineOptions, verify_decomposition
+from repro import (
+    Budgets,
+    BooleanFunction,
+    DecompositionRequest,
+    ENGINE_STEP_QD,
+    Session,
+    verify_decomposition,
+)
 from repro.circuits import decomposable_by_construction
 
 
@@ -23,8 +31,14 @@ def main() -> None:
     print(f"function inputs      : {function.input_names}")
     print(f"ground-truth partition: XA={xa}  XB={xb}  XC={xc}")
 
-    step = BiDecomposer(EngineOptions(per_call_timeout=4.0, output_timeout=60.0))
-    result = step.decompose_function(function, "or", engine="STEP-QD")
+    request = DecompositionRequest(
+        circuit=aig,
+        operator="or",
+        engines=(ENGINE_STEP_QD,),
+        budgets=Budgets(per_call=4.0, per_output=60.0),
+    )
+    report = Session().run(request)
+    result = report.outputs[0].results[ENGINE_STEP_QD]
 
     if not result.decomposed:
         print("the function is not OR bi-decomposable (unexpected!)")

@@ -8,20 +8,31 @@ from ABC, MiniSAT, MUSer and AReQS: an AIG circuit package with BLIF/BENCH
 I/O, a CDCL SAT solver with proof logging and interpolation, MUS extraction,
 cardinality encodings, a 2QBF CEGAR solver and a small BDD package.
 
-Quick start::
+Quick start (the session API — see ``docs/api.md``)::
 
-    from repro import BiDecomposer, BooleanFunction
+    from repro import DecompositionRequest, ENGINE_STEP_QD, Session
     from repro.circuits import ripple_carry_adder
 
-    circuit = ripple_carry_adder(4)
-    step = BiDecomposer()
-    result = step.decompose_function(
-        BooleanFunction.from_output(circuit, "cout"), "or", engine="STEP-QD"
+    request = DecompositionRequest(
+        circuit=ripple_carry_adder(4), operator="or",
+        engines=(ENGINE_STEP_QD,),
     )
-    print(result.summary())
+    report = Session().run(request)
+    for output in report.outputs:
+        print(output.results[ENGINE_STEP_QD].summary())
 """
 
 from repro.aig import AIG, BooleanFunction
+from repro.api import (
+    Budgets,
+    CachePolicy,
+    DecompositionRequest,
+    EngineRegistry,
+    EngineSpec,
+    Parallelism,
+    Session,
+    default_registry,
+)
 from repro.core import (
     BiDecomposer,
     BiDecResult,
@@ -31,13 +42,44 @@ from repro.core import (
     VariablePartition,
     verify_decomposition,
 )
+from repro.core.engine import QBF_ENGINES
+from repro.core.spec import (
+    ENGINE_BDD,
+    ENGINE_LJH,
+    ENGINE_STEP_MG,
+    ENGINE_STEP_QB,
+    ENGINE_STEP_QD,
+    ENGINE_STEP_QDB,
+    ENGINES,
+    OPERATORS,
+)
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AIG",
     "BooleanFunction",
+    # session API (canonical entry point)
+    "Session",
+    "DecompositionRequest",
+    "Budgets",
+    "Parallelism",
+    "CachePolicy",
+    "EngineRegistry",
+    "EngineSpec",
+    "default_registry",
+    # engine-name constants (import these, not repro.core.engine/spec)
+    "ENGINE_LJH",
+    "ENGINE_STEP_MG",
+    "ENGINE_STEP_QD",
+    "ENGINE_STEP_QB",
+    "ENGINE_STEP_QDB",
+    "ENGINE_BDD",
+    "ENGINES",
+    "QBF_ENGINES",
+    "OPERATORS",
+    # legacy surface (shims over the session API)
     "BiDecomposer",
     "BiDecResult",
     "CircuitReport",

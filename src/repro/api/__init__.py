@@ -1,0 +1,38 @@
+"""repro.api — the canonical service-layer entry point.
+
+The session API replaces the kwarg-accumulating ``BiDecomposer`` surface
+with three layers:
+
+* **typed requests** — :class:`DecompositionRequest` with
+  :class:`Budgets` / :class:`Parallelism` / :class:`CachePolicy` config
+  objects, fully validated at construction;
+* **an engine registry** — :class:`EngineRegistry` /
+  :func:`default_registry`, where the six built-in engines are registered
+  by name and third-party engines plug in via :class:`EngineSpec`;
+* **a session facade** — :class:`Session` with ``run(request)`` for one
+  circuit and ``submit(requests)`` / ``as_completed()`` for whole suites
+  sharded across one shared worker pool.
+
+See ``docs/api.md`` for the model and the old-kwarg → new-field migration
+table.
+"""
+
+from repro.api.config import Budgets, CachePolicy, Parallelism
+from repro.api.registry import (
+    EngineRegistry,
+    EngineSpec,
+    default_registry,
+)
+from repro.api.request import DecompositionRequest
+from repro.api.session import Session
+
+__all__ = [
+    "Budgets",
+    "CachePolicy",
+    "Parallelism",
+    "EngineRegistry",
+    "EngineSpec",
+    "default_registry",
+    "DecompositionRequest",
+    "Session",
+]

@@ -1,0 +1,188 @@
+"""The immutable decomposition request: one circuit, fully specified.
+
+A :class:`DecompositionRequest` is the typed replacement for the legacy
+``decompose_circuit(aig, operator, engines, circuit_timeout=..., jobs=...,
+dedup=..., seed=..., cache_dir=..., ...)`` kwarg sprawl.  Everything is
+validated at construction — the operator, every engine name (against the
+:mod:`engine registry <repro.api.registry>`), the budgets, the scheduler
+knobs — so a malformed request fails with a one-line
+:class:`repro.errors.ReproError` before any search starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG
+from repro.api.config import Budgets, CachePolicy, Parallelism
+from repro.api.registry import EngineRegistry, default_registry
+from repro.core import qbf_bidec
+from repro.core.spec import EXTRACT_QUANTIFICATION, check_operator
+from repro.errors import DecompositionError
+
+
+@dataclass(frozen=True)
+class DecompositionRequest:
+    """Everything needed to decompose one circuit's primary outputs.
+
+    Attributes
+    ----------
+    circuit:
+        The :class:`repro.aig.aig.AIG` to decompose (sequential circuits
+        are made combinational by the driver, the ABC ``comb`` step).
+    operator:
+        Gate operator ``"or"`` / ``"and"`` / ``"xor"`` (normalised to
+        lower case).
+    engines:
+        Engine names, validated against the registry at construction.
+    budgets / parallelism / cache:
+        The three config objects (see :mod:`repro.api.config`).
+    name:
+        Report circuit name; defaults to ``circuit.name``.
+    max_outputs:
+        Decompose only the first N primary outputs (must be >= 1).
+    extract / verify / extraction:
+        Whether (and how) to extract ``fA``/``fB`` for found partitions,
+        and whether to independently verify them.
+    qbf_strategy / qbf_backend:
+        QBF engine search strategy and solver backend.
+    min_support / max_support:
+        Support-size window outside which outputs are skipped.
+    """
+
+    circuit: AIG
+    operator: str
+    engines: Tuple[str, ...]
+    budgets: Budgets = Budgets()
+    parallelism: Parallelism = Parallelism()
+    cache: CachePolicy = CachePolicy()
+    name: Optional[str] = None
+    max_outputs: Optional[int] = None
+    extract: bool = True
+    verify: bool = False
+    extraction: str = EXTRACT_QUANTIFICATION
+    qbf_strategy: str = qbf_bidec.STRATEGY_AUTO
+    qbf_backend: str = "specialised"
+    min_support: int = 2
+    max_support: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.circuit, AIG):
+            raise DecompositionError(
+                f"circuit must be an AIG (got {type(self.circuit).__name__})"
+            )
+        object.__setattr__(self, "operator", check_operator(self.operator))
+        if isinstance(self.engines, str):
+            raise DecompositionError(
+                "engines must be a sequence of engine names, not a bare string"
+            )
+        engines = tuple(self.engines)
+        if not engines:
+            raise DecompositionError("a request needs at least one engine")
+        object.__setattr__(
+            self, "engines", default_registry().check_all(engines)
+        )
+        if self.max_outputs is not None and self.max_outputs < 1:
+            raise DecompositionError(
+                f"max_outputs must be at least 1 (got {self.max_outputs!r})"
+            )
+        if self.cache.directory is not None and not self.parallelism.dedup:
+            raise DecompositionError(
+                "a cache directory requires cone dedup (the persistent cache "
+                "rides on the dedup cache); enable dedup or drop the directory"
+            )
+        # Fail fast on extraction/strategy typos too: EngineOptions validates
+        # them, so a malformed request never survives construction.
+        self.to_options()
+
+    @classmethod
+    def from_options(
+        cls,
+        circuit: AIG,
+        operator: str,
+        engines: Sequence[str],
+        options,
+        *,
+        circuit_timeout: Optional[float] = None,
+        max_outputs: Optional[int] = None,
+        name: Optional[str] = None,
+        jobs: Optional[int] = None,
+        dedup: Optional[bool] = None,
+        cache_dir: Optional[str] = None,
+    ) -> "DecompositionRequest":
+        """Build a request from a legacy ``EngineOptions`` (shim support).
+
+        ``jobs`` / ``dedup`` / ``cache_dir`` override the options' values,
+        mirroring the overrides ``decompose_circuit`` accepted.  Two legacy
+        quirks are preserved rather than rejected — the shim must not start
+        raising where the old surface did not: a cache directory combined
+        with ``dedup=False`` is dropped (the legacy surface silently
+        persisted nothing), and negative timeouts are clamped to ``0``
+        (legacy deadlines treated both as "already expired").
+        """
+        dedup_value = options.dedup if dedup is None else dedup
+        directory = options.cache_dir if cache_dir is None else cache_dir
+        if not dedup_value:
+            directory = None
+
+        def seconds(value: Optional[float]) -> Optional[float]:
+            return None if value is None else max(0.0, value)
+
+        return cls(
+            circuit=circuit,
+            operator=operator,
+            engines=tuple(engines),
+            budgets=Budgets(
+                per_call=seconds(options.per_call_timeout),
+                per_output=seconds(options.output_timeout),
+                per_circuit=seconds(circuit_timeout),
+            ),
+            parallelism=Parallelism(
+                jobs=options.jobs if jobs is None else jobs,
+                dedup=dedup_value,
+                seed=options.seed,
+            ),
+            cache=CachePolicy(directory=directory),
+            name=name,
+            max_outputs=max_outputs,
+            extract=options.extract,
+            verify=options.verify,
+            extraction=options.extraction,
+            qbf_strategy=options.qbf_strategy,
+            qbf_backend=options.qbf_backend,
+            min_support=options.min_support,
+            max_support=options.max_support,
+        )
+
+    def validate_against(self, registry: EngineRegistry) -> None:
+        """Re-check the engine set against a session-specific registry."""
+        registry.check_all(self.engines)
+
+    @property
+    def circuit_name(self) -> str:
+        return self.name or self.circuit.name
+
+    def to_options(self):
+        """The equivalent legacy :class:`repro.core.engine.EngineOptions`."""
+        from repro.core.engine import EngineOptions
+
+        return EngineOptions(
+            per_call_timeout=self.budgets.per_call,
+            output_timeout=self.budgets.per_output,
+            extraction=self.extraction,
+            extract=self.extract,
+            verify=self.verify,
+            qbf_strategy=self.qbf_strategy,
+            qbf_backend=self.qbf_backend,
+            min_support=self.min_support,
+            max_support=self.max_support,
+            jobs=self.parallelism.jobs,
+            dedup=self.parallelism.dedup,
+            seed=self.parallelism.seed,
+            cache_dir=self.cache.directory,
+        )
+
+    def with_(self, **changes) -> "DecompositionRequest":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)

@@ -1,0 +1,208 @@
+"""The session facade: run one request, or stream a whole suite.
+
+:class:`Session` is the canonical entry point of the library (the legacy
+``BiDecomposer.decompose_circuit`` surface is a shim over it):
+
+* :meth:`Session.run` executes one
+  :class:`repro.api.request.DecompositionRequest` and returns its
+  :class:`repro.core.result.CircuitReport` — exactly what the legacy call
+  produced, fingerprint-identical.
+* :meth:`Session.submit` + :meth:`Session.as_completed` execute a *suite*:
+  every submitted circuit's outputs are sharded across **one** shared
+  worker pool (see :class:`repro.core.scheduler.SuiteScheduler`), and
+  finished :class:`repro.core.result.OutputResult`\\ s stream back as they
+  complete — from whichever circuit finished one, so a heavy circuit no
+  longer serialises the suite behind it.  Per-circuit reports are assembled
+  when the stream is drained (:meth:`Session.reports`).
+
+Requests are validated against the session's
+:class:`repro.api.registry.EngineRegistry` at run/submit time, so a
+session restricted to a custom registry *rejects* engines the default
+registry would accept.  Third-party engines must be registered in the
+process-wide :func:`repro.api.registry.default_registry` — requests
+validate against it at construction, and the engine driver resolves
+plug-in runners through it; a session registry narrows the allowed set,
+it does not widen it.
+
+Example::
+
+    from repro.api import DecompositionRequest, Parallelism, Session
+
+    session = Session()
+    requests = [
+        DecompositionRequest(circuit=aig, operator="or",
+                             engines=("STEP-MG", "STEP-QD"),
+                             parallelism=Parallelism(jobs=4))
+        for aig in suite
+    ]
+    session.submit(requests)
+    for record in session.as_completed():
+        print(record.circuit, record.output_name)
+    reports = session.reports()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.api.registry import EngineRegistry, default_registry
+from repro.api.request import DecompositionRequest
+from repro.core.result import CircuitReport, OutputResult
+from repro.errors import DecompositionError
+
+
+class Session:
+    """A decomposition service handle: registry + suite submission queue.
+
+    Parameters
+    ----------
+    registry:
+        Engine registry to validate requests against; defaults to the
+        process-wide registry (where third-party engines register).
+
+    Attributes
+    ----------
+    stats:
+        Counters over the session's lifetime: ``runs`` (single-request
+        executions), ``suites`` (drained ``submit`` batches) and
+        ``pools_created`` (worker pools forked by those suites — exactly
+        one per parallel suite, the "one pool for N circuits" guarantee).
+    """
+
+    def __init__(self, registry: Optional[EngineRegistry] = None) -> None:
+        # Explicit None check: a registry with no engines is falsy (__len__)
+        # but still a deliberate choice, not a request for the default.
+        self.registry = default_registry() if registry is None else registry
+        self._pending: List[DecompositionRequest] = []
+        # None while a submitted suite is draining (or was abandoned
+        # mid-stream); a list once a drain completed.
+        self._reports: Optional[List[CircuitReport]] = []
+        self._next_pool_id = 0
+        self.stats: Dict[str, int] = {"runs": 0, "suites": 0, "pools_created": 0}
+
+    # -- single request -----------------------------------------------------------
+
+    def run(self, request: DecompositionRequest) -> CircuitReport:
+        """Execute one request and return its circuit report."""
+        self._check(request)
+        scheduler = self._scheduler_for(request)
+        self.stats["runs"] += 1
+        return scheduler.run(
+            request.circuit,
+            request.operator,
+            list(request.engines),
+            circuit_timeout=request.budgets.per_circuit,
+            max_outputs=request.max_outputs,
+            circuit_name=request.name,
+        )
+
+    # -- suites -------------------------------------------------------------------
+
+    def submit(
+        self, requests: Iterable[DecompositionRequest] | DecompositionRequest
+    ) -> int:
+        """Queue requests for the next :meth:`as_completed` drain.
+
+        Accepts one request or an iterable; returns the number of requests
+        now pending.  Nothing executes until the stream is consumed.
+        """
+        if isinstance(requests, DecompositionRequest):
+            requests = [requests]
+        batch = list(requests)
+        for request in batch:
+            self._check(request)
+        self._pending.extend(batch)
+        # The last drained suite no longer answers for the session: reports()
+        # must not serve batch N-1's reports while batch N is pending.
+        if self._pending:
+            self._reports = None
+        return len(self._pending)
+
+    def as_completed(self) -> Iterator[OutputResult]:
+        """Execute the pending suite, streaming records as they complete.
+
+        All pending requests are sharded over one worker pool sized to the
+        largest ``parallelism.jobs`` among them (sequential when that is 1).
+        Yield order under a parallel pool is completion order and therefore
+        machine-dependent; the *set* of records — and the per-circuit
+        reports afterwards — is deterministic and fingerprint-identical to
+        running each request individually.  Draining the stream assembles
+        the reports (:meth:`reports`) and clears the queue.
+        """
+        from repro.core.scheduler import SuiteScheduler, SuiteUnit
+
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        # Invalidate until the drain completes: an abandoned stream must not
+        # leave reports() silently answering with the previous suite.
+        self._reports = None
+        units = [
+            SuiteUnit(
+                scheduler=self._scheduler_for(request),
+                aig=request.circuit,
+                operator=request.operator,
+                engines=list(request.engines),
+                circuit_timeout=request.budgets.per_circuit,
+                max_outputs=request.max_outputs,
+                circuit_name=request.name,
+            )
+            for request in batch
+        ]
+        jobs = max(request.parallelism.jobs for request in batch)
+        suite = SuiteScheduler(units, jobs=jobs, pool_id=self._next_pool_id)
+        self._next_pool_id += 1
+        for _slot, record in suite.stream():
+            yield record
+        self._reports = suite.reports()
+        self.stats["suites"] += 1
+        self.stats["pools_created"] += suite.pools_created
+
+    def run_suite(
+        self, requests: Iterable[DecompositionRequest]
+    ) -> List[CircuitReport]:
+        """Submit, drain and return the per-request reports (submit order)."""
+        self.submit(requests)
+        for _record in self.as_completed():
+            pass
+        return self.reports()
+
+    def reports(self) -> List[CircuitReport]:
+        """Per-request reports of the last drained suite, in submit order."""
+        if self._reports is None:
+            raise DecompositionError(
+                "a submitted suite has not been drained; exhaust "
+                "as_completed() before reading reports"
+            )
+        return list(self._reports)
+
+    def report(self, circuit_name: str) -> CircuitReport:
+        """The last drained suite's report for the named circuit."""
+        for report in self.reports():
+            if report.circuit == circuit_name:
+                return report
+        raise DecompositionError(
+            f"no report for circuit {circuit_name!r} in the last drained suite"
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check(self, request: DecompositionRequest) -> None:
+        if not isinstance(request, DecompositionRequest):
+            raise DecompositionError(
+                f"expected a DecompositionRequest, got {type(request).__name__}"
+            )
+        request.validate_against(self.registry)
+
+    def _scheduler_for(self, request: DecompositionRequest):
+        from repro.core.engine import BiDecomposer
+        from repro.core.scheduler import BatchScheduler
+
+        options = request.to_options()
+        return BatchScheduler(
+            BiDecomposer(options),
+            jobs=options.jobs,
+            dedup=options.dedup,
+            seed=options.seed,
+            cache_dir=options.cache_dir,
+        )

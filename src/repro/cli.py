@@ -21,9 +21,15 @@ from typing import List, Optional
 
 from repro.aig.aig import AIG
 from repro.aig.support import max_output_support
+from repro.api import (
+    Budgets,
+    CachePolicy,
+    DecompositionRequest,
+    Parallelism,
+    Session,
+)
 from repro.circuits import generators
 from repro.circuits.library import classic_circuit, classic_circuit_names
-from repro.core.engine import BiDecomposer, EngineOptions
 from repro.core.spec import ENGINES
 from repro.errors import ReproError
 from repro.io.bench import read_bench, write_bench
@@ -70,30 +76,56 @@ def _save_circuit(aig: AIG, path: str) -> None:
         raise ReproError(f"cannot write circuit file {path!r}: {exc}") from exc
 
 
-def _cmd_decompose(args: argparse.Namespace) -> int:
+def _check_decompose_flags(args: argparse.Namespace) -> None:
+    """Reject malformed flag values with one-line errors before any work.
+
+    The request objects validate the same invariants, but checking here
+    names the offending *flag* instead of the config field it maps to.
+    """
+    if args.max_outputs is not None and args.max_outputs < 1:
+        raise ReproError(f"--max-outputs must be at least 1 (got {args.max_outputs})")
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be at least 1 (got {args.jobs})")
+    if args.qbf_timeout is not None and args.qbf_timeout <= 0:
+        raise ReproError(
+            f"--qbf-timeout must be a positive number of seconds (got {args.qbf_timeout})"
+        )
+    if args.output_timeout is not None and args.output_timeout <= 0:
+        raise ReproError(
+            f"--output-timeout must be a positive number of seconds (got {args.output_timeout})"
+        )
+    if args.circuit_timeout is not None and args.circuit_timeout < 0:
+        # 0 is legal: it budgets nothing and reports every output skipped.
+        raise ReproError(
+            f"--circuit-timeout must be >= 0 seconds (got {args.circuit_timeout})"
+        )
     if args.cache_dir is not None and args.no_dedup:
         # The persistent cache rides on the dedup cache; accepting both
         # flags would silently persist nothing.
         raise ReproError("--cache-dir requires cone dedup; drop --no-dedup")
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    _check_decompose_flags(args)
     aig = _load_circuit(args.circuit)
-    options = EngineOptions(
-        per_call_timeout=args.qbf_timeout,
-        output_timeout=args.output_timeout,
-        verify=args.verify,
-        jobs=args.jobs,
-        dedup=not args.no_dedup,
-        seed=args.seed,
-        cache_dir=args.cache_dir,
-    )
-    step = BiDecomposer(options)
-    engines = args.engine or ["STEP-QD"]
-    report = step.decompose_circuit(
-        aig,
-        args.operator,
-        engines,
-        circuit_timeout=args.circuit_timeout,
+    engines = tuple(args.engine or ["STEP-QD"])
+    request = DecompositionRequest(
+        circuit=aig,
+        operator=args.operator,
+        engines=engines,
+        budgets=Budgets(
+            per_call=args.qbf_timeout,
+            per_output=args.output_timeout,
+            per_circuit=args.circuit_timeout,
+        ),
+        parallelism=Parallelism(
+            jobs=args.jobs, dedup=not args.no_dedup, seed=args.seed
+        ),
+        cache=CachePolicy(directory=args.cache_dir),
         max_outputs=args.max_outputs,
+        verify=args.verify,
     )
+    report = Session().run(request)
     for output in report.outputs:
         for engine, result in sorted(output.results.items()):
             print(f"{output.output_name:>12} {result.summary()}")

@@ -18,7 +18,7 @@ from repro.core.partition import VariablePartition
 from repro.core.spec import OR, AND, XOR, OPERATORS
 from repro.core.result import BiDecResult, OutputResult, CircuitReport
 from repro.core.engine import BiDecomposer, EngineOptions
-from repro.core.scheduler import BatchScheduler, OutputJob
+from repro.core.scheduler import BatchScheduler, OutputJob, SuiteScheduler, SuiteUnit
 from repro.core.network import DecompositionNode, RecursiveDecomposer, network_to_aig
 from repro.core.verify import verify_decomposition
 
@@ -35,6 +35,8 @@ __all__ = [
     "EngineOptions",
     "BatchScheduler",
     "OutputJob",
+    "SuiteScheduler",
+    "SuiteUnit",
     "DecompositionNode",
     "RecursiveDecomposer",
     "network_to_aig",

@@ -20,6 +20,7 @@ Engine          Partition search
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -40,6 +41,7 @@ from repro.core.spec import (
     ENGINE_STEP_QB,
     ENGINE_STEP_QD,
     ENGINE_STEP_QDB,
+    ENGINES,
     EXTRACT_QUANTIFICATION,
     check_engine,
     check_extraction,
@@ -161,6 +163,8 @@ class BiDecomposer:
 
         if engine == ENGINE_BDD:
             result = self._bdd_decompose(function, operator, deadline)
+        elif engine not in ENGINES:
+            result = self._plugin_decompose(function, operator, engine, deadline)
         else:
             checker = RelaxationChecker(function, operator)
             if engine == ENGINE_LJH:
@@ -284,42 +288,75 @@ class BiDecomposer:
     ) -> CircuitReport:
         """Decompose every primary output of a circuit.
 
+        .. deprecated:: 1.1
+            This is a thin shim over the session API: it builds a
+            :class:`repro.api.DecompositionRequest` from the decomposer's
+            options (plus the per-call overrides) and runs it through a
+            :class:`repro.api.Session` — so its reports stay
+            fingerprint-identical to the canonical path.  New code should
+            construct the request directly; suites of circuits should go
+            through :meth:`repro.api.Session.submit`, which shards them
+            across one shared worker pool.
+
         Sequential circuits are made combinational first (the ABC ``comb``
         step of the paper's flow).  ``circuit_timeout`` mirrors the paper's
         per-circuit budget: outputs past the deadline are skipped (and named
-        in ``report.schedule["skipped"]``), and outputs in flight finish
-        under sub-deadlines capped by the circuit's remaining time — on the
-        sequential path and across pool workers alike.
-
-        The per-output work is planned and executed by
-        :class:`repro.core.scheduler.BatchScheduler`: structurally identical
-        cones are decomposed once (``dedup``), unique cones can fan out to
-        ``jobs`` worker processes, and with ``cache_dir`` the cone cache is
-        persisted across runs; the knobs default to the engine options.
-        The report is fingerprint-identical for every (jobs, dedup)
-        combination, provided no engine call is truncated by its wall-clock
-        budget (truncation reflects machine load, which no mode controls)
-        and duplicate cones are traversal-order-exact (canonical dedup of
-        merely fanin-permuted cones replays a valid partition that a fresh
-        search might not have chosen — see ``docs/architecture.md``).
+        in ``report.schedule["skipped"]``).  The per-output work is planned
+        and executed by :class:`repro.core.scheduler.BatchScheduler`; the
+        report is fingerprint-identical for every (jobs, dedup) combination,
+        provided no engine call is truncated by its wall-clock budget and
+        duplicate cones are traversal-order-exact (see
+        ``docs/architecture.md``).
         """
-        from repro.core.scheduler import BatchScheduler
-
-        scheduler = BatchScheduler(
-            self,
-            jobs=self.options.jobs if jobs is None else jobs,
-            dedup=self.options.dedup if dedup is None else dedup,
-            seed=self.options.seed,
-            cache_dir=self.options.cache_dir if cache_dir is None else cache_dir,
+        warnings.warn(
+            "BiDecomposer.decompose_circuit is deprecated; build a "
+            "repro.api.DecompositionRequest and run it through "
+            "repro.api.Session (Session.run / Session.submit)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return scheduler.run(
+        from repro.api.request import DecompositionRequest
+        from repro.api.session import Session
+
+        request = DecompositionRequest.from_options(
             aig,
             operator,
             engines,
+            self.options,
             circuit_timeout=circuit_timeout,
             max_outputs=max_outputs,
-            circuit_name=circuit_name,
+            name=circuit_name,
+            jobs=jobs,
+            dedup=dedup,
+            cache_dir=cache_dir,
         )
+        return Session().run(request)
+
+    # -- third-party engines ----------------------------------------------------------
+
+    def _plugin_decompose(
+        self,
+        function: BooleanFunction,
+        operator: str,
+        engine: str,
+        deadline: Optional[Deadline],
+    ) -> BiDecResult:
+        """Dispatch to a registered third-party engine (see repro.api.registry)."""
+        from repro.api.registry import default_registry
+
+        spec = default_registry().get(engine)
+        stopwatch = Stopwatch().start()
+        result = spec.runner(
+            function, operator, options=self.options, deadline=deadline
+        )
+        if not isinstance(result, BiDecResult):
+            raise DecompositionError(
+                f"engine {engine!r} returned {type(result).__name__}; "
+                "a registered runner must return a BiDecResult"
+            )
+        if result.cpu_seconds == 0.0:
+            result.cpu_seconds = stopwatch.stop()
+        return result
 
     # -- BDD baseline -----------------------------------------------------------------
 

@@ -25,15 +25,20 @@ preserving the sequential driver's results exactly:
   shipped to pool workers, whose monotonic clock is shared with the
   parent), a worker whose job starts after expiry skips it immediately, and
   the report names every budget-skipped output in
-  ``schedule["skipped"]``.  On the sequential path skips follow output
-  order; on the pool path they are whichever jobs had not started at
-  expiry — on a budget generous enough that nothing is truncated the two
-  sets are identically empty (differential-tested).
+  ``schedule["skipped"]``.
 * **Persistence** — with ``cache_dir`` set, replayable cache entries are
   snapshotted to ``<cache_dir>/cone_cache.json`` keyed by (canonical
   signature, operator, engine set, options fingerprint); the next run over
   the same configuration warms its cache from the snapshot and reports the
   reuse in ``schedule["persistent_hits"]``.
+* **Suite sharding** — :class:`SuiteScheduler` takes the prepared jobs of
+  *several* circuits and shards them across **one** shared worker pool
+  (heaviest cone anywhere first), streaming each finished
+  :class:`repro.core.result.OutputResult` back as it completes.  One suite
+  sweep pays pool startup once instead of once per circuit, and a straggler
+  circuit's cones load-balance across workers that finished lighter
+  circuits' jobs.  This is the execution layer under
+  :meth:`repro.api.session.Session.submit`.
 
 The identity guarantee is stated for runs whose engine calls finish within
 their wall-clock budgets: a search truncated by ``per_call_timeout`` /
@@ -56,7 +61,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.aig.aig import AIG
 from repro.aig.function import BooleanFunction
@@ -112,6 +117,34 @@ class OutputJob:
     seed: int
     cache_key: Optional[tuple]
     function: Optional[BooleanFunction] = None
+
+
+@dataclass
+class PreparedRun:
+    """One circuit's run state between planning and report assembly.
+
+    Produced by :meth:`BatchScheduler.prepare`, consumed by the execution
+    paths and :meth:`BatchScheduler.finalize`.  The split exists so that
+    :class:`SuiteScheduler` can prepare *several* circuits, interleave their
+    jobs on one pool, and still finalize each circuit's report exactly as a
+    standalone run would.
+    """
+
+    aig: AIG
+    operator: str
+    engines: List[str]
+    report: CircuitReport
+    deadline: Optional[Deadline]
+    jobs: List[OutputJob]
+    cache: ConeCache
+    persistent: Optional[PersistentConeCache]
+    context: str
+    warmed: int
+    max_outputs: Optional[int]
+    # Entries the suite's sequential path absorbed (and saved) into the
+    # persistent snapshot before finalize ran; counted into
+    # ``schedule["persistent_saved"]``.
+    saved_early: int = 0
 
 
 class BatchScheduler:
@@ -217,9 +250,9 @@ class BatchScheduler:
             )
         return jobs
 
-    # -- execution ----------------------------------------------------------------
+    # -- prepare / finalize -------------------------------------------------------
 
-    def run(
+    def prepare(
         self,
         aig: AIG,
         operator: str,
@@ -227,8 +260,8 @@ class BatchScheduler:
         circuit_timeout: Optional[float] = None,
         max_outputs: Optional[int] = None,
         circuit_name: Optional[str] = None,
-    ) -> CircuitReport:
-        """Decompose every primary output and assemble the circuit report."""
+    ) -> PreparedRun:
+        """Validate, normalise and plan one circuit run (no search yet)."""
         operator = check_operator(operator)
         engines = [check_engine(engine) for engine in engines]
         if aig.latches:
@@ -244,53 +277,50 @@ class BatchScheduler:
         cache = ConeCache(enabled=self.dedup)
         persistent, context = self._open_persistent_cache(operator, engines)
         warmed = persistent.warm(cache, context) if persistent is not None else 0
-        records: Dict[int, OutputResult] = {}
+        return PreparedRun(
+            aig=aig,
+            operator=operator,
+            engines=engines,
+            report=report,
+            deadline=deadline,
+            jobs=jobs,
+            cache=cache,
+            persistent=persistent,
+            context=context,
+            warmed=warmed,
+            max_outputs=max_outputs,
+        )
 
-        used_workers = 0
-        fallback: Optional[str] = None
-        if self.jobs > 1:
-            if deadline is not None and deadline.expired:
-                # The budget was consumed by planning alone; forking a pool
-                # just to have every worker skip its job would be waste.
-                fallback = FALLBACK_DEADLINE
-            elif len(jobs) <= 1:
-                # Nothing to fan out: the circuit planned at most one job.
-                fallback = FALLBACK_SINGLE_JOB
-            else:
-                used_workers, fallback = self._run_parallel(
-                    aig,
-                    jobs,
-                    operator,
-                    engines,
-                    report.circuit,
-                    cache,
-                    records,
-                    deadline,
-                )
-        if not used_workers:
-            self._run_sequential(
-                aig, jobs, operator, engines, report.circuit, cache, records, deadline
-            )
-
+    def finalize(
+        self,
+        prepared: PreparedRun,
+        records: Dict[int, OutputResult],
+        used_workers: int,
+        fallback: Optional[str],
+        extra_schedule: Optional[Dict[str, object]] = None,
+    ) -> CircuitReport:
+        """Assemble the circuit report from executed records."""
+        report = prepared.report
         for index in sorted(records):
             records[index].circuit = report.circuit
             report.outputs.append(records[index])
-        totals: Dict[str, float] = {engine: 0.0 for engine in engines}
+        totals: Dict[str, float] = {engine: 0.0 for engine in prepared.engines}
         for record in report.outputs:
             for engine, result in record.results.items():
                 totals[engine] = totals.get(engine, 0.0) + result.cpu_seconds
         report.total_cpu = totals
         executed_names = {record.output_name for record in report.outputs}
-        considered = [name for name, _ in aig.outputs]
-        if max_outputs is not None:
-            considered = considered[:max_outputs]
+        considered = [name for name, _ in prepared.aig.outputs]
+        if prepared.max_outputs is not None:
+            considered = considered[: prepared.max_outputs]
+        cache = prepared.cache
         report.schedule = {
             # "jobs" is the worker count the run actually used: the pool
             # size on the parallel path, 1 whenever the scheduler fell back
             # to (or was forced onto) the sequential path.
             "jobs": used_workers or 1,
             "requested_jobs": self.jobs,
-            "planned": len(jobs),
+            "planned": len(prepared.jobs),
             "executed": len(records),
             # Outputs the circuit budget cut off (never planned, or planned
             # but not started before expiry), in output order.
@@ -301,14 +331,53 @@ class BatchScheduler:
             "cache_hits": cache.hits,
             "cache_misses": cache.misses,
         }
-        if persistent is not None:
-            saved = persistent.absorb(cache, context)
+        if extra_schedule:
+            report.schedule.update(extra_schedule)
+        if prepared.persistent is not None:
+            saved = prepared.persistent.absorb(cache, prepared.context)
             if saved:
-                persistent.save()
+                prepared.persistent.save()
             report.schedule["persistent_hits"] = cache.warm_hits
-            report.schedule["persistent_loaded"] = warmed
-            report.schedule["persistent_saved"] = saved
+            report.schedule["persistent_loaded"] = prepared.warmed
+            report.schedule["persistent_saved"] = prepared.saved_early + saved
         return report
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        aig: AIG,
+        operator: str,
+        engines: Sequence[str],
+        circuit_timeout: Optional[float] = None,
+        max_outputs: Optional[int] = None,
+        circuit_name: Optional[str] = None,
+    ) -> CircuitReport:
+        """Decompose every primary output and assemble the circuit report."""
+        prepared = self.prepare(
+            aig,
+            operator,
+            engines,
+            circuit_timeout=circuit_timeout,
+            max_outputs=max_outputs,
+            circuit_name=circuit_name,
+        )
+        records: Dict[int, OutputResult] = {}
+        used_workers = 0
+        fallback: Optional[str] = None
+        if self.jobs > 1:
+            if prepared.deadline is not None and prepared.deadline.expired:
+                # The budget was consumed by planning alone; forking a pool
+                # just to have every worker skip its job would be waste.
+                fallback = FALLBACK_DEADLINE
+            elif len(prepared.jobs) <= 1:
+                # Nothing to fan out: the circuit planned at most one job.
+                fallback = FALLBACK_SINGLE_JOB
+            else:
+                used_workers, fallback = self._run_parallel(prepared, records)
+        if not used_workers:
+            self._run_sequential(prepared, records)
+        return self.finalize(prepared, records, used_workers, fallback)
 
     def _open_persistent_cache(
         self, operator: str, engines: List[str]
@@ -332,23 +401,11 @@ class BatchScheduler:
         return PersistentConeCache(path), context
 
     def _run_sequential(
-        self,
-        aig: AIG,
-        jobs: List[OutputJob],
-        operator: str,
-        engines: List[str],
-        circuit_name: str,
-        cache: ConeCache,
-        records: Dict[int, OutputResult],
-        deadline: Optional[Deadline],
+        self, prepared: PreparedRun, records: Dict[int, OutputResult]
     ) -> None:
         """In-process execution in output order (mirrors the legacy driver)."""
-        for job in jobs:
-            if deadline is not None and deadline.expired:
-                break
-            records[job.index] = self._execute_job(
-                aig, job, operator, engines, circuit_name, cache, deadline
-            )
+        for _record in self.execute_local(prepared, prepared.jobs, records):
+            pass
 
     def _execute_job(
         self,
@@ -379,16 +436,91 @@ class BatchScheduler:
             cache.store(job.cache_key, (job.input_names, record))
         return record
 
-    def _run_parallel(
+    # -- pool plumbing shared with SuiteScheduler ---------------------------------
+
+    def split_for_pool(
+        self, prepared: PreparedRun
+    ) -> Tuple[List[OutputJob], List[OutputJob]]:
+        """Partition jobs into pool-dispatched primaries and local followers.
+
+        A follower is an in-run duplicate of an earlier job's cone, or a
+        cone the warmed persistent snapshot already answers: it replays
+        locally and is never dispatched.
+        """
+        primaries: List[OutputJob] = []
+        followers: List[OutputJob] = []
+        seen: set = set()
+        for job in prepared.jobs:
+            if job.cache_key is not None and (
+                job.cache_key in seen or prepared.cache.contains(job.cache_key)
+            ):
+                followers.append(job)
+                continue
+            if job.cache_key is not None:
+                seen.add(job.cache_key)
+            primaries.append(job)
+        return primaries, followers
+
+    def worker_options(self) -> EngineOptions:
+        """The options a pool worker runs under: search only, no recursion.
+
+        Workers run the partition search but never extract, verify or
+        persist — those happen in the parent against its own AIG, so results
+        do not ship whole worker-side AIG copies through the pipe.
+        """
+        return replace(
+            self._decomposer.options, jobs=1, extract=False, verify=False,
+            cache_dir=None,
+        )
+
+    def absorb_worker_record(
+        self, prepared: PreparedRun, job: OutputJob, record: OutputResult
+    ) -> None:
+        """Parent-side completion of a worker-computed record.
+
+        Extracts (and optionally verifies) ``fA``/``fB`` against the
+        parent's AIG and mirrors the sequential path's cache accounting
+        (one miss, then the store) so hit/miss counters are identical for
+        any jobs count.
+        """
+        if self._decomposer.options.extract:
+            self._extract_record(prepared.aig, job, prepared.operator, record)
+        if job.cache_key is not None:
+            prepared.cache.lookup(job.cache_key)
+            if _replayable(record):
+                prepared.cache.store(job.cache_key, (job.input_names, record))
+
+    def execute_local(
         self,
-        aig: AIG,
-        jobs: List[OutputJob],
-        operator: str,
-        engines: List[str],
-        circuit_name: str,
-        cache: ConeCache,
+        prepared: PreparedRun,
+        jobs: Sequence[OutputJob],
         records: Dict[int, OutputResult],
-        deadline: Optional[Deadline],
+    ) -> Iterator[OutputResult]:
+        """Run jobs in-process in the given order, yielding each record.
+
+        Serves both the sequential path (all jobs) and the follower replay
+        after a pool run: ``_execute_job`` replays on a cache hit; when a
+        follower's primary record was not cached (budget-truncated or
+        skipped), it recomputes with a fresh budget — exactly as the
+        sequential path would.
+        """
+        for job in jobs:
+            if prepared.deadline is not None and prepared.deadline.expired:
+                break
+            record = self._execute_job(
+                prepared.aig,
+                job,
+                prepared.operator,
+                prepared.engines,
+                prepared.report.circuit,
+                prepared.cache,
+                prepared.deadline,
+            )
+            records[job.index] = record
+            yield record
+
+    def _run_parallel(
+        self, prepared: PreparedRun, records: Dict[int, OutputResult]
     ) -> Tuple[int, Optional[str]]:
         """Fan unique cones out to a process pool; replay duplicates locally.
 
@@ -409,87 +541,47 @@ class BatchScheduler:
         generous enough that nothing is truncated both paths skip nothing
         and stay fingerprint-identical.
         """
-        primaries: List[OutputJob] = []
-        followers: List[OutputJob] = []
-        seen: set = set()
-        for job in jobs:
-            if job.cache_key is not None and (
-                job.cache_key in seen or cache.contains(job.cache_key)
-            ):
-                # In-run duplicate, or a cone the persistent snapshot
-                # already answers: replay locally, never dispatch.
-                followers.append(job)
-                continue
-            if job.cache_key is not None:
-                seen.add(job.cache_key)
-            primaries.append(job)
-
+        primaries, followers = self.split_for_pool(prepared)
         if not primaries:
             # Everything replays from the warmed cache; no pool needed.
             return 0, FALLBACK_WARM_CACHE
 
         # Heaviest cones first so stragglers start early (cost-ordered
-        # scheduling); results are placed back by output index.  Workers run
-        # the partition search only: extraction (and verification) happen in
-        # the parent against its own AIG, so results do not ship whole
-        # worker-side AIG copies through the pipe and the returned
-        # sub-functions live in the parent's circuit exactly as on the
-        # sequential path.
+        # scheduling); results are placed back by output index.
         dispatch = sorted(primaries, key=lambda job: (-job.cost, job.index))
-        options = self._decomposer.options
-        worker_options = replace(
-            options, jobs=1, extract=False, verify=False, cache_dir=None
-        )
         worker_count = min(self.jobs, len(dispatch))
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - platforms without fork
-            context = multiprocessing.get_context()
-        try:
-            pool = context.Pool(
-                processes=worker_count,
-                initializer=_worker_init,
-                initargs=(aig, operator, engines, worker_options, circuit_name),
-            )
-        except (OSError, ValueError, ImportError, AssertionError):  # pragma: no cover
-            # No pool in this environment (restricted sandbox, or a daemonic
-            # worker process, which multiprocessing rejects via
-            # AssertionError): fall back to the sequential path.  Exceptions
-            # raised *inside* jobs propagate from pool.map below, exactly as
-            # they would from the sequential driver.
+        pool = _create_pool(
+            worker_count,
+            [
+                (
+                    prepared.aig,
+                    prepared.operator,
+                    prepared.engines,
+                    self.worker_options(),
+                    prepared.report.circuit,
+                )
+            ],
+        )
+        if pool is None:
             return 0, FALLBACK_POOL_UNAVAILABLE
         with pool:
             computed = pool.map(
                 _worker_run,
                 [
-                    (job.index, job.output_name, job.seed, deadline)
+                    (0, job.index, job.output_name, job.seed, prepared.deadline)
                     for job in dispatch
                 ],
             )
 
-        by_index = dict(computed)
+        by_index = {index: record for _slot, index, record in computed}
         for job in dispatch:
             record = by_index[job.index]
             if record is None:
                 continue  # budget-skipped in the worker
-            if options.extract:
-                self._extract_record(aig, job, operator, record)
+            self.absorb_worker_record(prepared, job, record)
             records[job.index] = record
-            if job.cache_key is not None:
-                # Mirror the sequential path's miss accounting before storing
-                # so hit/miss counters are identical for any jobs count.
-                cache.lookup(job.cache_key)
-                if _replayable(record):
-                    cache.store(job.cache_key, (job.input_names, record))
-        for job in followers:
-            if deadline is not None and deadline.expired:
-                break
-            # _execute_job replays on a hit; when the primary's record was
-            # not cached (budget-truncated or skipped), it recomputes with a
-            # fresh budget — exactly as the sequential path would.
-            records[job.index] = self._execute_job(
-                aig, job, operator, engines, circuit_name, cache, deadline
-            )
+        for _record in self.execute_local(prepared, followers, records):
+            pass
         return worker_count, None
 
     def _extract_record(
@@ -559,31 +651,319 @@ class BatchScheduler:
         return record
 
 
+@dataclass
+class SuiteUnit:
+    """One circuit's slice of a suite run: a scheduler plus run parameters.
+
+    The suite layer deliberately couples each circuit to its *own*
+    :class:`BatchScheduler` (options, dedup cache, persistent snapshot,
+    seed) so a suite run stays fingerprint-identical to running each
+    circuit individually — only the worker pool is shared.
+    """
+
+    scheduler: BatchScheduler
+    aig: AIG
+    operator: str
+    engines: Sequence[str]
+    circuit_timeout: Optional[float] = None
+    max_outputs: Optional[int] = None
+    circuit_name: Optional[str] = None
+
+
+class SuiteScheduler:
+    """Shard the outputs of several circuits across ONE shared worker pool.
+
+    Where ``BatchScheduler.run`` forks a pool per circuit, the suite
+    scheduler prepares every unit first, then dispatches *all* their unique
+    cones — heaviest anywhere first — to a single pool, so a benchmark
+    sweep pays pool startup once and cross-circuit load imbalance is
+    absorbed by whichever workers free up first.  Followers (in-run
+    duplicates and persistent-cache hits) replay locally per unit, exactly
+    as in a standalone run, which keeps every unit's report
+    fingerprint-identical to its individual ``decompose_circuit`` result.
+
+    :meth:`stream` is a generator yielding ``(unit_index, OutputResult)``
+    pairs as jobs complete; with ``jobs > 1`` the order is completion order
+    (nondeterministic), with ``jobs = 1`` it is submit × output order.  The
+    *content* — each record and each finalized report — is deterministic
+    either way.  Reports are assembled once the stream is drained.
+
+    Each report's ``schedule`` gains ``shared_pool`` (whether the unit's
+    jobs ran on the suite pool), ``pool_id`` (the same identifier across
+    every unit of one suite — the "exactly one pool" witness) and
+    ``suite_size``; ``pools_created`` on the scheduler records how many
+    pools the whole suite forked (0 on the sequential path, never more
+    than 1).
+    """
+
+    def __init__(
+        self, units: Sequence[SuiteUnit], jobs: int = 1, pool_id: int = 0
+    ) -> None:
+        if jobs < 1:
+            raise DecompositionError("jobs must be at least 1")
+        self.units = list(units)
+        self.jobs = jobs
+        self.pool_id = pool_id
+        self.pools_created = 0
+        self.worker_count = 0
+        self._reports: Optional[List[CircuitReport]] = None
+
+    def reports(self) -> List[CircuitReport]:
+        """Per-unit reports, in submit order; requires a drained stream."""
+        if self._reports is None:
+            raise DecompositionError(
+                "suite reports are assembled when the job stream is drained; "
+                "iterate stream() (or call run()) first"
+            )
+        return self._reports
+
+    def run(self) -> List[CircuitReport]:
+        """Drain the stream and return the per-unit reports."""
+        for _ in self.stream():
+            pass
+        return self.reports()
+
+    @staticmethod
+    def _arm_deadline(ready: PreparedRun, budget_left: Optional[float]) -> None:
+        """Restart a unit's circuit budget the moment its jobs can run.
+
+        ``budget_left`` is what the budget had left right after the unit's
+        own planning; arming from that snapshot (rather than the live
+        deadline) is idempotent, so the sequential fallback after a failed
+        pool creation re-arms to the same remaining budget, not less.
+        """
+        if ready.deadline is not None and budget_left is not None:
+            ready.deadline = Deadline(budget_left)
+
+    @staticmethod
+    def _share_persistent_caches(prepared: List[PreparedRun]) -> None:
+        """Point units with one snapshot path at ONE in-memory instance.
+
+        Suite units prepare (and therefore load the snapshot) before any of
+        them runs; with per-unit instances the *last* finalize's save would
+        rewrite the file from a copy loaded before the other units absorbed
+        their entries, dropping them.  Sharing the instance makes each save
+        cumulative — the per-circuit sequential flow built that up by
+        construction (load N+1 happened after save N).  Warming already
+        happened against identical loaded state, so reports are unaffected.
+        """
+        shared: Dict[str, PersistentConeCache] = {}
+        for ready in prepared:
+            if ready.persistent is None:
+                continue
+            path = os.path.abspath(ready.persistent.path)
+            if path in shared:
+                ready.persistent = shared[path]
+            else:
+                shared[path] = ready.persistent
+
+    def stream(self) -> Iterator[Tuple[int, OutputResult]]:
+        """Execute the suite, yielding ``(unit_index, record)`` as completed."""
+        prepared: List[PreparedRun] = []
+        budgets_left: List[Optional[float]] = []
+        for unit in self.units:
+            ready = unit.scheduler.prepare(
+                unit.aig,
+                unit.operator,
+                unit.engines,
+                circuit_timeout=unit.circuit_timeout,
+                max_outputs=unit.max_outputs,
+                circuit_name=unit.circuit_name,
+            )
+            prepared.append(ready)
+            # A unit's circuit budget must pay for its own planning and
+            # execution — never for the time *other* units spend running
+            # before it.  Snapshot what is left right after planning and
+            # re-arm the deadline when this unit's jobs can actually start
+            # (_arm_deadline); otherwise earlier units' execution would
+            # drain later units' budgets and suite reports would diverge
+            # from solo runs.
+            budgets_left.append(
+                None if ready.deadline is None else ready.deadline.remaining()
+            )
+        records: List[Dict[int, OutputResult]] = [{} for _ in self.units]
+        self._share_persistent_caches(prepared)
+        used_workers = 0
+        fallback: Optional[str] = None
+
+        if self.jobs > 1:
+            splits = [
+                unit.scheduler.split_for_pool(ready)
+                for unit, ready in zip(self.units, prepared)
+            ]
+            dispatch = [
+                (slot, job)
+                for slot, (primaries, _) in enumerate(splits)
+                for job in primaries
+            ]
+            if sum(len(ready.jobs) for ready in prepared) <= 1:
+                fallback = FALLBACK_SINGLE_JOB
+            elif not dispatch:
+                fallback = FALLBACK_WARM_CACHE
+            else:
+                # Heaviest cone anywhere in the suite first; ties broken by
+                # submit order then output index for a deterministic dispatch
+                # sequence (arrival order still varies with worker load).
+                dispatch.sort(key=lambda item: (-item[1].cost, item[0], item[1].index))
+                worker_count = min(self.jobs, len(dispatch))
+                contexts = [
+                    (
+                        ready.aig,
+                        ready.operator,
+                        ready.engines,
+                        unit.scheduler.worker_options(),
+                        ready.report.circuit,
+                    )
+                    for unit, ready in zip(self.units, prepared)
+                ]
+                pool = _create_pool(worker_count, contexts)
+                if pool is None:
+                    fallback = FALLBACK_POOL_UNAVAILABLE
+                else:
+                    self.pools_created += 1
+                    self.worker_count = worker_count
+                    used_workers = worker_count
+                    # Pool units execute concurrently: every budget starts now.
+                    for slot, ready in enumerate(prepared):
+                        self._arm_deadline(ready, budgets_left[slot])
+                    job_of = {(slot, job.index): job for slot, job in dispatch}
+                    followers_of = [followers for _, followers in splits]
+                    pending = [len(primaries) for primaries, _ in splits]
+                    # Units whose every job replays locally need nothing from
+                    # the pool: run them now, before their budgets are spent
+                    # waiting on other units' searches.
+                    for slot in range(len(self.units)):
+                        if pending[slot] == 0:
+                            for record in self.units[slot].scheduler.execute_local(
+                                prepared[slot], followers_of[slot], records[slot]
+                            ):
+                                yield slot, record
+                    with pool:
+                        for slot, index, record in pool.imap_unordered(
+                            _worker_run,
+                            [
+                                (
+                                    slot,
+                                    job.index,
+                                    job.output_name,
+                                    job.seed,
+                                    prepared[slot].deadline,
+                                )
+                                for slot, job in dispatch
+                            ],
+                        ):
+                            pending[slot] -= 1
+                            if record is not None:
+                                job = job_of[(slot, index)]
+                                self.units[slot].scheduler.absorb_worker_record(
+                                    prepared[slot], job, record
+                                )
+                                records[slot][index] = record
+                                yield slot, record
+                            if pending[slot] == 0:
+                                # This unit's last primary arrived: replay its
+                                # followers immediately rather than after the
+                                # whole drain — its circuit budget must not
+                                # pay for other units' remaining searches.
+                                for follower_record in self.units[
+                                    slot
+                                ].scheduler.execute_local(
+                                    prepared[slot], followers_of[slot], records[slot]
+                                ):
+                                    yield slot, follower_record
+
+        if not used_workers:
+            # Sequential path: submit order, then output order (the exact
+            # execution a per-circuit sequential run would perform).
+            for slot, ready in enumerate(prepared):
+                scheduler = self.units[slot].scheduler
+                self._arm_deadline(ready, budgets_left[slot])
+                if ready.persistent is not None:
+                    # Earlier units may have absorbed entries into the shared
+                    # snapshot; re-warm so this unit replays them — exactly
+                    # what the legacy run-per-circuit flow got by loading
+                    # the snapshot after the previous circuit saved it.
+                    ready.warmed = ready.persistent.warm(ready.cache, ready.context)
+                for record in scheduler.execute_local(ready, ready.jobs, records[slot]):
+                    yield slot, record
+                if ready.persistent is not None:
+                    # Absorb (and save) now so the next unit's re-warm sees
+                    # this unit's entries; finalize counts saved_early into
+                    # schedule["persistent_saved"] and only rewrites the
+                    # snapshot if anything new appeared since.
+                    ready.saved_early = ready.persistent.absorb(
+                        ready.cache, ready.context
+                    )
+                    if ready.saved_early:
+                        ready.persistent.save()
+
+        extra: Dict[str, object] = {
+            "shared_pool": used_workers > 0,
+            "pool_id": self.pool_id if used_workers else None,
+            "suite_size": len(self.units),
+        }
+        self._reports = [
+            unit.scheduler.finalize(
+                ready, records[slot], used_workers, fallback, extra_schedule=extra
+            )
+            for slot, (unit, ready) in enumerate(zip(self.units, prepared))
+        ]
+
+
 # -- worker-process plumbing (module level for pickling) ------------------------
 
 _WORKER_STATE: Dict[str, object] = {}
 
+# One worker-side circuit context: its own BiDecomposer plus everything
+# `decompose_output` needs.  The suite scheduler installs one per unit;
+# single-circuit pools install exactly one (slot 0).
+_WorkerContext = Tuple[BiDecomposer, AIG, str, List[str], str]
 
-def _worker_init(
-    aig: AIG,
-    operator: str,
-    engines: List[str],
-    options: EngineOptions,
-    circuit_name: str,
-) -> None:
-    _WORKER_STATE["decomposer"] = BiDecomposer(options)
-    _WORKER_STATE["aig"] = aig
-    _WORKER_STATE["operator"] = operator
-    _WORKER_STATE["engines"] = engines
-    _WORKER_STATE["circuit_name"] = circuit_name
+
+def _create_pool(worker_count: int, contexts: Sequence[tuple]):
+    """Fork a worker pool initialised with the given circuit contexts.
+
+    Returns ``None`` where no pool can exist (restricted sandboxes, or a
+    daemonic parent process, which multiprocessing rejects via
+    AssertionError) so callers fall back to the sequential path.  Exceptions
+    raised *inside* jobs still propagate from the map calls, exactly as they
+    would from the sequential driver.
+    """
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        context = multiprocessing.get_context()
+    try:
+        return context.Pool(
+            processes=worker_count,
+            initializer=_worker_init,
+            initargs=(list(contexts),),
+        )
+    except (OSError, ValueError, ImportError, AssertionError):  # pragma: no cover
+        return None
+
+
+def _worker_init(contexts: List[tuple]) -> None:
+    """Install the per-circuit contexts in this worker process.
+
+    Each entry is ``(aig, operator, engines, options, circuit_name)``; the
+    worker builds one BiDecomposer per circuit so suite jobs from different
+    requests run under their own options.
+    """
+    _WORKER_STATE["contexts"] = [
+        (BiDecomposer(options), aig, operator, engines, circuit_name)
+        for aig, operator, engines, options, circuit_name in contexts
+    ]
 
 
 def _worker_run(
-    args: Tuple[int, str, int, Optional[Deadline]]
-) -> Tuple[int, Optional[OutputResult]]:
-    """Run one job in a pool worker, honouring the circuit deadline.
+    args: Tuple[int, int, str, int, Optional[Deadline]]
+) -> Tuple[int, int, Optional[OutputResult]]:
+    """Run one job in a pool worker, honouring its circuit's deadline.
 
-    The :class:`Deadline` crosses the pipe as plain data; its expiry check
+    ``args`` is ``(slot, index, output_name, seed, deadline)`` where ``slot``
+    selects the circuit context installed by :func:`_worker_init`.  The
+    :class:`Deadline` crosses the pipe as plain data; its expiry check
     compares the system-wide monotonic clock, which parent and (forked or
     spawned) workers on one machine share, so "expired" means the same thing
     on both sides.  A job that starts after expiry is skipped (``None``
@@ -591,17 +971,18 @@ def _worker_run(
     starts before expiry runs its engines under sub-deadlines capped by the
     circuit's remaining budget.
     """
-    index, output_name, seed, deadline = args
+    slot, index, output_name, seed, deadline = args
     if deadline is not None and deadline.expired:
-        return index, None
-    decomposer: BiDecomposer = _WORKER_STATE["decomposer"]  # type: ignore[assignment]
+        return slot, index, None
+    contexts: List[_WorkerContext] = _WORKER_STATE["contexts"]  # type: ignore[assignment]
+    decomposer, aig, operator, engines, circuit_name = contexts[slot]
     with seeded_job(seed):
         record = decomposer.decompose_output(
-            _WORKER_STATE["aig"],  # type: ignore[arg-type]
+            aig,
             output_name,
-            _WORKER_STATE["operator"],  # type: ignore[arg-type]
-            _WORKER_STATE["engines"],  # type: ignore[arg-type]
-            circuit_name=_WORKER_STATE["circuit_name"],  # type: ignore[arg-type]
+            operator,
+            engines,
+            circuit_name=circuit_name,
             deadline=deadline,
         )
-    return index, record
+    return slot, index, record

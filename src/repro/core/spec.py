@@ -46,12 +46,16 @@ def check_operator(operator: str) -> str:
 
 
 def check_engine(engine: str) -> str:
-    """Validate an engine name (case-sensitive, as printed in the paper)."""
-    if engine not in ENGINES:
-        raise DecompositionError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}"
-        )
-    return engine
+    """Validate an engine name (case-sensitive, as printed in the paper).
+
+    Delegates to the engine registry (:mod:`repro.api.registry`), so names
+    of registered third-party engines validate exactly like the built-ins
+    and an unknown name fails with one line naming every known engine.  The
+    import is deferred: the registry imports this module's constants.
+    """
+    from repro.api.registry import default_registry
+
+    return default_registry().check(engine)
 
 
 def check_extraction(method: str) -> str:

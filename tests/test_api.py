@@ -1,0 +1,524 @@
+"""Tests for the session API: typed requests, engine registry, suite streams.
+
+Three contracts anchor the layer:
+
+* the legacy surface (``BiDecomposer.decompose_circuit``) is a shim over
+  the session API and must stay fingerprint-identical to it;
+* the registry is the single namespace for engine names — built-ins and
+  plug-ins validate at *request construction*, with one-line errors;
+* a suite submitted through ``Session.submit`` runs on exactly ONE shared
+  worker pool and its per-circuit reports are fingerprint-identical to
+  individual runs, for any jobs count, with ``as_completed()`` streaming a
+  deterministic set of per-output records.
+"""
+
+import pytest
+
+from repro import (
+    ENGINES,
+    QBF_ENGINES,
+    Budgets,
+    CachePolicy,
+    DecompositionRequest,
+    EngineRegistry,
+    EngineSpec,
+    Parallelism,
+    Session,
+    default_registry,
+)
+from repro.circuits.generators import (
+    decomposable_by_construction,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.core.engine import BiDecomposer, EngineOptions
+from repro.core.result import BiDecResult
+from repro.core.spec import ENGINE_LJH, ENGINE_STEP_MG, ENGINE_STEP_QD
+from repro.errors import DecompositionError, ReproError
+
+
+def request_for(aig, engines=(ENGINE_STEP_MG,), **kwargs):
+    return DecompositionRequest(
+        circuit=aig, operator="or", engines=tuple(engines), **kwargs
+    )
+
+
+def duplicated_cone_circuit(copies=4, seed=7):
+    aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=seed)
+    root = aig.outputs[0][1]
+    for k in range(1, copies):
+        aig.add_output(f"f{k}", root)
+    return aig
+
+
+class TestConfigValidation:
+    def test_budget_defaults_mirror_engine_options(self):
+        budgets = Budgets()
+        assert budgets.per_call == 4.0
+        assert budgets.per_output == 60.0
+        assert budgets.per_circuit is None
+
+    @pytest.mark.parametrize("field", ["per_call", "per_output", "per_circuit"])
+    def test_negative_budgets_rejected(self, field):
+        with pytest.raises(ReproError, match="must be >= 0"):
+            Budgets(**{field: -1.5})
+
+    def test_zero_budgets_are_legal_degenerate_deadlines(self):
+        """0 = already expired, a first-class deadline state (legacy-compat)."""
+        budgets = Budgets(per_call=0.0, per_output=0.0, per_circuit=0.0)
+        assert (budgets.per_call, budgets.per_output, budgets.per_circuit) == (
+            0.0,
+            0.0,
+            0.0,
+        )
+
+    def test_jobs_must_be_at_least_one(self):
+        with pytest.raises(ReproError, match="jobs"):
+            Parallelism(jobs=0)
+
+    def test_unlimited_budgets_allowed(self):
+        budgets = Budgets(per_call=None, per_output=None)
+        assert budgets.per_call is None and budgets.per_output is None
+
+
+class TestRequestValidation:
+    def test_unknown_engine_rejected_with_known_engines_named(self, adder3):
+        with pytest.raises(ReproError) as excinfo:
+            request_for(adder3, engines=("STEP-XX",))
+        message = str(excinfo.value)
+        assert "unknown engine 'STEP-XX'" in message
+        for name in ENGINES:
+            assert name in message
+        assert "\n" not in message  # one-line error
+
+    def test_engines_must_not_be_a_bare_string(self, adder3):
+        with pytest.raises(ReproError, match="bare string"):
+            DecompositionRequest(circuit=adder3, operator="or", engines="STEP-MG")
+
+    def test_engines_must_be_non_empty(self, adder3):
+        with pytest.raises(ReproError, match="at least one engine"):
+            request_for(adder3, engines=())
+
+    def test_operator_normalised_and_validated(self, adder3):
+        assert request_for(adder3).operator == "or"
+        assert (
+            DecompositionRequest(
+                circuit=adder3, operator="OR", engines=(ENGINE_STEP_MG,)
+            ).operator
+            == "or"
+        )
+        with pytest.raises(ReproError):
+            DecompositionRequest(
+                circuit=adder3, operator="nand", engines=(ENGINE_STEP_MG,)
+            )
+
+    def test_max_outputs_must_be_at_least_one(self, adder3):
+        with pytest.raises(ReproError, match="max_outputs"):
+            request_for(adder3, max_outputs=0)
+
+    def test_cache_directory_requires_dedup(self, adder3, tmp_path):
+        with pytest.raises(ReproError, match="dedup"):
+            request_for(
+                adder3,
+                parallelism=Parallelism(dedup=False),
+                cache=CachePolicy(directory=str(tmp_path)),
+            )
+
+    def test_circuit_must_be_an_aig(self):
+        with pytest.raises(ReproError, match="AIG"):
+            DecompositionRequest(
+                circuit="adder.blif", operator="or", engines=(ENGINE_STEP_MG,)
+            )
+
+    def test_bad_extraction_method_fails_at_construction(self, adder3):
+        with pytest.raises(ReproError, match="extraction"):
+            request_for(adder3, extraction="magic")
+
+    def test_roundtrip_through_engine_options(self, adder3):
+        request = request_for(
+            adder3,
+            budgets=Budgets(per_call=2.0, per_output=10.0),
+            parallelism=Parallelism(jobs=3, dedup=False, seed=9),
+            verify=True,
+        )
+        options = request.to_options()
+        assert options.per_call_timeout == 2.0
+        assert options.output_timeout == 10.0
+        assert options.jobs == 3 and options.dedup is False and options.seed == 9
+        assert options.verify is True
+
+    def test_with_replaces_and_revalidates(self, adder3):
+        request = request_for(adder3)
+        assert request.with_(operator="and").operator == "and"
+        with pytest.raises(ReproError):
+            request.with_(engines=("BOGUS",))
+
+
+class TestRegistry:
+    def test_builtins_registered_by_default(self):
+        registry = default_registry()
+        for name in ENGINES:
+            assert name in registry
+            assert registry.get(name).builtin
+        assert set(QBF_ENGINES) <= set(registry.names())
+
+    def test_builtin_cannot_be_replaced_or_unregistered(self):
+        registry = default_registry()
+        with pytest.raises(ReproError, match="built-in"):
+            registry.register(EngineSpec(ENGINE_STEP_QD, runner=lambda *a, **k: None))
+        with pytest.raises(ReproError, match="built-in"):
+            registry.unregister(ENGINE_STEP_QD)
+
+    def test_plugin_register_and_unregister(self):
+        registry = default_registry()
+        spec = EngineSpec("TEST-NOOP", runner=lambda *a, **k: None)
+        registry.register(spec)
+        try:
+            assert "TEST-NOOP" in registry
+            assert not registry.get("TEST-NOOP").builtin
+            with pytest.raises(ReproError, match="already"):
+                registry.register(EngineSpec("TEST-NOOP", runner=lambda *a, **k: None))
+        finally:
+            registry.unregister("TEST-NOOP")
+        assert "TEST-NOOP" not in registry
+
+    def test_unregister_unknown_engine_rejected(self):
+        with pytest.raises(ReproError, match="not registered"):
+            default_registry().unregister("NO-SUCH")
+
+    def test_spec_name_must_be_non_empty(self):
+        with pytest.raises(ReproError):
+            EngineSpec("")
+
+    def test_isolated_registry_validates_independently(self, adder3):
+        session = Session(registry=EngineRegistry())
+        request = request_for(adder3)  # valid against the default registry
+        with pytest.raises(ReproError, match="unknown engine"):
+            session.run(request)
+
+
+class TestPluginEngines:
+    @pytest.fixture
+    def never_engine(self):
+        """A plug-in engine that deems every function non-decomposable."""
+
+        def runner(function, operator, *, options, deadline):
+            return BiDecResult(engine="TEST-NEVER", operator=operator, decomposed=False)
+
+        spec = EngineSpec("TEST-NEVER", runner=runner, description="always refuses")
+        default_registry().register(spec)
+        yield spec
+        default_registry().unregister("TEST-NEVER")
+
+    def test_request_accepts_registered_plugin(self, adder3, never_engine):
+        request = request_for(adder3, engines=(ENGINE_STEP_MG, "TEST-NEVER"))
+        report = Session().run(request)
+        for output in report.outputs:
+            if not output.results:
+                continue  # support below min_support: no engine ran
+            result = output.results["TEST-NEVER"]
+            assert result.engine == "TEST-NEVER" and not result.decomposed
+            assert output.results[ENGINE_STEP_MG].decomposed in (True, False)
+
+    def test_plugin_runs_through_decompose_function(self, never_engine):
+        from repro.aig.function import BooleanFunction
+
+        aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=3)
+        function = BooleanFunction.from_output(aig, "f")
+        result = BiDecomposer().decompose_function(function, "or", engine="TEST-NEVER")
+        assert not result.decomposed
+
+    def test_runner_returning_wrong_type_is_one_line_error(self):
+        default_registry().register(
+            EngineSpec("TEST-BROKEN", runner=lambda *a, **k: "oops")
+        )
+        try:
+            from repro.aig.function import BooleanFunction
+
+            aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=3)
+            function = BooleanFunction.from_output(aig, "f")
+            with pytest.raises(DecompositionError, match="BiDecResult"):
+                BiDecomposer().decompose_function(function, "or", engine="TEST-BROKEN")
+        finally:
+            default_registry().unregister("TEST-BROKEN")
+
+
+class TestLegacyShim:
+    """The old kwargs surface must stay fingerprint-identical to sessions."""
+
+    MATRIX = [
+        (ripple_carry_adder, (2,), [ENGINE_STEP_MG, ENGINE_STEP_QD]),
+        (mux_tree, (2,), [ENGINE_LJH, ENGINE_STEP_MG]),
+        (parity_tree, (4,), [ENGINE_STEP_MG]),
+    ]
+
+    @pytest.mark.parametrize("builder,args,engines", MATRIX)
+    def test_decompose_circuit_matches_session_run(self, builder, args, engines):
+        aig = builder(*args)
+        legacy = BiDecomposer(EngineOptions()).decompose_circuit(aig, "or", engines)
+        report = Session().run(request_for(aig, engines=tuple(engines)))
+        assert legacy.fingerprint() == report.fingerprint()
+
+    def test_decompose_circuit_emits_deprecation_warning(self, adder3):
+        with pytest.warns(DeprecationWarning, match="decompose_circuit"):
+            BiDecomposer(EngineOptions()).decompose_circuit(
+                adder3, "or", [ENGINE_STEP_MG], max_outputs=1
+            )
+
+    def test_shim_forwards_overrides(self, tmp_path):
+        aig = duplicated_cone_circuit(copies=3)
+        report = BiDecomposer(EngineOptions()).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG], cache_dir=str(tmp_path)
+        )
+        assert report.schedule["persistent_saved"] == 1
+        warm = BiDecomposer(EngineOptions()).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG], cache_dir=str(tmp_path)
+        )
+        assert warm.schedule["persistent_hits"] >= 1
+        assert warm.fingerprint() == report.fingerprint()
+
+    def test_shim_accepts_legacy_non_positive_timeouts(self):
+        """EngineOptions accepted any timeout; the shim must not raise."""
+        aig = duplicated_cone_circuit(copies=2)
+        report = BiDecomposer(EngineOptions(output_timeout=0)).decompose_circuit(
+            aig, "or", [ENGINE_LJH]
+        )
+        assert len(report.outputs) == 2  # every engine call expired instantly
+        report = BiDecomposer(EngineOptions(per_call_timeout=-1)).decompose_circuit(
+            aig, "or", [ENGINE_LJH]
+        )
+        assert len(report.outputs) == 2
+
+    def test_shim_drops_cache_dir_without_dedup(self, tmp_path):
+        """The legacy surface silently persisted nothing; it must not raise."""
+        aig = duplicated_cone_circuit(copies=2)
+        report = BiDecomposer(EngineOptions()).decompose_circuit(
+            aig, "or", [ENGINE_STEP_MG], dedup=False, cache_dir=str(tmp_path)
+        )
+        assert "persistent_saved" not in report.schedule
+
+
+def suite_requests(jobs=1):
+    """Three small circuits, one engine, as a submit batch."""
+    return [
+        request_for(circuit, parallelism=Parallelism(jobs=jobs))
+        for circuit in (mux_tree(2), ripple_carry_adder(2), parity_tree(4))
+    ]
+
+
+class TestSuiteStreams:
+    def test_suite_uses_exactly_one_pool_and_matches_solo_runs(self):
+        """Acceptance: 3+ circuits, one worker pool, solo-identical reports."""
+        session = Session()
+        requests = suite_requests(jobs=4)
+        session.submit(requests)
+        records = list(session.as_completed())
+        reports = session.reports()
+        assert len(reports) == 3
+        total_outputs = sum(len(report.outputs) for report in reports)
+        assert len(records) == total_outputs
+        fallback = reports[0].schedule["fallback"]
+        if fallback is None:
+            # One shared pool served the whole suite (the schedule stats are
+            # the witness: same pool id on every report, one pool counted).
+            assert session.stats["pools_created"] == 1
+            pool_ids = {report.schedule["pool_id"] for report in reports}
+            assert len(pool_ids) == 1 and None not in pool_ids
+            assert all(report.schedule["shared_pool"] for report in reports)
+            assert all(report.schedule["suite_size"] == 3 for report in reports)
+        else:
+            # Environments without process pools fall back sequentially and
+            # must say so on every report.
+            assert fallback == "pool-unavailable"
+            assert session.stats["pools_created"] == 0
+        for request, report in zip(requests, reports):
+            solo = Session().run(request)
+            assert solo.fingerprint() == report.fingerprint()
+
+    def test_as_completed_deterministic_across_jobs_counts(self):
+        """jobs=1 and jobs=4 stream the same record set, reports identical."""
+        streamed = {}
+        reports = {}
+        for jobs in (1, 4):
+            session = Session()
+            session.submit(suite_requests(jobs=jobs))
+            streamed[jobs] = [
+                record.fingerprint() for record in session.as_completed()
+            ]
+            reports[jobs] = session.reports()
+        # Stream content is deterministic (order is completion order under a
+        # pool, so compare as multisets) ...
+        assert sorted(streamed[1]) == sorted(streamed[4])
+        # ... and the assembled reports are fingerprint-identical.
+        for one, four in zip(reports[1], reports[4]):
+            assert one.fingerprint() == four.fingerprint()
+
+    def test_sequential_stream_order_is_submit_then_output_order(self):
+        session = Session()
+        session.submit(suite_requests(jobs=1))
+        names = [
+            (record.circuit, record.output_name)
+            for record in session.as_completed()
+        ]
+        assert names == [
+            ("mux2", "y"),
+            ("rca2", "s0"),
+            ("rca2", "s1"),
+            ("rca2", "cout"),
+            ("parity4", "p"),
+        ]
+
+    def test_suite_dedups_within_each_circuit(self):
+        aig = duplicated_cone_circuit(copies=4, seed=21)
+        session = Session()
+        session.submit([request_for(aig)])
+        list(session.as_completed())
+        (report,) = session.reports()
+        assert report.schedule["unique_cones"] == 1
+        assert report.schedule["cache_hits"] == 3
+
+    def test_submit_accepts_single_request_and_counts_pending(self, adder3):
+        session = Session()
+        assert session.submit(request_for(adder3)) == 1
+        assert session.submit(suite_requests()) == 4
+        records = list(session.as_completed())
+        assert len(records) == len(session.reports()[0].outputs) + 5
+
+    def test_empty_queue_streams_nothing(self):
+        session = Session()
+        assert list(session.as_completed()) == []
+        assert session.reports() == []
+
+    def test_report_lookup_by_circuit_name(self):
+        session = Session()
+        session.submit(suite_requests())
+        list(session.as_completed())
+        assert session.report("rca2").circuit == "rca2"
+        with pytest.raises(ReproError, match="no report"):
+            session.report("missing")
+
+    def test_run_suite_convenience(self):
+        reports = Session().run_suite(suite_requests())
+        assert [report.circuit for report in reports] == [
+            "mux2",
+            "rca2",
+            "parity4",
+        ]
+
+    def test_circuit_budgets_apply_per_request(self):
+        session = Session()
+        exhausted = request_for(
+            ripple_carry_adder(2), budgets=Budgets(per_circuit=0.0)
+        )
+        generous = request_for(
+            mux_tree(2), budgets=Budgets(per_circuit=300.0)
+        )
+        session.submit([exhausted, generous])
+        list(session.as_completed())
+        first, second = session.reports()
+        assert first.schedule["executed"] == 0
+        assert first.schedule["skipped"] == ["s0", "s1", "cout"]
+        assert second.schedule["skipped"] == []
+        assert len(second.outputs) == 1
+
+    def test_earlier_units_do_not_drain_later_units_budgets(self):
+        """A unit's per-circuit budget starts when ITS jobs start, not at
+        suite submission — earlier units' execution must not starve it."""
+        import time
+
+        def sleepy(function, operator, *, options, deadline):
+            time.sleep(0.4)
+            return BiDecResult(engine="TEST-SLEEP", operator=operator, decomposed=False)
+
+        default_registry().register(EngineSpec("TEST-SLEEP", runner=sleepy))
+        try:
+            slow = request_for(ripple_carry_adder(2), engines=("TEST-SLEEP",))
+            budgeted = request_for(
+                mux_tree(2), budgets=Budgets(per_circuit=0.75)
+            )
+            session = Session()
+            session.submit([slow, budgeted])
+            list(session.as_completed())
+            _, second = session.reports()
+            # The slow unit ran >= 1.2 s; with the budget armed at submit
+            # time the second unit would have skipped its only output.
+            assert second.schedule["skipped"] == []
+            assert len(second.outputs) == 1
+        finally:
+            default_registry().unregister("TEST-SLEEP")
+
+    def test_submit_invalidates_previous_reports(self, adder3):
+        """reports() must not answer batch N requests with batch N-1 data."""
+        session = Session()
+        session.submit([request_for(mux_tree(2))])
+        list(session.as_completed())
+        assert len(session.reports()) == 1
+        session.submit([request_for(adder3, max_outputs=1)])
+        with pytest.raises(ReproError, match="not been drained"):
+            session.reports()
+        list(session.as_completed())
+        assert session.reports()[0].circuit == "rca3"
+
+    def test_abandoned_stream_invalidates_reports(self, adder3):
+        session = Session()
+        session.submit(suite_requests())
+        stream = session.as_completed()
+        next(stream)  # start, then abandon mid-drain
+        stream.close()
+        with pytest.raises(ReproError, match="not been drained"):
+            session.reports()
+        # A fresh submit + full drain recovers.
+        session.submit([request_for(adder3, max_outputs=1)])
+        list(session.as_completed())
+        assert len(session.reports()) == 1
+
+    def test_suite_shares_one_persistent_snapshot(self, tmp_path):
+        """Units sharing a cache dir accumulate into ONE snapshot file."""
+        cache = CachePolicy(directory=str(tmp_path))
+        aig_a = duplicated_cone_circuit(copies=2, seed=5)
+        aig_b = ripple_carry_adder(2)
+        session = Session()
+        session.submit(
+            [request_for(aig_a, cache=cache), request_for(aig_b, cache=cache)]
+        )
+        list(session.as_completed())
+        saved = sum(
+            report.schedule["persistent_saved"] for report in session.reports()
+        )
+        assert saved >= 2  # both circuits' entries survived into the snapshot
+        warm_session = Session()
+        warm_session.submit(
+            [request_for(aig_a, cache=cache), request_for(aig_b, cache=cache)]
+        )
+        list(warm_session.as_completed())
+        for report in warm_session.reports():
+            assert report.schedule["persistent_hits"] >= 1
+
+
+class TestTopLevelExports:
+    def test_engine_constants_importable_from_repro(self):
+        import repro
+
+        assert repro.ENGINE_STEP_QD == "STEP-QD"
+        assert repro.ENGINE_LJH == "LJH"
+        assert repro.ENGINE_BDD == "BDD"
+        assert set(repro.QBF_ENGINES) == {"STEP-QD", "STEP-QB", "STEP-QDB"}
+        assert len(repro.ENGINES) == 6
+        assert set(repro.OPERATORS) == {"or", "and", "xor"}
+
+    def test_api_types_importable_from_repro(self):
+        import repro
+
+        for name in (
+            "Session",
+            "DecompositionRequest",
+            "Budgets",
+            "Parallelism",
+            "CachePolicy",
+            "EngineRegistry",
+            "EngineSpec",
+            "default_registry",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None

@@ -196,6 +196,41 @@ class TestDecompose:
         assert "--no-dedup" in capsys.readouterr().err
 
 
+class TestFlagValidation:
+    """Malformed flag values fail with one-line errors, exit code 1."""
+
+    def test_max_outputs_below_one_rejected(self, adder_blif, capsys):
+        assert main(["decompose", adder_blif, "--max-outputs", "0"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--max-outputs" in err
+        assert "Traceback" not in err and err.count("\n") == 1
+
+    def test_negative_max_outputs_rejected(self, adder_blif, capsys):
+        assert main(["decompose", adder_blif, "--max-outputs", "-3"]) == 1
+        assert "--max-outputs" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--qbf-timeout", "--output-timeout"])
+    @pytest.mark.parametrize("value", ["0", "-2.5"])
+    def test_non_positive_timeouts_rejected(self, adder_blif, capsys, flag, value):
+        assert main(["decompose", adder_blif, flag, value]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert flag in err
+        assert err.count("\n") == 1
+
+    def test_negative_circuit_timeout_rejected(self, adder_blif, capsys):
+        assert main(["decompose", adder_blif, "--circuit-timeout", "-1"]) == 1
+        assert "--circuit-timeout" in capsys.readouterr().err
+        # --circuit-timeout 0 stays legal: it reports every output skipped
+        # (covered by test_zero_circuit_timeout_reports_skipped_outputs).
+
+    def test_validation_runs_before_circuit_loading(self, capsys):
+        """Flag errors surface even when the circuit path is also bad."""
+        assert main(["decompose", "no_such.blif", "--max-outputs", "0"]) == 1
+        assert "--max-outputs" in capsys.readouterr().err
+
+
 class TestErrorReporting:
     def test_missing_circuit_file_is_one_line_error(self, capsys):
         assert main(["decompose", "no_such_circuit.blif"]) == 1

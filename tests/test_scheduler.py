@@ -462,8 +462,26 @@ class TestDeadlineSemantics:
 
         aig = duplicated_cone_circuit(copies=2)
         options = EngineOptions(extract=False)
-        _worker_init(aig, "or", [ENGINE_STEP_MG], options, "dup")
-        index, record = _worker_run((0, "f", 7, Deadline(0.0)))
-        assert index == 0 and record is None
-        index, record = _worker_run((0, "f", 7, Deadline(60.0)))
+        _worker_init([(aig, "or", [ENGINE_STEP_MG], options, "dup")])
+        slot, index, record = _worker_run((0, 0, "f", 7, Deadline(0.0)))
+        assert (slot, index) == (0, 0) and record is None
+        slot, index, record = _worker_run((0, 0, "f", 7, Deadline(60.0)))
         assert record is not None and record.results[ENGINE_STEP_MG].decomposed
+
+    def test_workers_dispatch_by_circuit_slot(self):
+        """Suite workers route jobs to the right circuit context by slot."""
+        from repro.core.scheduler import _worker_init, _worker_run
+
+        dup = duplicated_cone_circuit(copies=2)
+        rca = ripple_carry_adder(2)
+        options = EngineOptions(extract=False)
+        _worker_init(
+            [
+                (dup, "or", [ENGINE_STEP_MG], options, "dup"),
+                (rca, "or", [ENGINE_STEP_MG], options, "rca2"),
+            ]
+        )
+        slot, index, record = _worker_run((1, 0, "s0", 7, None))
+        assert (slot, index) == (1, 0)
+        assert record is not None and record.circuit == "rca2"
+        assert record.output_name == "s0"
