@@ -61,6 +61,11 @@ class SweepConfig:
     search it already did from ``<cache_dir>/cone_cache.json``.  It defaults
     to the ``STEP_CACHE_DIR`` environment variable so a benchmark session
     can be made warm-start without touching the table modules.
+
+    ``backend`` picks the execution substrate for ``jobs > 1`` sweeps
+    (``serial`` / ``thread`` / ``process``; all fingerprint-identical) and
+    defaults to the ``STEP_BACKEND`` environment variable so the CI
+    backend-matrix smoke job can steer every benchmark from the outside.
     """
 
     operator: str = "or"
@@ -72,6 +77,7 @@ class SweepConfig:
     jobs: int = 1
     dedup: bool = True
     cache_dir: Optional[str] = None
+    backend: Optional[str] = None
 
 
 _SWEEP_CACHE: Dict[SweepConfig, List[Tuple[BenchmarkCircuit, CircuitReport]]] = {}
@@ -88,7 +94,10 @@ def run_sweep(config: SweepConfig) -> List[Tuple[BenchmarkCircuit, CircuitReport
     """
     if config in _SWEEP_CACHE:
         return _SWEEP_CACHE[config]
+    from repro.core.executors import BACKEND_PROCESS
+
     cache_dir = config.cache_dir or os.environ.get("STEP_CACHE_DIR") or None
+    backend = config.backend or os.environ.get("STEP_BACKEND") or BACKEND_PROCESS
     circuits = quality_suite(config.scale)
     requests = [
         DecompositionRequest(
@@ -99,7 +108,9 @@ def run_sweep(config: SweepConfig) -> List[Tuple[BenchmarkCircuit, CircuitReport
                 per_call=config.per_call_timeout,
                 per_output=config.output_timeout,
             ),
-            parallelism=Parallelism(jobs=config.jobs, dedup=config.dedup),
+            parallelism=Parallelism(
+                jobs=config.jobs, dedup=config.dedup, backend=backend
+            ),
             cache=CachePolicy(directory=cache_dir),
             name=circuit.name,
             max_outputs=config.max_outputs,

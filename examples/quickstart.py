@@ -9,13 +9,21 @@ sub-functions, finishing with an independent equivalence check.
 Run with::
 
     python examples/quickstart.py
+
+The scheduler knobs are steerable from the environment so CI can smoke
+every execution backend through this script: ``STEP_JOBS`` (worker count,
+default 1) and ``STEP_BACKEND`` (``serial``/``thread``/``process``,
+default ``process``).  Every combination prints the same decomposition.
 """
+
+import os
 
 from repro import (
     Budgets,
     BooleanFunction,
     DecompositionRequest,
     ENGINE_STEP_QD,
+    Parallelism,
     Session,
     verify_decomposition,
 )
@@ -36,6 +44,10 @@ def main() -> None:
         operator="or",
         engines=(ENGINE_STEP_QD,),
         budgets=Budgets(per_call=4.0, per_output=60.0),
+        parallelism=Parallelism(
+            jobs=int(os.environ.get("STEP_JOBS", "1")),
+            backend=os.environ.get("STEP_BACKEND", "process"),
+        ),
     )
     report = Session().run(request)
     result = report.outputs[0].results[ENGINE_STEP_QD]

@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.aig.aig import AIG, AigLiteral, lit_var
@@ -231,39 +232,73 @@ class PersistentConeCache:
     # -- disk format ------------------------------------------------------------
 
     def _load(self) -> None:
+        self._contexts = self._read(self.path)
+        self.loaded_entries = sum(len(v) for v in self._contexts.values())
+
+    @classmethod
+    def _read(cls, path: str) -> Dict[str, Dict[str, dict]]:
+        """The snapshot's structurally valid contexts (empty on any error).
+
+        Drops invalid contexts/entries up front so the per-entry decode in
+        :meth:`warm` and the merges in :meth:`absorb` / :meth:`save` only
+        ever see ``{key_json: dict}`` maps — a hand-edited or truncated
+        file degrades to "fewer warm entries", never to a crash.
+        """
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if not isinstance(payload, dict) or payload.get("version") != self.VERSION:
-                return
-            contexts = payload.get("contexts")
-            if not isinstance(contexts, dict):
-                return
-            # Drop structurally invalid contexts/entries up front so the
-            # per-entry decode in warm() and the merge in absorb() only ever
-            # see {key_json: dict} maps — a hand-edited or truncated file
-            # degrades to "fewer warm entries", never to a crash.
-            self._contexts = {
-                context: {
-                    key: entry
-                    for key, entry in entries.items()
-                    if isinstance(key, str) and isinstance(entry, dict)
-                }
-                for context, entries in contexts.items()
-                if isinstance(context, str) and isinstance(entries, dict)
-            }
-            self.loaded_entries = sum(len(v) for v in self._contexts.values())
         except (OSError, ValueError):
-            # Missing file (first run) or corrupted JSON: start empty.
-            return
+            # Missing file (first run) or corrupted JSON: treat as empty.
+            return {}
+        if not isinstance(payload, dict) or payload.get("version") != cls.VERSION:
+            return {}
+        contexts = payload.get("contexts")
+        if not isinstance(contexts, dict):
+            return {}
+        return {
+            context: {
+                key: entry
+                for key, entry in entries.items()
+                if isinstance(key, str) and isinstance(entry, dict)
+            }
+            for context, entries in contexts.items()
+            if isinstance(context, str) and isinstance(entries, dict)
+        }
 
     def save(self) -> None:
-        """Atomically rewrite the snapshot (write-temp-then-replace)."""
+        """Merge with the on-disk snapshot, then atomically rewrite it.
+
+        Two guarantees for processes *sharing* one cache directory:
+
+        * **No torn reads** — the payload is written to a pid-suffixed
+          temp file and moved into place with :func:`os.replace`, so a
+          concurrent reader sees either the old snapshot or the new one,
+          never a partial file.
+        * **No lost entries** — the snapshot is re-read immediately before
+          writing and its entries are unioned in (keys this instance
+          already holds win; entries are deterministic per context, so the
+          difference is cosmetic).  A save can therefore only *add*
+          entries relative to what any concurrent process last wrote —
+          last-writer-wins clobbering across processes is gone, they
+          accumulate.  The merge window between re-read and replace is not
+          locked: two simultaneous saves can still each miss the other's
+          newest entries, but whatever survives is a valid snapshot and
+          the loser's entries are re-absorbed (and re-saved) by the next
+          run that computes them — the failure mode degrades to "fewer
+          warm hits", never to corruption.
+        """
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        for context, entries in self._read(self.path).items():
+            mine = self._contexts.setdefault(context, {})
+            for key, entry in entries.items():
+                mine.setdefault(key, entry)
         payload = {"version": self.VERSION, "contexts": self._contexts}
-        temp_path = f"{self.path}.tmp.{os.getpid()}"
+        # pid + thread id: concurrent savers must never share a temp file,
+        # and threads within one process are first-class writers now that
+        # the thread execution backend exists.
+        temp_path = f"{self.path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(temp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(temp_path, self.path)

@@ -69,9 +69,9 @@ class Parallelism:
     Attributes
     ----------
     jobs:
-        Worker processes per run; ``1`` keeps everything in-process.  For a
-        suite submitted through :meth:`repro.api.session.Session.submit` the
-        shared pool is sized to the largest ``jobs`` value among the
+        Workers per run; ``1`` keeps everything in-process.  For a suite
+        submitted through :meth:`repro.api.session.Session.submit` the
+        shared executor is sized to the largest ``jobs`` value among the
         requests.
     dedup:
         Memoise structurally identical output cones (one partition search,
@@ -79,20 +79,37 @@ class Parallelism:
     seed:
         Run seed from which each job's deterministic seed is derived; the
         current engines are deterministic, so results do not depend on it.
+    backend:
+        Execution substrate for ``jobs > 1`` — ``"serial"`` (inline,
+        deterministic reference), ``"thread"``
+        (:class:`~concurrent.futures.ThreadPoolExecutor`: no pickling,
+        legal under daemonic parents) or ``"process"`` (the
+        ``multiprocessing`` pool; true CPU parallelism).  See
+        :mod:`repro.core.executors`.  All three produce
+        fingerprint-identical reports.  A suite runs on the strongest
+        backend any of its requests asked for.
     """
 
     jobs: int = 1
     dedup: bool = True
     seed: int = 0
+    backend: str = "process"
 
     def __post_init__(self) -> None:
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise DecompositionError(f"jobs must be at least 1 (got {self.jobs!r})")
+        # Imported at call time to keep this module free of module-level
+        # api -> core imports (import-order hygiene, not a cost saving: by
+        # the time a Parallelism is constructed the core stack is loaded
+        # anyway — repro.api.request pulls it in at import).
+        from repro.core.executors import check_backend
+
+        check_backend(self.backend)
 
 
 @dataclass(frozen=True)
 class CachePolicy:
-    """Persistent (cross-run) cone cache configuration.
+    """Cone cache configuration beyond the in-run dedup default.
 
     Attributes
     ----------
@@ -101,6 +118,17 @@ class CachePolicy:
         cone cache in-memory only.  The snapshot rides on the dedup cache,
         so a request combining a cache directory with ``dedup=False`` is
         rejected at construction.
+    cross_circuit_dedup:
+        Opt this request into the **suite-wide** cone store when it runs
+        inside a :meth:`repro.api.session.Session.submit` batch: a cone
+        solved in another opted-in request with the same search context
+        (operator, engine set, search options) replays for this request's
+        structural twins, reported in ``schedule["cross_circuit_hits"]``.
+        Off by default because a cross-circuit replay of a fanin-permuted
+        twin can pick a different (equally valid) partition than a solo
+        search would, so only opted-in suite reports may diverge from solo
+        fingerprints.  Requires ``dedup``; a no-op outside suites.
     """
 
     directory: Optional[str] = None
+    cross_circuit_dedup: bool = False

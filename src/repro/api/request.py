@@ -11,6 +11,7 @@ knobs — so a malformed request fails with a one-line
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
@@ -40,6 +41,12 @@ class DecompositionRequest:
         The three config objects (see :mod:`repro.api.config`).
     name:
         Report circuit name; defaults to ``circuit.name``.
+    priority:
+        Weight of this request in a suite's fair scheduling (must be > 0;
+        default 1.0).  A request of priority 2 is charged half as much
+        virtual time per dispatched cone as a priority-1 request, so its
+        jobs reach the shared workers roughly twice as often.  Priorities
+        shape *latency* (who gets workers first), never results.
     max_outputs:
         Decompose only the first N primary outputs (must be >= 1).
     extract / verify / extraction:
@@ -58,6 +65,7 @@ class DecompositionRequest:
     parallelism: Parallelism = Parallelism()
     cache: CachePolicy = CachePolicy()
     name: Optional[str] = None
+    priority: float = 1.0
     max_outputs: Optional[int] = None
     extract: bool = True
     verify: bool = False
@@ -87,10 +95,24 @@ class DecompositionRequest:
             raise DecompositionError(
                 f"max_outputs must be at least 1 (got {self.max_outputs!r})"
             )
+        if not (
+            isinstance(self.priority, (int, float))
+            and not isinstance(self.priority, bool)
+            and math.isfinite(self.priority)
+            and self.priority > 0
+        ):
+            raise DecompositionError(
+                f"priority must be a finite number > 0 (got {self.priority!r})"
+            )
         if self.cache.directory is not None and not self.parallelism.dedup:
             raise DecompositionError(
                 "a cache directory requires cone dedup (the persistent cache "
                 "rides on the dedup cache); enable dedup or drop the directory"
+            )
+        if self.cache.cross_circuit_dedup and not self.parallelism.dedup:
+            raise DecompositionError(
+                "cross_circuit_dedup requires cone dedup (the suite-wide "
+                "store rides on the dedup cache); enable dedup or drop the flag"
             )
         # Fail fast on extraction/strategy typos too: EngineOptions validates
         # them, so a malformed request never survives construction.

@@ -129,6 +129,7 @@ class Session:
         running each request individually.  Draining the stream assembles
         the reports (:meth:`reports`) and clears the queue.
         """
+        from repro.core.executors import strongest_backend
         from repro.core.scheduler import SuiteScheduler, SuiteUnit
 
         if not self._pending:
@@ -146,11 +147,20 @@ class Session:
                 circuit_timeout=request.budgets.per_circuit,
                 max_outputs=request.max_outputs,
                 circuit_name=request.name,
+                priority=request.priority,
+                cross_dedup=request.cache.cross_circuit_dedup,
             )
             for request in batch
         ]
         jobs = max(request.parallelism.jobs for request in batch)
-        suite = SuiteScheduler(units, jobs=jobs, pool_id=self._next_pool_id)
+        # One suite runs on one substrate: the strongest backend any of
+        # the batched requests asked for.
+        backend = strongest_backend(
+            request.parallelism.backend for request in batch
+        )
+        suite = SuiteScheduler(
+            units, jobs=jobs, pool_id=self._next_pool_id, backend=backend
+        )
         self._next_pool_id += 1
         for _slot, record in suite.stream():
             yield record
@@ -205,4 +215,5 @@ class Session:
             dedup=options.dedup,
             seed=options.seed,
             cache_dir=options.cache_dir,
+            backend=request.parallelism.backend,
         )

@@ -30,6 +30,7 @@ from repro.api import (
 )
 from repro.circuits import generators
 from repro.circuits.library import classic_circuit, classic_circuit_names
+from repro.core.executors import BACKEND_PROCESS, BACKENDS
 from repro.core.spec import ENGINES
 from repro.errors import ReproError
 from repro.io.bench import read_bench, write_bench
@@ -119,7 +120,10 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             per_circuit=args.circuit_timeout,
         ),
         parallelism=Parallelism(
-            jobs=args.jobs, dedup=not args.no_dedup, seed=args.seed
+            jobs=args.jobs,
+            dedup=not args.no_dedup,
+            seed=args.seed,
+            backend=args.backend,
         ),
         cache=CachePolicy(directory=args.cache_dir),
         max_outputs=args.max_outputs,
@@ -141,6 +145,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             f"unique cones = {schedule.get('unique_cones', 0)}   "
             f"cache hits = {schedule.get('cache_hits', 0)}"
         )
+        if schedule.get("jobs", 1) > 1 or schedule.get("requested_jobs", 1) > 1:
+            line += f"   backend = {schedule.get('backend', 'process')}"
         if "persistent_hits" in schedule:
             line += f"   persistent hits = {schedule['persistent_hits']}"
         if schedule.get("fallback"):
@@ -200,7 +206,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the batch scheduler (default: 1)",
+        help="workers for the batch scheduler (default: 1)",
+    )
+    decompose.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=BACKEND_PROCESS,
+        help=(
+            "execution backend for --jobs N runs: 'process' (multiprocessing "
+            "pool, default), 'thread' (thread pool: no pickling, works under "
+            "daemonic parents) or 'serial' (inline reference); all three "
+            "produce identical reports"
+        ),
     )
     decompose.add_argument(
         "--no-dedup",

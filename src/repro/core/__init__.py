@@ -18,6 +18,13 @@ from repro.core.partition import VariablePartition
 from repro.core.spec import OR, AND, XOR, OPERATORS
 from repro.core.result import BiDecResult, OutputResult, CircuitReport
 from repro.core.engine import BiDecomposer, EngineOptions
+from repro.core.executors import (
+    BACKENDS,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from repro.core.scheduler import BatchScheduler, OutputJob, SuiteScheduler, SuiteUnit
 from repro.core.network import DecompositionNode, RecursiveDecomposer, network_to_aig
 from repro.core.verify import verify_decomposition
@@ -33,6 +40,11 @@ __all__ = [
     "CircuitReport",
     "BiDecomposer",
     "EngineOptions",
+    "BACKENDS",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "BatchScheduler",
     "OutputJob",
     "SuiteScheduler",

@@ -1,0 +1,358 @@
+"""Pluggable execution backends for the batch and suite schedulers.
+
+The schedulers in :mod:`repro.core.scheduler` are *planners*: they turn
+circuits into per-output jobs, dedup structurally identical cones and
+assemble reports.  Everything about **where** the surviving jobs run lives
+here, behind one small interface:
+
+* :meth:`ExecutorBackend.start` receives the per-circuit execution
+  contexts — ``(aig, operator, engines, worker options, circuit_name)``
+  tuples, one per suite slot — and returns whether the substrate could be
+  brought up (``False`` sends the scheduler to its sequential fallback).
+* :meth:`ExecutorBackend.map_unordered` consumes job specs
+  ``(slot, index, output_name, seed, deadline)`` and yields
+  ``(slot, index, record)`` results as they complete, in whatever order
+  the substrate finishes them.
+* :meth:`ExecutorBackend.shutdown` releases the substrate.
+
+Three implementations cover the useful points of the design space:
+
+``SerialBackend``
+    Runs every job inline in dispatch order.  It is the deterministic
+    reference: no pool, no threads, no pickling — but the *same* job
+    protocol as the parallel backends, so differential tests compare all
+    three over one code path.
+``ThreadBackend``
+    A :class:`concurrent.futures.ThreadPoolExecutor`.  Jobs share the
+    parent's memory (no pickling, plug-in engines just work) and threads
+    are legal where ``multiprocessing`` is not — daemonic parents,
+    restricted sandboxes — which used to force those environments onto
+    the sequential path.  The engines are pure Python, so threads
+    interleave on the GIL rather than use extra cores; the win is
+    overlap of any C-level work plus substrate availability, not CPU
+    scaling.
+``ProcessBackend``
+    The ``multiprocessing`` pool (fork-preferred) that used to live
+    inline in ``core/scheduler.py``, moved here wholesale.  True CPU
+    parallelism; job identities cross the pipe, results come back
+    pickled.
+
+Every backend executes jobs through the same :func:`run_job` body under
+the same derived job seed, so for deterministic engines the three produce
+bit-identical :class:`repro.core.result.OutputResult` records — the
+scheduler's fingerprint-identity guarantee is backend-independent (and
+differential-tested in ``tests/test_executors.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG
+from repro.core.engine import BiDecomposer
+from repro.core.result import OutputResult
+from repro.errors import DecompositionError
+from repro.utils.rng import seeded_job
+from repro.utils.timer import Deadline
+
+BACKEND_SERIAL = "serial"
+BACKEND_THREAD = "thread"
+BACKEND_PROCESS = "process"
+
+#: Valid ``Parallelism.backend`` / ``--backend`` values, weakest first.
+BACKENDS = (BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS)
+
+# One per-circuit execution context as shipped by the schedulers:
+# (aig, operator, engines, worker-side EngineOptions, circuit_name).
+ExecutionContext = Tuple[AIG, str, List[str], object, str]
+
+# One job spec: (slot, output index, output name, derived seed, deadline).
+JobSpec = Tuple[int, int, str, int, Optional[Deadline]]
+
+# One result: the job's (slot, index) identity plus its record (None when
+# the job was skipped because its circuit deadline had already expired).
+JobResult = Tuple[int, int, Optional[OutputResult]]
+
+
+def check_backend(name: str) -> str:
+    """Validate (and return) an executor backend name."""
+    if name not in BACKENDS:
+        raise DecompositionError(
+            f"unknown executor backend {name!r}; known backends: "
+            + ", ".join(BACKENDS)
+        )
+    return name
+
+
+def strongest_backend(names: Iterable[str]) -> str:
+    """The most parallel backend among ``names`` (serial < thread < process).
+
+    Used by :meth:`repro.api.session.Session.as_completed`: one suite runs
+    on one substrate, so mixed requests are served by the strongest one
+    any of them asked for.
+    """
+    strongest = BACKEND_SERIAL
+    for name in names:
+        check_backend(name)
+        if BACKENDS.index(name) > BACKENDS.index(strongest):
+            strongest = name
+    return strongest
+
+
+# One in-process runner context: a BiDecomposer plus everything
+# `decompose_output` needs, mirroring what `_worker_init` installs in a
+# pool worker.
+_RunnerContext = Tuple[BiDecomposer, AIG, str, List[str], str]
+
+
+def _build_runners(contexts: Sequence[ExecutionContext]) -> List[_RunnerContext]:
+    """One BiDecomposer per circuit context (in-process backends)."""
+    return [
+        (BiDecomposer(options), aig, operator, engines, circuit_name)
+        for aig, operator, engines, options, circuit_name in contexts
+    ]
+
+
+def run_job(
+    context: _RunnerContext, job: JobSpec, function: Optional[object] = None
+) -> JobResult:
+    """Execute one job against its circuit context (all backends).
+
+    Honours the job's circuit deadline exactly like the historical pool
+    worker: a job that starts after expiry returns a ``None`` record (the
+    scheduler reports it in ``schedule["skipped"]``), one that starts
+    before expiry runs its engines under sub-deadlines capped by the
+    circuit's remaining budget.  The job's derived seed is installed for
+    the duration (thread-locally, so concurrent thread-backend jobs do
+    not see each other's streams).
+
+    ``function`` optionally supplies the cone the planner already
+    extracted, saving a re-traversal; only the in-process backends can
+    pass it (a pool worker's job identity crosses the pipe bare).
+    """
+    slot, index, output_name, seed, deadline = job
+    if deadline is not None and deadline.expired:
+        return slot, index, None
+    decomposer, aig, operator, engines, circuit_name = context
+    with seeded_job(seed):
+        record = decomposer.decompose_output(
+            aig,
+            output_name,
+            operator,
+            engines,
+            circuit_name=circuit_name,
+            function=function,
+            deadline=deadline,
+        )
+    return slot, index, record
+
+
+class ExecutorBackend:
+    """Interface every execution substrate implements.
+
+    ``workers`` is the effective worker count the backend runs with —
+    what the scheduler reports in ``schedule["jobs"]`` (1 for the serial
+    backend regardless of the requested count).
+    """
+
+    name: str = ""
+    workers: int = 1
+
+    def start(self, contexts: Sequence[ExecutionContext]) -> bool:
+        """Bring the substrate up; ``False`` means "fall back sequential"."""
+        raise NotImplementedError
+
+    def map_unordered(
+        self,
+        jobs: Sequence[JobSpec],
+        functions: Optional[Dict[Tuple[int, int], object]] = None,
+    ) -> Iterator[JobResult]:
+        """Run jobs, yielding ``(slot, index, record)`` as each completes.
+
+        ``functions`` optionally maps a job's ``(slot, index)`` identity to
+        its planner-extracted cone; in-process backends reuse it instead of
+        re-traversing the AIG, the process backend ignores it (cones do not
+        cross the pipe).
+        """
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release the substrate (idempotent; called in a ``finally``)."""
+
+
+class SerialBackend(ExecutorBackend):
+    """Inline execution in dispatch order — the deterministic reference."""
+
+    name = BACKEND_SERIAL
+
+    def __init__(self, workers: int = 1) -> None:
+        # Serial means serial: the requested worker count is ignored.
+        self.workers = 1
+        self._contexts: Optional[List[_RunnerContext]] = None
+
+    def start(self, contexts: Sequence[ExecutionContext]) -> bool:
+        self._contexts = _build_runners(contexts)
+        return True
+
+    def map_unordered(
+        self,
+        jobs: Sequence[JobSpec],
+        functions: Optional[Dict[Tuple[int, int], object]] = None,
+    ) -> Iterator[JobResult]:
+        assert self._contexts is not None, "start() must precede map_unordered()"
+        functions = functions or {}
+        for job in jobs:
+            yield run_job(
+                self._contexts[job[0]], job, functions.get((job[0], job[1]))
+            )
+
+    def shutdown(self) -> None:
+        self._contexts = None
+
+
+class ThreadBackend(ExecutorBackend):
+    """A thread pool: shared memory, no pickling, legal under daemonic
+    parents where ``multiprocessing`` raises."""
+
+    name = BACKEND_THREAD
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._contexts: Optional[List[_RunnerContext]] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def start(self, contexts: Sequence[ExecutionContext]) -> bool:
+        try:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        except (OSError, RuntimeError):  # pragma: no cover - thread limits
+            return False
+        self._contexts = _build_runners(contexts)
+        return True
+
+    def map_unordered(
+        self,
+        jobs: Sequence[JobSpec],
+        functions: Optional[Dict[Tuple[int, int], object]] = None,
+    ) -> Iterator[JobResult]:
+        assert self._executor is not None and self._contexts is not None
+        functions = functions or {}
+        futures = [
+            self._executor.submit(
+                run_job, self._contexts[job[0]], job, functions.get((job[0], job[1]))
+            )
+            for job in jobs
+        ]
+        for future in as_completed(futures):
+            yield future.result()
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            # cancel_futures: a no-op after a full drain (nothing queued),
+            # but on an error/abandoned drain it discards unstarted jobs
+            # instead of blocking until every queued search finishes —
+            # mirroring ProcessBackend.terminate()'s promptness.
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._contexts = None
+
+
+class ProcessBackend(ExecutorBackend):
+    """The historical ``multiprocessing`` pool, owned by this module now."""
+
+    name = BACKEND_PROCESS
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._pool = None
+
+    def start(self, contexts: Sequence[ExecutionContext]) -> bool:
+        self._pool = _create_pool(self.workers, contexts)
+        return self._pool is not None
+
+    def map_unordered(
+        self,
+        jobs: Sequence[JobSpec],
+        functions: Optional[Dict[Tuple[int, int], object]] = None,
+    ) -> Iterator[JobResult]:
+        # ``functions`` is deliberately unused: worker processes rebuild
+        # cones from their own forked AIG copy.
+        assert self._pool is not None, "start() must precede map_unordered()"
+        for result in self._pool.imap_unordered(_worker_run, list(jobs)):
+            yield result
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            # Mirrors the historical `with pool:` block: terminate is safe
+            # after a full drain and correct after an abandoned one.
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+_BACKEND_TYPES = {
+    BACKEND_SERIAL: SerialBackend,
+    BACKEND_THREAD: ThreadBackend,
+    BACKEND_PROCESS: ProcessBackend,
+}
+
+
+def create_backend(name: str, workers: int) -> ExecutorBackend:
+    """Instantiate the named backend sized to ``workers``."""
+    return _BACKEND_TYPES[check_backend(name)](workers)
+
+
+# -- process-pool plumbing (module level for pickling) --------------------------
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _create_pool(worker_count: int, contexts: Sequence[ExecutionContext]):
+    """Fork a worker pool initialised with the given circuit contexts.
+
+    Returns ``None`` where no pool can exist (restricted sandboxes, or a
+    daemonic parent process, which multiprocessing rejects via
+    AssertionError) so callers fall back to the sequential path — or pick
+    the :class:`ThreadBackend` up front, which those environments accept.
+    Exceptions raised *inside* jobs still propagate from the map calls,
+    exactly as they would from the sequential driver.
+    """
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        context = multiprocessing.get_context()
+    try:
+        return context.Pool(
+            processes=worker_count,
+            initializer=_worker_init,
+            initargs=(list(contexts),),
+        )
+    except (OSError, ValueError, ImportError, AssertionError):  # pragma: no cover
+        return None
+
+
+def _worker_init(contexts: List[ExecutionContext]) -> None:
+    """Install the per-circuit contexts in this worker process.
+
+    Each entry is ``(aig, operator, engines, options, circuit_name)``; the
+    worker builds one BiDecomposer per circuit so suite jobs from different
+    requests run under their own options.
+    """
+    _WORKER_STATE["contexts"] = _build_runners(contexts)
+
+
+def _worker_run(args: JobSpec) -> JobResult:
+    """Run one job in a pool worker, honouring its circuit's deadline.
+
+    ``args`` is ``(slot, index, output_name, seed, deadline)`` where
+    ``slot`` selects the circuit context installed by :func:`_worker_init`.
+    The :class:`Deadline` crosses the pipe as plain data; its expiry check
+    compares the system-wide monotonic clock, which parent and (forked or
+    spawned) workers on one machine share, so "expired" means the same
+    thing on both sides.
+    """
+    contexts: List[_RunnerContext] = _WORKER_STATE["contexts"]  # type: ignore[assignment]
+    return run_job(contexts[args[0]], args)

@@ -15,10 +15,13 @@ preserving the sequential driver's results exactly:
   positionally (extraction and verification re-run against the actual cone,
   so the replayed ``fA``/``fB`` are exactly what a fresh run would build).
 * **Fan-out** — with ``jobs > 1`` the unique cones are dispatched to a
-  ``multiprocessing`` pool, heaviest cone first; the single-process path is
-  the deterministic fallback (and the two produce identical
+  pluggable :class:`repro.core.executors.ExecutorBackend` (``serial``,
+  ``thread`` or ``process``), heaviest cone first; the single-process path
+  is the deterministic fallback (and every backend produces identical
   :meth:`repro.core.result.CircuitReport.fingerprint` values, which the
-  differential tests assert).
+  differential tests assert).  The scheduler itself knows nothing about
+  pools, forks or threads — it emits ``(slot, index, output, seed,
+  deadline)`` job specs and absorbs ``(slot, index, record)`` results.
 * **Deadlines** — a circuit budget (``circuit_timeout``) is honoured on
   *both* paths: every engine call runs under a sub-deadline capped by the
   circuit's remaining time (the :class:`repro.utils.timer.Deadline` is
@@ -32,13 +35,24 @@ preserving the sequential driver's results exactly:
   the same configuration warms its cache from the snapshot and reports the
   reuse in ``schedule["persistent_hits"]``.
 * **Suite sharding** — :class:`SuiteScheduler` takes the prepared jobs of
-  *several* circuits and shards them across **one** shared worker pool
-  (heaviest cone anywhere first), streaming each finished
+  *several* circuits and shards them across **one** shared executor
+  backend, streaming each finished
   :class:`repro.core.result.OutputResult` back as it completes.  One suite
   sweep pays pool startup once instead of once per circuit, and a straggler
   circuit's cones load-balance across workers that finished lighter
   circuits' jobs.  This is the execution layer under
   :meth:`repro.api.session.Session.submit`.
+* **Fair interleaving** — suite dispatch is weighted fair queueing over
+  the units, not a global heaviest-first sort: each unit's own jobs stay
+  heaviest-first, but units take turns in proportion to their
+  ``priority``, so one huge circuit no longer monopolises every worker
+  while the rest of the suite starves (:func:`fair_dispatch`).
+* **Cross-circuit dedup** — units that opt in
+  (``CachePolicy(cross_circuit_dedup=True)``) share one canonical-
+  signature cone store for the drain: a cone solved in circuit A replays
+  for its structural twin in circuit B (same search context), reported in
+  ``schedule["cross_circuit_hits"]``.  Off by default so solo fingerprints
+  stay bit-identical.
 
 The identity guarantee is stated for runs whose engine calls finish within
 their wall-clock budgets: a search truncated by ``per_call_timeout`` /
@@ -58,7 +72,6 @@ bit-for-bit reproducible (:mod:`repro.utils.rng`).
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -71,6 +84,13 @@ from repro.aig.signature import (
     canonical_cone_signature,
 )
 from repro.core.engine import BiDecomposer, EngineOptions, extract_and_verify
+from repro.core.executors import (
+    BACKEND_PROCESS,
+    BACKEND_SERIAL,
+    ExecutionContext,
+    check_backend,
+    create_backend,
+)
 from repro.core.partition import VariablePartition
 from repro.core.result import BiDecResult, CircuitReport, OutputResult
 from repro.core.spec import check_engine, check_operator
@@ -166,6 +186,10 @@ class BatchScheduler:
     cache_dir:
         Directory for the persistent (cross-run) cone cache; ``None`` keeps
         the cache in-memory only.  Only meaningful with ``dedup``.
+    backend:
+        Executor backend for ``jobs > 1`` runs — ``"serial"``, ``"thread"``
+        or ``"process"`` (see :mod:`repro.core.executors`).  All three are
+        fingerprint-identical; ``jobs = 1`` never touches a backend.
     """
 
     def __init__(
@@ -175,6 +199,7 @@ class BatchScheduler:
         dedup: bool = True,
         seed: int | str | None = 0,
         cache_dir: Optional[str] = None,
+        backend: str = BACKEND_PROCESS,
     ) -> None:
         if jobs < 1:
             raise DecompositionError("jobs must be at least 1")
@@ -183,6 +208,7 @@ class BatchScheduler:
         self.dedup = dedup
         self.seed = seed
         self.cache_dir = cache_dir
+        self.backend = check_backend(backend)
 
     # -- planning -----------------------------------------------------------------
 
@@ -320,6 +346,9 @@ class BatchScheduler:
             # to (or was forced onto) the sequential path.
             "jobs": used_workers or 1,
             "requested_jobs": self.jobs,
+            # Which executor backend a parallel run would use (and, when
+            # used_workers > 0, actually did).
+            "backend": self.backend,
             "planned": len(prepared.jobs),
             "executed": len(records),
             # Outputs the circuit budget cut off (never planned, or planned
@@ -522,19 +551,21 @@ class BatchScheduler:
     def _run_parallel(
         self, prepared: PreparedRun, records: Dict[int, OutputResult]
     ) -> Tuple[int, Optional[str]]:
-        """Fan unique cones out to a process pool; replay duplicates locally.
+        """Fan unique cones out to the executor backend; replay duplicates
+        locally.
 
-        Returns ``(worker_count, fallback_reason)``: the pool's worker count
-        on success, or ``0`` plus the reason when the run belongs on the
-        sequential path instead — no pool could be created (restricted
-        environments), or every cone replays from the warmed persistent
-        cache and forking would be pure overhead.
+        Returns ``(worker_count, fallback_reason)``: the backend's
+        effective worker count on success, or ``0`` plus the reason when
+        the run belongs on the sequential path instead — the backend could
+        not start (no process pool in restricted environments), or every
+        cone replays from the warmed persistent cache and spinning up an
+        executor would be pure overhead.
 
         Stop-at-expiry semantics under a circuit ``deadline``: the deadline
-        object is shipped to every worker (wall-clock deadlines compare the
+        object is shipped with every job (wall-clock deadlines compare the
         shared system monotonic clock, so parent and workers agree on
-        expiry), a worker whose job starts after expiry returns a skip
-        marker instead of searching, and engine calls inside a job run under
+        expiry), a job that starts after expiry yields a skip marker
+        instead of searching, and engine calls inside a job run under
         sub-deadlines capped by the circuit's remaining time.  Which jobs
         get skipped depends on dispatch order and worker load — the
         sequential path skips in output order instead — but on budgets
@@ -543,46 +574,48 @@ class BatchScheduler:
         """
         primaries, followers = self.split_for_pool(prepared)
         if not primaries:
-            # Everything replays from the warmed cache; no pool needed.
+            # Everything replays from the warmed cache; no executor needed.
             return 0, FALLBACK_WARM_CACHE
 
         # Heaviest cones first so stragglers start early (cost-ordered
         # scheduling); results are placed back by output index.
         dispatch = sorted(primaries, key=lambda job: (-job.cost, job.index))
-        worker_count = min(self.jobs, len(dispatch))
-        pool = _create_pool(
-            worker_count,
-            [
-                (
-                    prepared.aig,
-                    prepared.operator,
-                    prepared.engines,
-                    self.worker_options(),
-                    prepared.report.circuit,
-                )
-            ],
-        )
-        if pool is None:
+        backend = create_backend(self.backend, min(self.jobs, len(dispatch)))
+        contexts: List[ExecutionContext] = [
+            (
+                prepared.aig,
+                prepared.operator,
+                prepared.engines,
+                self.worker_options(),
+                prepared.report.circuit,
+            )
+        ]
+        if not backend.start(contexts):
             return 0, FALLBACK_POOL_UNAVAILABLE
-        with pool:
-            computed = pool.map(
-                _worker_run,
+        try:
+            job_of = {job.index: job for job in dispatch}
+            for _slot, index, record in backend.map_unordered(
                 [
                     (0, job.index, job.output_name, job.seed, prepared.deadline)
                     for job in dispatch
                 ],
-            )
-
-        by_index = {index: record for _slot, index, record in computed}
-        for job in dispatch:
-            record = by_index[job.index]
-            if record is None:
-                continue  # budget-skipped in the worker
-            self.absorb_worker_record(prepared, job, record)
-            records[job.index] = record
+                # In-process backends reuse the planner's extracted cones;
+                # the process backend ignores this (workers rebuild them).
+                functions={
+                    (0, job.index): job.function
+                    for job in dispatch
+                    if job.function is not None
+                },
+            ):
+                if record is None:
+                    continue  # budget-skipped in the worker
+                self.absorb_worker_record(prepared, job_of[index], record)
+                records[index] = record
+        finally:
+            backend.shutdown()
         for _record in self.execute_local(prepared, followers, records):
             pass
-        return worker_count, None
+        return backend.workers, None
 
     def _extract_record(
         self, aig: AIG, job: OutputJob, operator: str, record: OutputResult
@@ -658,7 +691,14 @@ class SuiteUnit:
     The suite layer deliberately couples each circuit to its *own*
     :class:`BatchScheduler` (options, dedup cache, persistent snapshot,
     seed) so a suite run stays fingerprint-identical to running each
-    circuit individually — only the worker pool is shared.
+    circuit individually — only the executor backend is shared.
+
+    ``priority`` weights the unit in the suite's fair dispatch: a unit of
+    priority 2 is charged half as much virtual time per cone as a unit of
+    priority 1, so its jobs reach workers roughly twice as often.
+    ``cross_dedup`` opts the unit into the suite-wide cone store (a cone
+    solved by any opted-in unit with the same search context replays for
+    this unit's structural twins).
     """
 
     scheduler: BatchScheduler
@@ -668,19 +708,162 @@ class SuiteUnit:
     circuit_timeout: Optional[float] = None
     max_outputs: Optional[int] = None
     circuit_name: Optional[str] = None
+    priority: float = 1.0
+    cross_dedup: bool = False
+
+
+class _CrossUnitCache:
+    """A unit's cone-cache view coupled to a suite-wide shared store.
+
+    Wraps the unit's own :class:`repro.aig.signature.ConeCache` (all
+    per-unit accounting — hits, misses, warm hits, entry count — still
+    lives there, so solo-comparable stats survive) and adds a second
+    lookup level: entries any opted-in unit stored under the same search
+    ``context``.  A lookup that misses the unit's own cache but hits the
+    shared store is a **cross-circuit replay**, counted in
+    ``cross_hits`` and reported as ``schedule["cross_circuit_hits"]``;
+    the unit-local miss counter still increments, keeping per-unit
+    counters identical to a solo run.
+
+    The shared key includes the unit's persistent-cache context string
+    (operator, engine set, search-relevant options), so two units only
+    ever exchange cones their searches would have computed identically.
+    """
+
+    def __init__(self, base: ConeCache, shared: Dict[tuple, object], context: str) -> None:
+        self.base = base
+        self._shared = shared
+        self._context = context
+        self.cross_hits = 0
+        # Entries the unit already holds when it joins the suite store —
+        # cones warmed from its persistent snapshot during prepare() —
+        # become cross-circuit replayable too (only replayable entries are
+        # ever persisted, so publishing them is always safe).
+        if base.enabled:
+            for key, value in base.items():
+                shared.setdefault((context, key), value)
+
+    @property
+    def enabled(self) -> bool:
+        return self.base.enabled
+
+    @property
+    def hits(self) -> int:
+        return self.base.hits
+
+    @property
+    def misses(self) -> int:
+        return self.base.misses
+
+    @property
+    def warm_hits(self) -> int:
+        return self.base.warm_hits
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def contains(self, key) -> bool:
+        return self.base.contains(key) or (
+            self.base.enabled and (self._context, key) in self._shared
+        )
+
+    def lookup(self, key):
+        value = self.base.lookup(key)
+        if value is not None or not self.base.enabled:
+            return value
+        value = self._shared.get((self._context, key))
+        if value is not None:
+            self.cross_hits += 1
+            # Adopt the entry locally: the cross replay now plays the role
+            # of this unit's primary, so the unit's *own* later duplicates
+            # hit its own cache — per-unit dedup counters stay exactly
+            # what a solo run reports (one miss for the first sight of the
+            # cone, hits for the rest).
+            self.base.store(key, value)
+        return value
+
+    def store(self, key, value) -> None:
+        self.base.store(key, value)
+        if self.base.enabled:
+            # First writer wins: entries are deterministic per context, so
+            # keeping the earliest preserves "one search, many replays".
+            self._shared.setdefault((self._context, key), value)
+
+    def warm(self, key, value) -> None:
+        self.base.warm(key, value)
+        if self.base.enabled:
+            self._shared.setdefault((self._context, key), value)
+
+    def items(self):
+        # Own entries only: persistent-snapshot absorption must not
+        # re-serialise cones another unit computed (that unit absorbs them).
+        return self.base.items()
+
+    def stats(self) -> Dict[str, int]:
+        merged = self.base.stats()
+        merged["cross_hits"] = self.cross_hits
+        return merged
+
+
+def fair_dispatch(
+    queues: Sequence[Sequence[OutputJob]], priorities: Sequence[float]
+) -> List[Tuple[int, OutputJob]]:
+    """Weighted fair interleaving of per-unit job queues.
+
+    Each unit's jobs are kept in its solo dispatch order (heaviest cone
+    first, ties by output index); *between* units the sequence is weighted
+    fair queueing: dispatching a job charges its unit ``(cost + 1) /
+    priority`` units of virtual time, and the next job dispatched is
+    always the one with the smallest virtual finish time anywhere (ties
+    broken by submit slot).  Compared with the old global heaviest-first
+    sort, a unit with many heavy cones no longer pushes every other
+    unit's jobs to the back of the dispatch sequence — light units get
+    workers early in proportion to their priority, which is what bounds
+    a small request's latency when it shares a suite with a monster.
+
+    The sequence is a pure function of (costs, indices, priorities):
+    deterministic, and identical for every backend.  O(N log U) for N jobs
+    over U units: a heap of per-unit virtual finish times, one push/pop
+    per dispatched job.
+    """
+    from heapq import heapify, heappop, heappush
+
+    ordered = [
+        sorted(queue, key=lambda job: (-job.cost, job.index)) for queue in queues
+    ]
+    position = [0] * len(ordered)
+    # (virtual finish time of the unit's NEXT job, slot): popping the heap
+    # minimum IS the linear "smallest finish anywhere, ties by slot" rule.
+    heap = [
+        (float(queue[0].cost + 1) / priorities[slot], slot)
+        for slot, queue in enumerate(ordered)
+        if queue
+    ]
+    heapify(heap)
+    dispatch: List[Tuple[int, OutputJob]] = []
+    while heap:
+        finish, slot = heappop(heap)
+        queue = ordered[slot]
+        dispatch.append((slot, queue[position[slot]]))
+        position[slot] += 1
+        if position[slot] < len(queue):
+            next_cost = queue[position[slot]].cost + 1
+            heappush(heap, (finish + next_cost / priorities[slot], slot))
+    return dispatch
 
 
 class SuiteScheduler:
-    """Shard the outputs of several circuits across ONE shared worker pool.
+    """Shard the outputs of several circuits across ONE shared executor.
 
-    Where ``BatchScheduler.run`` forks a pool per circuit, the suite
+    Where ``BatchScheduler.run`` starts an executor per circuit, the suite
     scheduler prepares every unit first, then dispatches *all* their unique
-    cones — heaviest anywhere first — to a single pool, so a benchmark
-    sweep pays pool startup once and cross-circuit load imbalance is
-    absorbed by whichever workers free up first.  Followers (in-run
-    duplicates and persistent-cache hits) replay locally per unit, exactly
-    as in a standalone run, which keeps every unit's report
-    fingerprint-identical to its individual ``decompose_circuit`` result.
+    cones — interleaved fairly across units (:func:`fair_dispatch`) — to a
+    single backend, so a benchmark sweep pays executor startup once and
+    cross-circuit load imbalance is absorbed by whichever workers free up
+    first.  Followers (in-run duplicates and persistent-cache hits) replay
+    locally per unit, exactly as in a standalone run, which keeps every
+    unit's report fingerprint-identical to its individual
+    ``decompose_circuit`` result.
 
     :meth:`stream` is a generator yielding ``(unit_index, OutputResult)``
     pairs as jobs complete; with ``jobs > 1`` the order is completion order
@@ -689,21 +872,33 @@ class SuiteScheduler:
     either way.  Reports are assembled once the stream is drained.
 
     Each report's ``schedule`` gains ``shared_pool`` (whether the unit's
-    jobs ran on the suite pool), ``pool_id`` (the same identifier across
-    every unit of one suite — the "exactly one pool" witness) and
-    ``suite_size``; ``pools_created`` on the scheduler records how many
-    pools the whole suite forked (0 on the sequential path, never more
-    than 1).
+    jobs ran on the suite executor), ``pool_id`` (the same identifier
+    across every unit of one suite — the "exactly one executor" witness),
+    ``suite_size``, ``backend`` and ``priority`` — plus
+    ``cross_circuit_dedup`` / ``cross_circuit_hits`` for units that opted
+    into the suite-wide cone store; ``pools_created`` on the scheduler
+    records how many executors the whole suite started (0 on the
+    sequential path, never more than 1).
     """
 
     def __init__(
-        self, units: Sequence[SuiteUnit], jobs: int = 1, pool_id: int = 0
+        self,
+        units: Sequence[SuiteUnit],
+        jobs: int = 1,
+        pool_id: int = 0,
+        backend: str = BACKEND_PROCESS,
     ) -> None:
         if jobs < 1:
             raise DecompositionError("jobs must be at least 1")
+        for unit in units:
+            if not unit.priority > 0:
+                raise DecompositionError(
+                    f"unit priority must be > 0 (got {unit.priority!r})"
+                )
         self.units = list(units)
         self.jobs = jobs
         self.pool_id = pool_id
+        self.backend = check_backend(backend)
         self.pools_created = 0
         self.worker_count = 0
         self._reports: Optional[List[CircuitReport]] = None
@@ -783,30 +978,46 @@ class SuiteScheduler:
             )
         records: List[Dict[int, OutputResult]] = [{} for _ in self.units]
         self._share_persistent_caches(prepared)
+        # Units that opted into cross-circuit dedup look their cones up in
+        # a suite-wide store as well as their own cache; everything any
+        # opted-in unit computes (or warms from disk) under the same
+        # search context becomes replayable for the others.
+        shared_cones: Dict[tuple, object] = {}
+        for unit, ready in zip(self.units, prepared):
+            if unit.cross_dedup and ready.cache.enabled:
+                ready.cache = _CrossUnitCache(
+                    ready.cache, shared_cones, ready.context
+                )
         used_workers = 0
         fallback: Optional[str] = None
 
-        if self.jobs > 1:
+        # A suite on the serial backend takes the sequential path outright:
+        # inline execution cannot overlap units, so arming every circuit
+        # budget "concurrently" at executor start would make earlier units'
+        # inline searches drain later units' budgets — the sequential path
+        # below re-arms each budget when that unit actually starts, exactly
+        # like a solo run.
+        if self.jobs > 1 and self.backend != BACKEND_SERIAL:
             splits = [
                 unit.scheduler.split_for_pool(ready)
                 for unit, ready in zip(self.units, prepared)
             ]
-            dispatch = [
-                (slot, job)
-                for slot, (primaries, _) in enumerate(splits)
-                for job in primaries
-            ]
+            # Weighted fair interleaving across units (each unit's own jobs
+            # stay heaviest-first); deterministic dispatch sequence, though
+            # arrival order still varies with worker load.
+            dispatch = fair_dispatch(
+                [primaries for primaries, _ in splits],
+                [unit.priority for unit in self.units],
+            )
+            dispatch, cross_followers, needs, provider_key = (
+                self._cross_dedup_dispatch(dispatch, prepared)
+            )
             if sum(len(ready.jobs) for ready in prepared) <= 1:
                 fallback = FALLBACK_SINGLE_JOB
             elif not dispatch:
                 fallback = FALLBACK_WARM_CACHE
             else:
-                # Heaviest cone anywhere in the suite first; ties broken by
-                # submit order then output index for a deterministic dispatch
-                # sequence (arrival order still varies with worker load).
-                dispatch.sort(key=lambda item: (-item[1].cost, item[0], item[1].index))
-                worker_count = min(self.jobs, len(dispatch))
-                contexts = [
+                contexts: List[ExecutionContext] = [
                     (
                         ready.aig,
                         ready.operator,
@@ -816,31 +1027,65 @@ class SuiteScheduler:
                     )
                     for unit, ready in zip(self.units, prepared)
                 ]
-                pool = _create_pool(worker_count, contexts)
-                if pool is None:
+                backend = create_backend(
+                    self.backend, min(self.jobs, len(dispatch))
+                )
+                if not backend.start(contexts):
                     fallback = FALLBACK_POOL_UNAVAILABLE
                 else:
                     self.pools_created += 1
-                    self.worker_count = worker_count
-                    used_workers = worker_count
-                    # Pool units execute concurrently: every budget starts now.
+                    self.worker_count = backend.workers
+                    used_workers = backend.workers
+                    # Backend units execute concurrently: every budget
+                    # starts now.
                     for slot, ready in enumerate(prepared):
                         self._arm_deadline(ready, budgets_left[slot])
                     job_of = {(slot, job.index): job for slot, job in dispatch}
                     followers_of = [followers for _, followers in splits]
-                    pending = [len(primaries) for primaries, _ in splits]
-                    # Units whose every job replays locally need nothing from
-                    # the pool: run them now, before their budgets are spent
-                    # waiting on other units' searches.
-                    for slot in range(len(self.units)):
-                        if pending[slot] == 0:
+                    pending = [0] * len(self.units)
+                    for slot, _job in dispatch:
+                        pending[slot] += 1
+                    replayed = [False] * len(self.units)
+                    # Keys whose provider job has come back (with a record
+                    # or a skip marker — either way, waiting longer is
+                    # pointless).
+                    done_keys: set = set()
+
+                    def replay_ready_units():
+                        """Replay followers of every unit with nothing left
+                        in flight.
+
+                        A unit is ready once its own primaries have all
+                        arrived AND every provider its cross twins wait on
+                        has come back — never later, so its circuit budget
+                        does not pay for unrelated units' remaining
+                        searches.  Cross twins replay first (adopting the
+                        provider's entry as the unit's local primary), then
+                        the unit's own followers replay against it exactly
+                        as in a solo run.
+                        """
+                        for slot in range(len(self.units)):
+                            if (
+                                replayed[slot]
+                                or pending[slot]
+                                or not needs[slot] <= done_keys
+                            ):
+                                continue
+                            replayed[slot] = True
                             for record in self.units[slot].scheduler.execute_local(
-                                prepared[slot], followers_of[slot], records[slot]
+                                prepared[slot],
+                                cross_followers[slot] + followers_of[slot],
+                                records[slot],
                             ):
                                 yield slot, record
-                    with pool:
-                        for slot, index, record in pool.imap_unordered(
-                            _worker_run,
+
+                    # Units needing nothing from the backend — and nothing
+                    # from other units' in-flight searches — replay their
+                    # followers now, before their budgets are spent waiting
+                    # on other units.
+                    yield from replay_ready_units()
+                    try:
+                        for slot, index, record in backend.map_unordered(
                             [
                                 (
                                     slot,
@@ -851,8 +1096,18 @@ class SuiteScheduler:
                                 )
                                 for slot, job in dispatch
                             ],
+                            # In-process backends reuse the planner's cones;
+                            # the process backend ignores this.
+                            functions={
+                                (slot, job.index): job.function
+                                for slot, job in dispatch
+                                if job.function is not None
+                            },
                         ):
                             pending[slot] -= 1
+                            key = provider_key.get((slot, index))
+                            if key is not None:
+                                done_keys.add(key)
                             if record is not None:
                                 job = job_of[(slot, index)]
                                 self.units[slot].scheduler.absorb_worker_record(
@@ -860,17 +1115,12 @@ class SuiteScheduler:
                                 )
                                 records[slot][index] = record
                                 yield slot, record
-                            if pending[slot] == 0:
-                                # This unit's last primary arrived: replay its
-                                # followers immediately rather than after the
-                                # whole drain — its circuit budget must not
-                                # pay for other units' remaining searches.
-                                for follower_record in self.units[
-                                    slot
-                                ].scheduler.execute_local(
-                                    prepared[slot], followers_of[slot], records[slot]
-                                ):
-                                    yield slot, follower_record
+                            yield from replay_ready_units()
+                    finally:
+                        backend.shutdown()
+                    # A full drain leaves nothing behind: the last arrival
+                    # completed every unit's pending count and provider
+                    # set, so every unit replayed inside the loop.
 
         if not used_workers:
             # Sequential path: submit order, then output order (the exact
@@ -897,92 +1147,68 @@ class SuiteScheduler:
                     if ready.saved_early:
                         ready.persistent.save()
 
-        extra: Dict[str, object] = {
+        base_extra: Dict[str, object] = {
             "shared_pool": used_workers > 0,
             "pool_id": self.pool_id if used_workers else None,
             "suite_size": len(self.units),
+            # The suite's backend overrides the per-unit scheduler's: one
+            # suite runs on one substrate.
+            "backend": self.backend,
         }
-        self._reports = [
-            unit.scheduler.finalize(
-                ready, records[slot], used_workers, fallback, extra_schedule=extra
+        reports: List[CircuitReport] = []
+        for slot, (unit, ready) in enumerate(zip(self.units, prepared)):
+            extra = dict(base_extra)
+            extra["priority"] = unit.priority
+            if isinstance(ready.cache, _CrossUnitCache):
+                extra["cross_circuit_dedup"] = True
+                extra["cross_circuit_hits"] = ready.cache.cross_hits
+            reports.append(
+                unit.scheduler.finalize(
+                    ready, records[slot], used_workers, fallback, extra_schedule=extra
+                )
             )
-            for slot, (unit, ready) in enumerate(zip(self.units, prepared))
-        ]
+        self._reports = reports
 
+    def _cross_dedup_dispatch(
+        self,
+        dispatch: List[Tuple[int, OutputJob]],
+        prepared: List[PreparedRun],
+    ) -> Tuple[
+        List[Tuple[int, OutputJob]],
+        List[List[OutputJob]],
+        List[set],
+        Dict[Tuple[int, int], tuple],
+    ]:
+        """Dedup the dispatch sequence across opted-in units.
 
-# -- worker-process plumbing (module level for pickling) ------------------------
+        The first dispatched job of each ``(search context, cone key)``
+        pair stays on the backend; later structural twins from *other*
+        opted-in units are pulled out and replayed locally once the
+        provider's record lands in the suite-wide store (in-unit twins
+        were already split off as followers).  Units that did not opt in
+        are passed through untouched.
 
-_WORKER_STATE: Dict[str, object] = {}
-
-# One worker-side circuit context: its own BiDecomposer plus everything
-# `decompose_output` needs.  The suite scheduler installs one per unit;
-# single-circuit pools install exactly one (slot 0).
-_WorkerContext = Tuple[BiDecomposer, AIG, str, List[str], str]
-
-
-def _create_pool(worker_count: int, contexts: Sequence[tuple]):
-    """Fork a worker pool initialised with the given circuit contexts.
-
-    Returns ``None`` where no pool can exist (restricted sandboxes, or a
-    daemonic parent process, which multiprocessing rejects via
-    AssertionError) so callers fall back to the sequential path.  Exceptions
-    raised *inside* jobs still propagate from the map calls, exactly as they
-    would from the sequential driver.
-    """
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platforms without fork
-        context = multiprocessing.get_context()
-    try:
-        return context.Pool(
-            processes=worker_count,
-            initializer=_worker_init,
-            initargs=(list(contexts),),
-        )
-    except (OSError, ValueError, ImportError, AssertionError):  # pragma: no cover
-        return None
-
-
-def _worker_init(contexts: List[tuple]) -> None:
-    """Install the per-circuit contexts in this worker process.
-
-    Each entry is ``(aig, operator, engines, options, circuit_name)``; the
-    worker builds one BiDecomposer per circuit so suite jobs from different
-    requests run under their own options.
-    """
-    _WORKER_STATE["contexts"] = [
-        (BiDecomposer(options), aig, operator, engines, circuit_name)
-        for aig, operator, engines, options, circuit_name in contexts
-    ]
-
-
-def _worker_run(
-    args: Tuple[int, int, str, int, Optional[Deadline]]
-) -> Tuple[int, int, Optional[OutputResult]]:
-    """Run one job in a pool worker, honouring its circuit's deadline.
-
-    ``args`` is ``(slot, index, output_name, seed, deadline)`` where ``slot``
-    selects the circuit context installed by :func:`_worker_init`.  The
-    :class:`Deadline` crosses the pipe as plain data; its expiry check
-    compares the system-wide monotonic clock, which parent and (forked or
-    spawned) workers on one machine share, so "expired" means the same thing
-    on both sides.  A job that starts after expiry is skipped (``None``
-    marker — the parent reports it in ``schedule["skipped"]``); a job that
-    starts before expiry runs its engines under sub-deadlines capped by the
-    circuit's remaining budget.
-    """
-    slot, index, output_name, seed, deadline = args
-    if deadline is not None and deadline.expired:
-        return slot, index, None
-    contexts: List[_WorkerContext] = _WORKER_STATE["contexts"]  # type: ignore[assignment]
-    decomposer, aig, operator, engines, circuit_name = contexts[slot]
-    with seeded_job(seed):
-        record = decomposer.decompose_output(
-            aig,
-            output_name,
-            operator,
-            engines,
-            circuit_name=circuit_name,
-            deadline=deadline,
-        )
-    return slot, index, record
+        Returns ``(kept_dispatch, cross_followers, needs, provider_key)``:
+        ``needs[slot]`` is the set of shared-store keys whose provider jobs
+        must come back before the unit's local replays can run, and
+        ``provider_key`` maps a provider job's ``(slot, index)`` identity
+        to the key it provides — the drain loop's readiness bookkeeping.
+        """
+        cross_followers: List[List[OutputJob]] = [[] for _ in self.units]
+        needs: List[set] = [set() for _ in self.units]
+        provider_key: Dict[Tuple[int, int], tuple] = {}
+        if not any(unit.cross_dedup for unit in self.units):
+            return dispatch, cross_followers, needs, provider_key
+        providers: Dict[tuple, Tuple[int, int]] = {}
+        kept: List[Tuple[int, OutputJob]] = []
+        for slot, job in dispatch:
+            if self.units[slot].cross_dedup and job.cache_key is not None:
+                key = (prepared[slot].context, job.cache_key)
+                if key in providers:
+                    cross_followers[slot].append(job)
+                    needs[slot].add(key)
+                    provider_key[providers[key]] = key
+                    continue
+                providers[key] = (slot, job.index)
+            kept.append((slot, job))
+        return kept, cross_followers, needs, provider_key

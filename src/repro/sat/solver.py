@@ -25,6 +25,7 @@ compaction.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -115,6 +116,13 @@ class Solver:
         # clause's literal array.
         self._watches: List[List[_Clause]] = [[], []]
         self._bin_watches: List[List[Tuple[int, _Clause]]] = [[], []]
+        # The assignment store stays a plain list on purpose: an
+        # array('b')/bytearray variant (8x denser) was measured on
+        # benchmarks/bench_solver_hotpath.py and LOST ~30% end to end —
+        # CPython boxes every typed-array read, while list reads return
+        # cached references, and the propagation loop reads _assigns
+        # several times per visited clause.  Numbers in
+        # docs/architecture.md; do not redo without re-measuring.
         self._assigns: List[int] = [UNASSIGNED]
         self._level: List[int] = [0]
         self._reason: List[Optional[_Clause]] = [None]
@@ -122,7 +130,10 @@ class Solver:
         self._trail_lim: List[int] = []
         self._qhead = 0
         self._activity: List[float] = [0.0]
-        self._phase: List[bool] = [False]
+        # Saved phases tolerate the typed-array read tax (one write per
+        # enqueue, one read per decision — far colder than _assigns) in
+        # exchange for one byte per variable.
+        self._phase = array("b", [0])
         self._var_inc = 1.0
         self._var_inc_growth = 1.0 / 0.95  # reciprocal of the VSIDS decay
         self._cla_inc = 1.0

@@ -16,6 +16,7 @@ the job is — never on which worker runs it or in which order — a run with
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -24,7 +25,10 @@ Seed = int | str | None
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 # The RNG of the currently executing scheduler job (None outside jobs).
-_JOB_RNG: Optional[random.Random] = None
+# Thread-local so thread-backend jobs running concurrently in one process
+# each see their own stream, exactly like pool workers in their own
+# processes do.
+_JOB_STATE = threading.local()
 
 
 def _stable_hash(seed: int | str) -> int:
@@ -80,18 +84,18 @@ def job_rng() -> random.Random:
     key has to incorporate the job seed; otherwise dedup would replay the
     primary job's stream for its duplicates (noted in ROADMAP.md).
     """
-    if _JOB_RNG is not None:
-        return _JOB_RNG
+    rng: Optional[random.Random] = getattr(_JOB_STATE, "rng", None)
+    if rng is not None:
+        return rng
     return deterministic_rng(0)
 
 
 @contextmanager
 def seeded_job(seed: Seed) -> Iterator[random.Random]:
     """Install a job-scoped deterministic RNG for the duration of a job."""
-    global _JOB_RNG
-    previous = _JOB_RNG
-    _JOB_RNG = deterministic_rng(seed)
+    previous = getattr(_JOB_STATE, "rng", None)
+    _JOB_STATE.rng = deterministic_rng(seed)
     try:
-        yield _JOB_RNG
+        yield _JOB_STATE.rng
     finally:
-        _JOB_RNG = previous
+        _JOB_STATE.rng = previous

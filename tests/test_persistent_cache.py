@@ -227,3 +227,66 @@ class TestSnapshotFormat:
         restored_result = restored.results[ENGINE_STEP_MG]
         original_result = original.results[ENGINE_STEP_MG]
         assert restored_result.fingerprint()[:6] == original_result.fingerprint()[:6]
+
+
+class TestConcurrentSaves:
+    """save() must merge with the on-disk snapshot, not clobber it."""
+
+    def test_two_processes_sharing_a_directory_accumulate(self, tmp_path):
+        """Simulate the racy flow: both instances load the (empty) snapshot,
+        each absorbs a different circuit's entries, both save.  Before the
+        merge-on-save fix the second save dropped the first one's entries
+        (last-writer-wins); now the file holds the union."""
+        aig_a = build_circuit(seed=11)
+        aig_b = build_circuit(seed=12)
+        path = str(tmp_path / "shared.json")
+
+        from repro.core.scheduler import BatchScheduler
+
+        scheduler = BatchScheduler(BiDecomposer(EngineOptions()))
+        caches = []
+        for aig in (aig_a, aig_b):
+            cache = ConeCache()
+            job = scheduler.plan(aig)[0]
+            scheduler._execute_job(aig, job, "or", [ENGINE_STEP_MG], aig.name, cache)
+            caches.append(cache)
+
+        # Both "processes" open the snapshot before either saved.
+        first, second = PersistentConeCache(path), PersistentConeCache(path)
+        assert first.absorb(caches[0], "ctx") == 1
+        assert second.absorb(caches[1], "ctx") == 1
+        first.save()
+        second.save()  # re-reads the file first: must keep first's entry
+
+        final = PersistentConeCache(path)
+        assert final.loaded_entries == 2
+        target = ConeCache()
+        assert final.warm(target, "ctx") == 2
+
+    def test_merge_spans_distinct_contexts(self, tmp_path):
+        aig = build_circuit(seed=13)
+        path = str(tmp_path / "ctx.json")
+        from repro.core.scheduler import BatchScheduler
+
+        scheduler = BatchScheduler(BiDecomposer(EngineOptions()))
+        cache = ConeCache()
+        job = scheduler.plan(aig)[0]
+        scheduler._execute_job(aig, job, "or", [ENGINE_STEP_MG], aig.name, cache)
+
+        first, second = PersistentConeCache(path), PersistentConeCache(path)
+        first.absorb(cache, "ctx-one")
+        second.absorb(cache, "ctx-two")
+        first.save()
+        second.save()
+        payload = json.loads(open(path).read())
+        assert set(payload["contexts"]) == {"ctx-one", "ctx-two"}
+
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        aig = build_circuit(seed=14)
+        run(aig, tmp_path)
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.startswith(PERSISTENT_CACHE_FILENAME) and name != PERSISTENT_CACHE_FILENAME
+        ]
+        assert leftovers == []

@@ -457,7 +457,7 @@ class TestDeadlineSemantics:
 
     def test_workers_skip_jobs_past_expiry(self):
         """A pool worker whose job starts after expiry returns a skip marker."""
-        from repro.core.scheduler import _worker_init, _worker_run
+        from repro.core.executors import _worker_init, _worker_run
         from repro.utils.timer import Deadline
 
         aig = duplicated_cone_circuit(copies=2)
@@ -470,7 +470,7 @@ class TestDeadlineSemantics:
 
     def test_workers_dispatch_by_circuit_slot(self):
         """Suite workers route jobs to the right circuit context by slot."""
-        from repro.core.scheduler import _worker_init, _worker_run
+        from repro.core.executors import _worker_init, _worker_run
 
         dup = duplicated_cone_circuit(copies=2)
         rca = ripple_carry_adder(2)
