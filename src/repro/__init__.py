@@ -24,15 +24,19 @@ Quick start (the session API — see ``docs/api.md``)::
 
 from repro.aig import AIG, BooleanFunction
 from repro.api import (
+    AsyncSession,
     Budgets,
     CachePolicy,
     DecompositionRequest,
     EngineRegistry,
     EngineSpec,
     Parallelism,
+    REQUEST_STATES,
+    RequestTicket,
     Session,
     default_registry,
 )
+from repro.service import ServiceClient
 from repro.core import (
     BiDecomposer,
     BiDecResult,
@@ -62,6 +66,10 @@ __all__ = [
     "BooleanFunction",
     # session API (canonical entry point)
     "Session",
+    "AsyncSession",
+    "ServiceClient",
+    "RequestTicket",
+    "REQUEST_STATES",
     "DecompositionRequest",
     "Budgets",
     "Parallelism",

@@ -157,6 +157,9 @@ class ConeCache:
         self.warm_hits = 0
         self._store: Dict[Hashable, object] = {}
         self._warmed: set = set()
+        # Keys that served at least one hit this run — the recency signal
+        # PersistentConeCache's LRU compaction keeps entries alive by.
+        self.hit_keys: set = set()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -175,6 +178,7 @@ class ConeCache:
             self.misses += 1
         else:
             self.hits += 1
+            self.hit_keys.add(key)
             if key in self._warmed:
                 self.warm_hits += 1
         return value
@@ -219,13 +223,39 @@ class PersistentConeCache:
 
     A missing, corrupted or version-incompatible file is treated as empty —
     a persistent cache can always be deleted (or lost) safely.
+
+    ``max_entries`` bounds the snapshot for long-lived daemons: at save
+    time, entries beyond the bound are evicted **least-recently-hit
+    first** (each entry carries a ``"g"`` recency generation, bumped when
+    a run actually replays it), so a service that decomposes an unbounded
+    stream of circuits keeps its hottest cones and ``cone_cache.json``
+    stops growing.  ``None`` (the default) keeps the historical unbounded
+    behaviour, including the "fully-warm runs never rewrite the file"
+    optimisation — recency is only tracked when a bound is set.
     """
 
     VERSION = 1
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise AigError(
+                f"max_entries must be at least 1 (got {max_entries!r})"
+            )
         self.path = path
+        self.max_entries = max_entries
         self.loaded_entries = 0
+        self.evicted_entries = 0
+        # True when this instance holds recency bumps (not new entries)
+        # that the snapshot file has not seen yet; save() clears it.
+        self.dirty = False
+        # Sessions share ONE instance across runs, and the live scheduler
+        # warms (planning thread) while finalizes absorb/save (executor
+        # hook threads): warm/absorb/save are each atomic under this lock.
+        self._lock = threading.RLock()
+        # (context, key_json) pairs stamped with the CURRENT generation
+        # since the last save — re-stamped at save time if a concurrent
+        # writer advanced the on-disk recency clock past ours.
+        self._stamped: set = set()
         self._contexts: Dict[str, Dict[str, dict]] = {}
         self._load()
 
@@ -234,6 +264,17 @@ class PersistentConeCache:
     def _load(self) -> None:
         self._contexts = self._read(self.path)
         self.loaded_entries = sum(len(v) for v in self._contexts.values())
+        # The recency clock: one tick per run that touches this snapshot,
+        # resumed from the highest generation any stored entry carries.
+        self._generation = 1 + max(
+            (
+                entry.get("g", 0)
+                for entries in self._contexts.values()
+                for entry in entries.values()
+                if isinstance(entry.get("g", 0), int)
+            ),
+            default=0,
+        )
 
     @classmethod
     def _read(cls, path: str) -> Dict[str, Dict[str, dict]]:
@@ -287,28 +328,79 @@ class PersistentConeCache:
           run that computes them — the failure mode degrades to "fewer
           warm hits", never to corruption.
         """
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        for context, entries in self._read(self.path).items():
-            mine = self._contexts.setdefault(context, {})
-            for key, entry in entries.items():
-                mine.setdefault(key, entry)
-        payload = {"version": self.VERSION, "contexts": self._contexts}
-        # pid + thread id: concurrent savers must never share a temp file,
-        # and threads within one process are first-class writers now that
-        # the thread execution backend exists.
-        temp_path = f"{self.path}.tmp.{os.getpid()}.{threading.get_ident()}"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(temp_path, self.path)
+        with self._lock:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            merged_generation = 0
+            for context, entries in self._read(self.path).items():
+                mine = self._contexts.setdefault(context, {})
+                for key, entry in entries.items():
+                    mine.setdefault(key, entry)
+                    merged_generation = max(
+                        merged_generation, _entry_generation(entry)
+                    )
+            if (
+                self.max_entries is not None
+                and merged_generation >= self._generation
+            ):
+                # Another process advanced the recency clock past ours:
+                # re-stamp THIS run's entries above the merged maximum, or
+                # LRU compaction would rank our newest work as oldest and
+                # evict it first (clock inversion across writers).
+                for context, key_json in self._stamped:
+                    entry = self._contexts.get(context, {}).get(key_json)
+                    if entry is not None:
+                        entry["g"] = merged_generation + 1
+                self._generation = merged_generation + 1
+            self._compact()
+            payload = {"version": self.VERSION, "contexts": self._contexts}
+            # pid + thread id: concurrent savers must never share a temp
+            # file, and threads within one process are first-class writers
+            # now that the thread execution backend exists.
+            temp_path = f"{self.path}.tmp.{os.getpid()}.{threading.get_ident()}"
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_path, self.path)
+            self.dirty = False
+            self._stamped.clear()
+            # Entries absorbed (or bumped) by the *next* run must sort as
+            # more recent than anything this save wrote.
+            self._generation += 1
+
+    def _compact(self) -> None:
+        """Evict least-recently-hit entries down to ``max_entries``.
+
+        Eviction order is (recency generation, context, key) — fully
+        deterministic, so concurrent savers with the same view converge on
+        the same survivor set.  Entries written before compaction was
+        enabled carry no generation and count as oldest.
+        """
+        if self.max_entries is None:
+            return
+        total = sum(len(entries) for entries in self._contexts.values())
+        excess = total - self.max_entries
+        if excess <= 0:
+            return
+        ranked = sorted(
+            (_entry_generation(entries[key]), context, key)
+            for context, entries in self._contexts.items()
+            for key in entries
+        )
+        for _generation, context, key in ranked[:excess]:
+            del self._contexts[context][key]
+            if not self._contexts[context]:
+                del self._contexts[context]
+        self.evicted_entries += excess
 
     # -- cache interchange -------------------------------------------------------
 
     def warm(self, cache: ConeCache, context: str) -> int:
         """Install this context's decodable entries into ``cache``."""
         restored = 0
-        for key_json, entry in self._contexts.get(context, {}).items():
+        with self._lock:
+            entries = dict(self._contexts.get(context, {}))
+        for key_json, entry in entries.items():
             try:
                 key = _tuplify(json.loads(key_json))
                 value = _decode_entry(entry)
@@ -327,16 +419,46 @@ class PersistentConeCache:
         still current — which keeps a fully-warm run from re-serialising
         the whole snapshot, and lets the caller skip :meth:`save` entirely
         when nothing changed.
+
+        With ``max_entries`` set, absorption also refreshes the recency
+        generation of every stored entry the run actually *hit*, marking
+        the instance :attr:`dirty` when only recency changed — the LRU
+        signal compaction evicts by.  (Recency is not tracked unbounded:
+        it would turn every fully-warm run into a snapshot rewrite for no
+        benefit.)
         """
+        with self._lock:
+            return self._absorb_locked(cache, context)
+
+    def _absorb_locked(self, cache: ConeCache, context: str) -> int:
         entries = self._contexts.setdefault(context, {})
         absorbed = 0
+        track_recency = self.max_entries is not None
         for key, value in cache.items():
             key_json = json.dumps(key, separators=(",", ":"))
             if key_json in entries:
+                if (
+                    track_recency
+                    and key in cache.hit_keys
+                    and _entry_generation(entries[key_json]) != self._generation
+                ):
+                    entries[key_json]["g"] = self._generation
+                    self._stamped.add((context, key_json))
+                    self.dirty = True
                 continue
-            entries[key_json] = _encode_entry(value)
+            entry = _encode_entry(value)
+            if track_recency:
+                entry["g"] = self._generation
+                self._stamped.add((context, key_json))
+            entries[key_json] = entry
             absorbed += 1
         return absorbed
+
+
+def _entry_generation(entry: dict) -> int:
+    """An entry's recency generation (0 for pre-compaction snapshots)."""
+    generation = entry.get("g", 0)
+    return generation if isinstance(generation, int) else 0
 
 
 def _tuplify(value):

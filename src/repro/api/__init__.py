@@ -11,13 +11,32 @@ with three layers:
   by name and third-party engines plug in via :class:`EngineSpec`;
 * **a session facade** — :class:`Session` with ``run(request)`` for one
   circuit and ``submit(requests)`` / ``as_completed()`` for whole suites
-  sharded across one shared worker pool.
+  sharded across one shared worker pool;
+* **an async facade** — :class:`AsyncSession`
+  (:mod:`repro.api.aio`): ``await session.run(request)``, live fair
+  scheduling across concurrent requests, per-request cancellation and
+  progress events — the layer :mod:`repro.service` puts on a socket;
+* **an explicit request lifecycle** — every submitted request moves
+  through the :mod:`repro.api.lifecycle` state machine (``queued →
+  running → done/cancelled/failed``), surfaced by ``Session.status()``,
+  async handles and the wire protocol alike.
 
 See ``docs/api.md`` for the model and the old-kwarg → new-field migration
-table.
+table, and ``docs/service.md`` for the daemon.
 """
 
+from repro.api.aio import AsyncRequestHandle, AsyncSession
 from repro.api.config import Budgets, CachePolicy, Parallelism
+from repro.api.lifecycle import (
+    REQUEST_STATES,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    RequestTicket,
+)
 from repro.api.registry import (
     EngineRegistry,
     EngineSpec,
@@ -35,4 +54,14 @@ __all__ = [
     "default_registry",
     "DecompositionRequest",
     "Session",
+    "AsyncSession",
+    "AsyncRequestHandle",
+    "RequestTicket",
+    "REQUEST_STATES",
+    "TERMINAL_STATES",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "STATE_DONE",
+    "STATE_CANCELLED",
+    "STATE_FAILED",
 ]

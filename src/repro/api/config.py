@@ -128,7 +128,26 @@ class CachePolicy:
         twin can pick a different (equally valid) partition than a solo
         search would, so only opted-in suite reports may diverge from solo
         fingerprints.  Requires ``dedup``; a no-op outside suites.
+    max_entries:
+        Compaction bound for the persistent snapshot: at save time the
+        ``cone_cache.json`` is evicted down to this many entries,
+        least-recently-hit first, so a long-lived daemon's cache stops
+        growing without bound.  Requires ``directory``; ``None`` (the
+        default) keeps the snapshot unbounded.
     """
 
     directory: Optional[str] = None
     cross_circuit_dedup: bool = False
+    max_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None:
+            if not isinstance(self.max_entries, int) or self.max_entries < 1:
+                raise DecompositionError(
+                    f"max_entries must be a positive integer (got {self.max_entries!r})"
+                )
+            if self.directory is None:
+                raise DecompositionError(
+                    "max_entries bounds the persistent snapshot; it needs a "
+                    "cache directory to bound"
+                )

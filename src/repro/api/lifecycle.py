@@ -1,0 +1,177 @@
+"""The request lifecycle state machine.
+
+Every submitted :class:`repro.api.request.DecompositionRequest` moves
+through one explicit state machine, surfaced uniformly by the blocking
+:class:`repro.api.session.Session`, the asyncio
+:class:`repro.api.aio.AsyncSession` and the service wire protocol
+(:mod:`repro.service.protocol`)::
+
+    queued ──> running ──> done
+       │          ├─────> failed
+       └──────────┴─────> cancelled
+
+``done``, ``cancelled`` and ``failed`` are terminal.  A request is
+``queued`` from submission until its first job starts, ``running`` while
+any of its jobs execute, ``done`` once its :class:`CircuitReport` is
+assembled, ``cancelled`` after a cooperative cancel (queued jobs are
+dropped; in-flight jobs finish but their results are discarded) and
+``failed`` when a job raised — the error is preserved on the ticket, and
+one request's failure never takes down the session or the daemon.
+
+:class:`RequestTicket` is the shared, thread-safe carrier of that state:
+the schedulers advance it, listeners (the async session's event queues,
+the daemon's per-connection pumps) observe every transition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import DecompositionError
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_CANCELLED = "cancelled"
+STATE_FAILED = "failed"
+
+#: Every request state, in lifecycle order.
+REQUEST_STATES = (
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATE_DONE,
+    STATE_CANCELLED,
+    STATE_FAILED,
+)
+
+#: States a request can never leave.
+TERMINAL_STATES = frozenset({STATE_DONE, STATE_CANCELLED, STATE_FAILED})
+
+_TRANSITIONS = {
+    STATE_QUEUED: frozenset({STATE_RUNNING, STATE_CANCELLED, STATE_FAILED}),
+    STATE_RUNNING: frozenset({STATE_DONE, STATE_CANCELLED, STATE_FAILED}),
+    STATE_DONE: frozenset(),
+    STATE_CANCELLED: frozenset(),
+    STATE_FAILED: frozenset(),
+}
+
+# Listener signature: (ticket, old_state, new_state).  Fired synchronously
+# inside advance(), possibly from an executor's completion thread — keep
+# listeners non-blocking (the async session only posts to an event loop).
+TicketListener = Callable[["RequestTicket", str, str], None]
+
+
+class RequestTicket:
+    """One request's identity and live state, shared across threads.
+
+    Attributes
+    ----------
+    id:
+        Session-unique integer, assigned at submission; the wire
+        protocol's request id.
+    name:
+        The request's circuit name (for humans; ids are the handle).
+    state:
+        Current lifecycle state (one of :data:`REQUEST_STATES`).
+    report:
+        The :class:`repro.core.result.CircuitReport`, set just before the
+        ticket advances to ``done``.
+    error:
+        One-line failure description, set just before ``failed``.
+    """
+
+    def __init__(self, ticket_id: int, name: str) -> None:
+        self.id = ticket_id
+        self.name = name
+        self.report = None
+        self.error: Optional[str] = None
+        self._state = STATE_QUEUED
+        self._lock = threading.Lock()
+        self._listeners: List[TicketListener] = []
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def terminal(self) -> bool:
+        return self._state in TERMINAL_STATES
+
+    def add_listener(self, listener: TicketListener) -> None:
+        """Observe every subsequent transition (called under the ticket
+        lock; must not block)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def advance(
+        self,
+        new_state: str,
+        report=None,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Move to ``new_state``, returning whether a transition happened.
+
+        Illegal transitions out of a terminal state return ``False``
+        instead of raising — the schedulers race completions against
+        cancellations, and "already terminal, drop the late event" is the
+        correct resolution of every such race.  A transition that is
+        neither legal nor a late-event no-op (e.g. ``done`` straight from
+        ``queued``) raises: that is a scheduler bug, not a race.
+        """
+        with self._lock:
+            old_state = self._state
+            if new_state == old_state:
+                return False
+            if new_state not in _TRANSITIONS[old_state]:
+                if old_state in TERMINAL_STATES:
+                    return False
+                raise DecompositionError(
+                    f"illegal request-state transition {old_state!r} -> "
+                    f"{new_state!r} (request {self.id})"
+                )
+            if report is not None:
+                self.report = report
+            if error is not None:
+                self.error = error
+            self._state = new_state
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(self, old_state, new_state)
+        return True
+
+    # Intent helpers: the core schedulers drive tickets through these, so
+    # they never need to import this module's state names (core stays free
+    # of api imports; the ticket object is passed in, duck-typed).
+
+    def mark_running(self) -> bool:
+        return self.advance(STATE_RUNNING)
+
+    def mark_done(self, report) -> bool:
+        return self.advance(STATE_DONE, report=report)
+
+    def mark_cancelled(self) -> bool:
+        return self.advance(STATE_CANCELLED)
+
+    def mark_failed(self, error: str) -> bool:
+        return self.advance(STATE_FAILED, error=error)
+
+    def snapshot(self) -> Tuple[int, str, str]:
+        """``(id, name, state)`` — the status triple every surface reports."""
+        return (self.id, self.name, self._state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RequestTicket(id={self.id}, name={self.name!r}, state={self._state!r})"
+
+
+class TicketCounter:
+    """Thread-safe monotonic ticket-id source (one per session/service)."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            return next(self._counter)

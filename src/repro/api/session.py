@@ -43,12 +43,77 @@ Example::
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.api.lifecycle import RequestTicket, TicketCounter
 from repro.api.registry import EngineRegistry, default_registry
 from repro.api.request import DecompositionRequest
 from repro.core.result import CircuitReport, OutputResult
 from repro.errors import DecompositionError
+
+
+def scheduler_for_request(request: DecompositionRequest, cache_provider=None):
+    """The per-request :class:`repro.core.scheduler.BatchScheduler`.
+
+    Shared by the blocking session, the asyncio session and the service
+    daemon, so every front door builds identical execution state for a
+    given request.
+    """
+    from repro.core.engine import BiDecomposer
+    from repro.core.scheduler import BatchScheduler
+
+    options = request.to_options()
+    return BatchScheduler(
+        BiDecomposer(options),
+        jobs=options.jobs,
+        dedup=options.dedup,
+        seed=options.seed,
+        cache_dir=options.cache_dir,
+        backend=request.parallelism.backend,
+        cache_max_entries=request.cache.max_entries,
+        cache_provider=cache_provider,
+    )
+
+
+def shared_cache_provider(store: Dict[str, object]):
+    """A ``(path, max_entries) -> PersistentConeCache`` factory backed by
+    ``store``: one shared instance per absolute snapshot path.
+
+    Both session facades use this so every run in a session against the
+    same cache dir reuses ONE in-memory cache (one disk read per session,
+    cumulative saves, a deterministic flush point at close).  The first
+    request against a path fixes the compaction bound for the session (a
+    daemon configures one policy anyway).
+    """
+    from repro.aig.signature import PersistentConeCache
+
+    def provide(path: str, max_entries: Optional[int]):
+        key = os.path.abspath(path)
+        cache = store.get(key)
+        if cache is None:
+            cache = PersistentConeCache(path, max_entries=max_entries)
+            store[key] = cache
+        return cache
+
+    return provide
+
+
+def unit_for_request(request: DecompositionRequest, cache_provider=None):
+    """One request as a :class:`repro.core.scheduler.SuiteUnit`."""
+    from repro.core.scheduler import SuiteUnit
+
+    return SuiteUnit(
+        scheduler=scheduler_for_request(request, cache_provider=cache_provider),
+        aig=request.circuit,
+        operator=request.operator,
+        engines=list(request.engines),
+        circuit_timeout=request.budgets.per_circuit,
+        max_outputs=request.max_outputs,
+        circuit_name=request.name,
+        priority=request.priority,
+        cross_dedup=request.cache.cross_circuit_dedup,
+    )
 
 
 class Session:
@@ -74,27 +139,120 @@ class Session:
         # but still a deliberate choice, not a request for the default.
         self.registry = default_registry() if registry is None else registry
         self._pending: List[DecompositionRequest] = []
+        # Ticket per pending request, same order as ``_pending``.
+        self._pending_tickets: List[RequestTicket] = []
         # None while a submitted suite is draining (or was abandoned
         # mid-stream); a list once a drain completed.
         self._reports: Optional[List[CircuitReport]] = []
         self._next_pool_id = 0
+        self._counter = TicketCounter()
+        self._tickets: List[RequestTicket] = []
+        # Shared persistent-cache instances (see shared_cache_provider).
+        self._persistent_caches: Dict[str, object] = {}
+        self._provide_cache = shared_cache_provider(self._persistent_caches)
+        self._closed = False
         self.stats: Dict[str, int] = {"runs": 0, "suites": 0, "pools_created": 0}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Deterministic shutdown: cancel still-queued requests and flush
+        shared persistent-cache snapshots.
+
+        Idempotent.  After ``close()`` the session rejects new work; the
+        reports of already-drained suites stay readable.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for ticket in self._pending_tickets:
+            ticket.mark_cancelled()
+        self._pending = []
+        self._pending_tickets = []
+        for cache in self._persistent_caches.values():
+            if cache.dirty:
+                cache.save()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DecompositionError("the session is closed; no further requests")
+
+    # -- status -------------------------------------------------------------------
+
+    def tickets(self) -> List[RequestTicket]:
+        """Every request ticket this session issued, in submission order."""
+        return list(self._tickets)
+
+    def status(self, ticket_id: Optional[int] = None):
+        """Per-request lifecycle state.
+
+        With no argument: ``{ticket_id: state}`` over every request the
+        session has seen (``queued``/``running``/``done``/``cancelled``/
+        ``failed``) — streaming consumers no longer infer completion from
+        :meth:`as_completed` exhaustion.  With a ticket id: that request's
+        state string.
+        """
+        if ticket_id is None:
+            return {ticket.id: ticket.state for ticket in self._tickets}
+        for ticket in self._tickets:
+            if ticket.id == ticket_id:
+                return ticket.state
+        raise DecompositionError(f"unknown request ticket id {ticket_id!r}")
+
+    def cancel(self, ticket_id: int) -> bool:
+        """Cancel a still-queued request (submitted, not yet drained).
+
+        Returns ``True`` when the request was removed from the pending
+        batch; ``False`` when it is already executing or terminal (the
+        blocking session cannot interrupt a drain in progress — the async
+        session and the service can).
+        """
+        for position, ticket in enumerate(self._pending_tickets):
+            if ticket.id == ticket_id:
+                del self._pending[position]
+                del self._pending_tickets[position]
+                return ticket.mark_cancelled()
+        return False
+
+    def _issue_ticket(self, request: DecompositionRequest) -> RequestTicket:
+        ticket = RequestTicket(self._counter.next(), request.circuit_name)
+        self._tickets.append(ticket)
+        return ticket
 
     # -- single request -----------------------------------------------------------
 
     def run(self, request: DecompositionRequest) -> CircuitReport:
         """Execute one request and return its circuit report."""
+        self._check_open()
         self._check(request)
         scheduler = self._scheduler_for(request)
         self.stats["runs"] += 1
-        return scheduler.run(
-            request.circuit,
-            request.operator,
-            list(request.engines),
-            circuit_timeout=request.budgets.per_circuit,
-            max_outputs=request.max_outputs,
-            circuit_name=request.name,
-        )
+        ticket = self._issue_ticket(request)
+        ticket.mark_running()
+        try:
+            report = scheduler.run(
+                request.circuit,
+                request.operator,
+                list(request.engines),
+                circuit_timeout=request.budgets.per_circuit,
+                max_outputs=request.max_outputs,
+                circuit_name=request.name,
+            )
+        except Exception as exc:
+            ticket.mark_failed(f"{type(exc).__name__}: {exc}")
+            raise
+        ticket.mark_done(report)
+        return report
 
     # -- suites -------------------------------------------------------------------
 
@@ -106,12 +264,16 @@ class Session:
         Accepts one request or an iterable; returns the number of requests
         now pending.  Nothing executes until the stream is consumed.
         """
+        self._check_open()
         if isinstance(requests, DecompositionRequest):
             requests = [requests]
         batch = list(requests)
         for request in batch:
             self._check(request)
         self._pending.extend(batch)
+        self._pending_tickets.extend(
+            self._issue_ticket(request) for request in batch
+        )
         # The last drained suite no longer answers for the session: reports()
         # must not serve batch N-1's reports while batch N is pending.
         if self._pending:
@@ -130,26 +292,17 @@ class Session:
         the reports (:meth:`reports`) and clears the queue.
         """
         from repro.core.executors import strongest_backend
-        from repro.core.scheduler import SuiteScheduler, SuiteUnit
+        from repro.core.scheduler import SuiteScheduler
 
         if not self._pending:
             return
         batch, self._pending = self._pending, []
+        tickets, self._pending_tickets = self._pending_tickets, []
         # Invalidate until the drain completes: an abandoned stream must not
         # leave reports() silently answering with the previous suite.
         self._reports = None
         units = [
-            SuiteUnit(
-                scheduler=self._scheduler_for(request),
-                aig=request.circuit,
-                operator=request.operator,
-                engines=list(request.engines),
-                circuit_timeout=request.budgets.per_circuit,
-                max_outputs=request.max_outputs,
-                circuit_name=request.name,
-                priority=request.priority,
-                cross_dedup=request.cache.cross_circuit_dedup,
-            )
+            unit_for_request(request, cache_provider=self._provide_cache)
             for request in batch
         ]
         jobs = max(request.parallelism.jobs for request in batch)
@@ -162,9 +315,26 @@ class Session:
             units, jobs=jobs, pool_id=self._next_pool_id, backend=backend
         )
         self._next_pool_id += 1
-        for _slot, record in suite.stream():
-            yield record
+        try:
+            for slot, record in suite.stream():
+                tickets[slot].mark_running()
+                yield record
+        except GeneratorExit:
+            # Abandoned mid-drain: the batch never completed — the
+            # consumer walked away, which is a cancellation, not failure.
+            for ticket in tickets:
+                if not ticket.terminal:
+                    ticket.mark_cancelled()
+            raise
+        except Exception as exc:
+            for ticket in tickets:
+                if not ticket.terminal:
+                    ticket.mark_failed(f"{type(exc).__name__}: {exc}")
+            raise
         self._reports = suite.reports()
+        for ticket, report in zip(tickets, self._reports):
+            ticket.mark_running()  # no-op unless the unit streamed nothing
+            ticket.mark_done(report)
         self.stats["suites"] += 1
         self.stats["pools_created"] += suite.pools_created
 
@@ -205,15 +375,4 @@ class Session:
         request.validate_against(self.registry)
 
     def _scheduler_for(self, request: DecompositionRequest):
-        from repro.core.engine import BiDecomposer
-        from repro.core.scheduler import BatchScheduler
-
-        options = request.to_options()
-        return BatchScheduler(
-            BiDecomposer(options),
-            jobs=options.jobs,
-            dedup=options.dedup,
-            seed=options.seed,
-            cache_dir=options.cache_dir,
-            backend=request.parallelism.backend,
-        )
+        return scheduler_for_request(request, cache_provider=self._provide_cache)

@@ -11,11 +11,18 @@ Examples
     step decompose adder.blif --operator or --engine STEP-QD --engine STEP-MG
     step generate rca --width 4 --out adder.blif
     step info adder.blif
+
+    # a long-lived daemon sharing one pool and one cache across clients,
+    # and the client subcommand mirroring `decompose` against it:
+    step serve --socket /tmp/repro.sock --backend process --jobs 4 \
+        --cache-dir ~/.cache/repro
+    step client adder.blif --socket /tmp/repro.sock --engine STEP-QD
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -85,7 +92,9 @@ def _check_decompose_flags(args: argparse.Namespace) -> None:
     """
     if args.max_outputs is not None and args.max_outputs < 1:
         raise ReproError(f"--max-outputs must be at least 1 (got {args.max_outputs})")
-    if args.jobs < 1:
+    # `client` has no placement flags (the daemon owns them); default the
+    # checks away instead of branching per subcommand.
+    if getattr(args, "jobs", 1) < 1:
         raise ReproError(f"--jobs must be at least 1 (got {args.jobs})")
     if args.qbf_timeout is not None and args.qbf_timeout <= 0:
         raise ReproError(
@@ -100,36 +109,29 @@ def _check_decompose_flags(args: argparse.Namespace) -> None:
         raise ReproError(
             f"--circuit-timeout must be >= 0 seconds (got {args.circuit_timeout})"
         )
-    if args.cache_dir is not None and args.no_dedup:
+    _check_cache_flags(args)
+
+
+def _check_cache_flags(args: argparse.Namespace) -> None:
+    """Cache-flag invariants shared by `decompose` and `serve` (and vacuous
+    for `client`, which has no placement flags)."""
+    if getattr(args, "cache_dir", None) is not None and getattr(
+        args, "no_dedup", False
+    ):
         # The persistent cache rides on the dedup cache; accepting both
         # flags would silently persist nothing.
         raise ReproError("--cache-dir requires cone dedup; drop --no-dedup")
+    if getattr(args, "cache_max_entries", None) is not None:
+        if args.cache_max_entries < 1:
+            raise ReproError(
+                f"--cache-max-entries must be at least 1 (got {args.cache_max_entries})"
+            )
+        if args.cache_dir is None:
+            raise ReproError("--cache-max-entries requires --cache-dir")
 
 
-def _cmd_decompose(args: argparse.Namespace) -> int:
-    _check_decompose_flags(args)
-    aig = _load_circuit(args.circuit)
-    engines = tuple(args.engine or ["STEP-QD"])
-    request = DecompositionRequest(
-        circuit=aig,
-        operator=args.operator,
-        engines=engines,
-        budgets=Budgets(
-            per_call=args.qbf_timeout,
-            per_output=args.output_timeout,
-            per_circuit=args.circuit_timeout,
-        ),
-        parallelism=Parallelism(
-            jobs=args.jobs,
-            dedup=not args.no_dedup,
-            seed=args.seed,
-            backend=args.backend,
-        ),
-        cache=CachePolicy(directory=args.cache_dir),
-        max_outputs=args.max_outputs,
-        verify=args.verify,
-    )
-    report = Session().run(request)
+def _print_report(report, engines, show_fingerprint: bool = False) -> None:
+    """The `decompose` output format, shared with `client`."""
     for output in report.outputs:
         for engine, result in sorted(output.results.items()):
             print(f"{output.output_name:>12} {result.summary()}")
@@ -158,6 +160,111 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                 f"{'skipped':>10}: {len(skipped)} output(s) past the circuit "
                 f"budget: {', '.join(skipped)}"
             )
+    if show_fingerprint:
+        print(f"report fingerprint: {report.fingerprint_hex()}")
+
+
+def _request_from_args(args: argparse.Namespace, remote: bool) -> DecompositionRequest:
+    """Build the request both `decompose` and `client` share.
+
+    ``remote`` drops the execution-placement knobs (jobs/backend/cache
+    directory) — the daemon owns those; everything that defines the
+    decomposition itself travels.
+    """
+    aig = _load_circuit(args.circuit)
+    engines = tuple(args.engine or ["STEP-QD"])
+    if remote:
+        parallelism = Parallelism(dedup=not args.no_dedup, seed=args.seed)
+        cache = CachePolicy()
+    else:
+        parallelism = Parallelism(
+            jobs=args.jobs,
+            dedup=not args.no_dedup,
+            seed=args.seed,
+            backend=args.backend,
+        )
+        cache = CachePolicy(
+            directory=args.cache_dir, max_entries=args.cache_max_entries
+        )
+    return DecompositionRequest(
+        circuit=aig,
+        operator=args.operator,
+        engines=engines,
+        budgets=Budgets(
+            per_call=args.qbf_timeout,
+            per_output=args.output_timeout,
+            per_circuit=args.circuit_timeout,
+        ),
+        parallelism=parallelism,
+        cache=cache,
+        max_outputs=args.max_outputs,
+        verify=args.verify,
+    )
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    _check_decompose_flags(args)
+    request = _request_from_args(args, remote=False)
+    report = Session().run(request)
+    _print_report(report, request.engines, show_fingerprint=args.fingerprint)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    _check_decompose_flags(args)
+    request = _request_from_args(args, remote=True)
+    with ServiceClient(args.socket, timeout=args.connect_timeout) as client:
+        report = client.run(request)
+    _print_report(report, request.engines, show_fingerprint=args.fingerprint)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ReproService
+
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be at least 1 (got {args.jobs})")
+    _check_cache_flags(args)
+    service = ReproService(
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries,
+    )
+    print(
+        f"serving on {args.socket} (backend={args.backend}, jobs={args.jobs}"
+        + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
+        + ") — SIGINT/SIGTERM to stop",
+        flush=True,
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await service.start(args.socket)
+        try:
+            await stop.wait()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(_serve())
+        print("shutting down")
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        print("shutting down")
+    except OSError as exc:
+        raise ReproError(f"cannot serve on {args.socket!r}: {exc}") from None
     return 0
 
 
@@ -184,6 +291,42 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_decomposition_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags that define the decomposition itself — shared verbatim by
+    ``decompose`` (local) and ``client`` (remote), so scripts switch
+    between them by swapping the subcommand and adding ``--socket``."""
+    parser.add_argument("circuit", help="BLIF/BENCH file or a library circuit name")
+    parser.add_argument("--operator", choices=["or", "and", "xor"], default="or")
+    parser.add_argument(
+        "--engine", action="append", choices=list(ENGINES), help="may be repeated"
+    )
+    parser.add_argument("--qbf-timeout", type=float, default=4.0)
+    parser.add_argument("--output-timeout", type=float, default=60.0)
+    parser.add_argument("--circuit-timeout", type=float, default=None)
+    parser.add_argument("--max-outputs", type=int, default=None)
+    parser.add_argument("--verify", action="store_true")
+    parser.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable structural dedup of identical output cones",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help=(
+            "run seed mixed into per-output job seeds (reserved for future "
+            "stochastic components; current engines are deterministic, so "
+            "results do not depend on it) (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="print a stable digest of the report (for diffing runs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="step",
@@ -192,16 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     decompose = sub.add_parser("decompose", help="bi-decompose every primary output")
-    decompose.add_argument("circuit", help="BLIF/BENCH file or a library circuit name")
-    decompose.add_argument("--operator", choices=["or", "and", "xor"], default="or")
-    decompose.add_argument(
-        "--engine", action="append", choices=list(ENGINES), help="may be repeated"
-    )
-    decompose.add_argument("--qbf-timeout", type=float, default=4.0)
-    decompose.add_argument("--output-timeout", type=float, default=60.0)
-    decompose.add_argument("--circuit-timeout", type=float, default=None)
-    decompose.add_argument("--max-outputs", type=int, default=None)
-    decompose.add_argument("--verify", action="store_true")
+    _add_decomposition_flags(decompose)
     decompose.add_argument(
         "--jobs",
         type=int,
@@ -220,11 +354,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     decompose.add_argument(
-        "--no-dedup",
-        action="store_true",
-        help="disable structural dedup of identical output cones",
-    )
-    decompose.add_argument(
         "--cache-dir",
         default=None,
         help=(
@@ -234,16 +363,63 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     decompose.add_argument(
-        "--seed",
+        "--cache-max-entries",
         type=int,
-        default=0,
+        default=None,
         help=(
-            "run seed mixed into per-output job seeds (reserved for future "
-            "stochastic components; current engines are deterministic, so "
-            "results do not depend on it) (default: 0)"
+            "compact the persistent cone cache to at most N entries at save "
+            "time, evicting least-recently-hit first (default: unbounded)"
         ),
     )
     decompose.set_defaults(handler=_cmd_decompose)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived decomposition daemon on a Unix socket",
+    )
+    serve.add_argument(
+        "--socket", required=True, help="Unix socket path to listen on"
+    )
+    serve.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=BACKEND_PROCESS,
+        help="execution backend of the daemon's one shared pool (default: process)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=max(1, os.cpu_count() or 1),
+        help="worker count of the shared pool (default: the machine's CPUs)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent cone-cache directory shared by EVERY request the daemon serves",
+    )
+    serve.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="bound the shared snapshot: LRU-by-last-hit eviction at save time",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="run one decompose against a `step serve` daemon (same output)",
+    )
+    _add_decomposition_flags(client)
+    client.add_argument(
+        "--socket", required=True, help="Unix socket of the running daemon"
+    )
+    client.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="socket timeout in seconds (default: wait indefinitely)",
+    )
+    client.set_defaults(handler=_cmd_client)
 
     generate = sub.add_parser("generate", help="write a generated benchmark circuit")
     generate.add_argument("family", help=", ".join(sorted(_GENERATORS)))

@@ -47,8 +47,12 @@ differential-tested in ``tests/test_executors.py``).
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
+import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.aig.aig import AIG
 from repro.core.engine import BiDecomposer
@@ -74,6 +78,13 @@ JobSpec = Tuple[int, int, str, int, Optional[Deadline]]
 # One result: the job's (slot, index) identity plus its record (None when
 # the job was skipped because its circuit deadline had already expired).
 JobResult = Tuple[int, int, Optional[OutputResult]]
+
+# Live-mode completion hook: (slot, index, record, error).  Exactly one of
+# record/error is meaningful; a budget-skipped job delivers (None, None).
+# Invoked from whatever thread completed the job (the submitting thread for
+# the serial backend, a pool thread otherwise) — implementations must be
+# thread-safe and non-blocking.
+CompletionHook = Callable[[int, int, Optional[OutputResult], Optional[BaseException]], None]
 
 
 def check_backend(name: str) -> str:
@@ -155,6 +166,20 @@ class ExecutorBackend:
     ``workers`` is the effective worker count the backend runs with —
     what the scheduler reports in ``schedule["jobs"]`` (1 for the serial
     backend regardless of the requested count).
+
+    Two operating modes share one substrate:
+
+    * **Batch** (:meth:`start` + :meth:`map_unordered`) — all contexts and
+      jobs are known up front; results stream back through a blocking
+      generator.  This is what :class:`repro.core.scheduler.BatchScheduler`
+      and :class:`~repro.core.scheduler.SuiteScheduler` drive.
+    * **Live** (:meth:`open` + :meth:`add_context` + :meth:`submit`) —
+      the substrate is brought up empty and long-lived; circuit contexts
+      join incrementally (one per request) and every submitted job
+      delivers its result through a **non-blocking completion hook**
+      instead of a drain loop.  This is the seam the asyncio session and
+      the service daemon sit on
+      (:class:`repro.core.scheduler.LiveSuiteScheduler`).
     """
 
     name: str = ""
@@ -178,6 +203,36 @@ class ExecutorBackend:
         """
         raise NotImplementedError
 
+    # -- live (incremental) mode ------------------------------------------------
+
+    def open(self, on_done: CompletionHook) -> bool:
+        """Bring the substrate up empty, for incremental submission.
+
+        ``on_done`` is invoked once per submitted job with ``(slot, index,
+        record, error)`` from whatever thread completed it.  Returns
+        ``False`` when the substrate cannot exist here (the caller picks a
+        weaker backend).
+        """
+        raise NotImplementedError
+
+    def add_context(self, context: ExecutionContext) -> int:
+        """Register one circuit context; returns its slot for job specs.
+
+        Slots are assigned monotonically per backend instance and never
+        reused, so a long-lived service can tell request N's jobs from
+        request M's even after N completed.
+        """
+        raise NotImplementedError
+
+    def submit(self, job: JobSpec, function: Optional[object] = None) -> None:
+        """Schedule one job; its result arrives through the ``open`` hook.
+
+        Non-blocking for the pooled backends.  The serial backend runs the
+        job inline, so the hook fires before ``submit`` returns — callers
+        must tolerate synchronous completion.
+        """
+        raise NotImplementedError
+
     def shutdown(self) -> None:
         """Release the substrate (idempotent; called in a ``finally``)."""
 
@@ -191,10 +246,33 @@ class SerialBackend(ExecutorBackend):
         # Serial means serial: the requested worker count is ignored.
         self.workers = 1
         self._contexts: Optional[List[_RunnerContext]] = None
+        self._on_done: Optional[CompletionHook] = None
 
     def start(self, contexts: Sequence[ExecutionContext]) -> bool:
         self._contexts = _build_runners(contexts)
         return True
+
+    def open(self, on_done: CompletionHook) -> bool:
+        self._contexts = []
+        self._on_done = on_done
+        return True
+
+    def add_context(self, context: ExecutionContext) -> int:
+        assert self._contexts is not None, "open() must precede add_context()"
+        aig, operator, engines, options, circuit_name = context
+        self._contexts.append(
+            (BiDecomposer(options), aig, operator, engines, circuit_name)
+        )
+        return len(self._contexts) - 1
+
+    def submit(self, job: JobSpec, function: Optional[object] = None) -> None:
+        assert self._contexts is not None and self._on_done is not None
+        try:
+            slot, index, record = run_job(self._contexts[job[0]], job, function)
+        except BaseException as exc:  # noqa: BLE001 - delivered, not swallowed
+            self._on_done(job[0], job[1], None, exc)
+        else:
+            self._on_done(slot, index, record, None)
 
     def map_unordered(
         self,
@@ -222,6 +300,10 @@ class ThreadBackend(ExecutorBackend):
         self.workers = max(1, workers)
         self._contexts: Optional[List[_RunnerContext]] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._on_done: Optional[CompletionHook] = None
+        # add_context appends under this lock; submit reads by index only,
+        # which is safe against concurrent appends.
+        self._context_lock = threading.Lock()
 
     def start(self, contexts: Sequence[ExecutionContext]) -> bool:
         try:
@@ -232,6 +314,37 @@ class ThreadBackend(ExecutorBackend):
             return False
         self._contexts = _build_runners(contexts)
         return True
+
+    def open(self, on_done: CompletionHook) -> bool:
+        if not self.start([]):
+            return False  # pragma: no cover - thread limits
+        self._on_done = on_done
+        return True
+
+    def add_context(self, context: ExecutionContext) -> int:
+        assert self._contexts is not None, "open() must precede add_context()"
+        aig, operator, engines, options, circuit_name = context
+        runner = (BiDecomposer(options), aig, operator, engines, circuit_name)
+        with self._context_lock:
+            self._contexts.append(runner)
+            return len(self._contexts) - 1
+
+    def submit(self, job: JobSpec, function: Optional[object] = None) -> None:
+        assert self._executor is not None and self._contexts is not None
+        assert self._on_done is not None
+        on_done = self._on_done
+        slot, index = job[0], job[1]
+
+        def deliver(future) -> None:
+            try:
+                _slot, _index, record = future.result()
+            except BaseException as exc:  # noqa: BLE001 - includes cancellation
+                on_done(slot, index, None, exc)
+            else:
+                on_done(slot, index, record, None)
+
+        future = self._executor.submit(run_job, self._contexts[slot], job, function)
+        future.add_done_callback(deliver)
 
     def map_unordered(
         self,
@@ -268,10 +381,56 @@ class ProcessBackend(ExecutorBackend):
     def __init__(self, workers: int) -> None:
         self.workers = max(1, workers)
         self._pool = None
+        self._on_done: Optional[CompletionHook] = None
+        self._blobs: List[bytes] = []
+        self._context_lock = threading.Lock()
 
     def start(self, contexts: Sequence[ExecutionContext]) -> bool:
         self._pool = _create_pool(self.workers, contexts)
         return self._pool is not None
+
+    def open(self, on_done: CompletionHook) -> bool:
+        self._pool = _create_pool(self.workers, [])
+        if self._pool is None:
+            return False
+        self._on_done = on_done
+        return True
+
+    def add_context(self, context: ExecutionContext) -> int:
+        """Register a context by pickling it ONCE into a reusable blob.
+
+        Pool workers cannot be re-initialised after the fork, and which
+        worker picks up a given job is unknowable, so every live job ships
+        its context blob alongside the spec; workers unpickle it the first
+        time they see the slot and serve later jobs from a per-worker LRU
+        (:func:`_live_worker_run`).  Pre-pickling here means the parent
+        pays AIG serialisation once per request, and the pool's own
+        argument pickling just copies bytes.
+        """
+        assert self._pool is not None, "open() must precede add_context()"
+        with self._context_lock:
+            slot = len(self._blobs)
+            self._blobs.append(pickle.dumps(context, pickle.HIGHEST_PROTOCOL))
+        return slot
+
+    def submit(self, job: JobSpec, function: Optional[object] = None) -> None:
+        # ``function`` is deliberately ignored: cones do not cross the pipe.
+        assert self._pool is not None and self._on_done is not None
+        on_done = self._on_done
+        slot, index = job[0], job[1]
+
+        def deliver(result: JobResult) -> None:
+            on_done(result[0], result[1], result[2], None)
+
+        def deliver_error(exc: BaseException) -> None:
+            on_done(slot, index, None, exc)
+
+        self._pool.apply_async(
+            _live_worker_run,
+            ((os.getpid(), slot), self._blobs[slot], job),
+            callback=deliver,
+            error_callback=deliver_error,
+        )
 
     def map_unordered(
         self,
@@ -356,3 +515,30 @@ def _worker_run(args: JobSpec) -> JobResult:
     """
     contexts: List[_RunnerContext] = _WORKER_STATE["contexts"]  # type: ignore[assignment]
     return run_job(contexts[args[0]], args)
+
+
+# Per-worker cache of live-mode runner contexts, keyed by (parent pid, slot).
+# A long-lived service daemon streams a fresh circuit context with every
+# request; capping the cache keeps worker memory bounded over thousands of
+# requests (evicted contexts are simply rebuilt from the job's blob).
+_LIVE_RUNNER_CACHE_LIMIT = 32
+_LIVE_RUNNERS: "OrderedDict[Tuple[int, int], _RunnerContext]" = OrderedDict()
+
+
+def _live_worker_run(token: Tuple[int, int], blob: bytes, job: JobSpec) -> JobResult:
+    """Run one live-mode job in a pool worker.
+
+    ``blob`` is the pickled :data:`ExecutionContext`; the first job of a
+    context builds its :class:`BiDecomposer` and caches it under ``token``
+    so the request's remaining jobs skip the unpickle + rebuild.
+    """
+    runner = _LIVE_RUNNERS.get(token)
+    if runner is None:
+        aig, operator, engines, options, circuit_name = pickle.loads(blob)
+        runner = (BiDecomposer(options), aig, operator, engines, circuit_name)
+        _LIVE_RUNNERS[token] = runner
+        while len(_LIVE_RUNNERS) > _LIVE_RUNNER_CACHE_LIMIT:
+            _LIVE_RUNNERS.popitem(last=False)
+    else:
+        _LIVE_RUNNERS.move_to_end(token)
+    return run_job(runner, job)

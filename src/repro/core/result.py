@@ -227,6 +227,16 @@ class CircuitReport:
             tuple(output.fingerprint() for output in self.outputs),
         )
 
+    def fingerprint_hex(self) -> str:
+        """A short stable digest of :meth:`fingerprint` (for diffing runs
+        across processes — the CLI's ``--fingerprint`` flag and the CI
+        service-smoke job compare these lines)."""
+        import hashlib
+
+        return hashlib.sha256(repr(self.fingerprint()).encode("utf-8")).hexdigest()[
+            :16
+        ]
+
 
 def _function_fingerprint(function) -> Optional[tuple]:
     """Semantic identity of an extracted sub-function.

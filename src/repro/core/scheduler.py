@@ -190,6 +190,18 @@ class BatchScheduler:
         Executor backend for ``jobs > 1`` runs — ``"serial"``, ``"thread"``
         or ``"process"`` (see :mod:`repro.core.executors`).  All three are
         fingerprint-identical; ``jobs = 1`` never touches a backend.
+    cache_max_entries:
+        Persistent-cache compaction bound: at save time the snapshot is
+        evicted down to this many entries, least-recently-hit first
+        (``None`` = unbounded; see
+        :class:`repro.aig.signature.PersistentConeCache`).
+    cache_provider:
+        Optional ``(path, max_entries) -> PersistentConeCache`` factory.
+        A session passes one returning **shared** instances so every run
+        against the same snapshot path reuses one in-memory cache (one
+        disk read per session instead of per run, cumulative saves, and a
+        deterministic flush point at ``Session.close()``); ``None`` opens
+        a fresh instance per run, the standalone behaviour.
     """
 
     def __init__(
@@ -200,6 +212,8 @@ class BatchScheduler:
         seed: int | str | None = 0,
         cache_dir: Optional[str] = None,
         backend: str = BACKEND_PROCESS,
+        cache_max_entries: Optional[int] = None,
+        cache_provider=None,
     ) -> None:
         if jobs < 1:
             raise DecompositionError("jobs must be at least 1")
@@ -209,6 +223,8 @@ class BatchScheduler:
         self.seed = seed
         self.cache_dir = cache_dir
         self.backend = check_backend(backend)
+        self.cache_max_entries = cache_max_entries
+        self._cache_provider = cache_provider
 
     # -- planning -----------------------------------------------------------------
 
@@ -364,7 +380,10 @@ class BatchScheduler:
             report.schedule.update(extra_schedule)
         if prepared.persistent is not None:
             saved = prepared.persistent.absorb(cache, prepared.context)
-            if saved:
+            if saved or prepared.persistent.dirty:
+                # dirty without new entries = recency bumps under a
+                # max_entries bound; they must reach disk for LRU
+                # compaction to see them.
                 prepared.persistent.save()
             report.schedule["persistent_hits"] = cache.warm_hits
             report.schedule["persistent_loaded"] = prepared.warmed
@@ -427,7 +446,9 @@ class BatchScheduler:
         if self.cache_dir is None or not self.dedup:
             return None, context
         path = os.path.join(self.cache_dir, PERSISTENT_CACHE_FILENAME)
-        return PersistentConeCache(path), context
+        if self._cache_provider is not None:
+            return self._cache_provider(path, self.cache_max_entries), context
+        return PersistentConeCache(path, max_entries=self.cache_max_entries), context
 
     def _run_sequential(
         self, prepared: PreparedRun, records: Dict[int, OutputResult]
@@ -758,6 +779,10 @@ class _CrossUnitCache:
     @property
     def warm_hits(self) -> int:
         return self.base.warm_hits
+
+    @property
+    def hit_keys(self) -> set:
+        return self.base.hit_keys
 
     def __len__(self) -> int:
         return len(self.base)
@@ -1144,7 +1169,7 @@ class SuiteScheduler:
                     ready.saved_early = ready.persistent.absorb(
                         ready.cache, ready.context
                     )
-                    if ready.saved_early:
+                    if ready.saved_early or ready.persistent.dirty:
                         ready.persistent.save()
 
         base_extra: Dict[str, object] = {
@@ -1212,3 +1237,507 @@ class SuiteScheduler:
                 providers[key] = (slot, job.index)
             kept.append((slot, job))
         return kept, cross_followers, needs, provider_key
+
+
+class LiveFairQueue:
+    """Incremental weighted fair queueing over per-unit job queues.
+
+    The live counterpart of :func:`fair_dispatch`: units *join* (and
+    leave) while dispatch is in flight, so the whole sequence can never be
+    computed up front.  The virtual-time rule is the same — dispatching a
+    job charges its unit ``(cost + 1) / priority`` — with one addition: a
+    unit that joins mid-stream starts its virtual clock at the **current**
+    global virtual time, so it competes fairly from now on instead of
+    retroactively (it can neither starve incumbents by back-dating its
+    backlog nor be starved by theirs).
+
+    Not thread-safe on its own; :class:`LiveSuiteScheduler` serialises
+    access under its lock.
+    """
+
+    def __init__(self) -> None:
+        from collections import deque
+
+        self._deque = deque  # constructor cached for add_unit
+        self._virtual = 0.0
+        self._heap: List[Tuple[float, int, int]] = []
+        self._queues: Dict[int, object] = {}
+        self._priorities: Dict[int, float] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def add_unit(
+        self, slot: int, jobs: Sequence[OutputJob], priority: float
+    ) -> None:
+        """Enqueue a unit's jobs (kept in the given order) at weight
+        ``priority``."""
+        from heapq import heappush
+
+        if not jobs:
+            return
+        self._queues[slot] = self._deque(jobs)
+        self._priorities[slot] = priority
+        self._seq += 1
+        finish = self._virtual + (jobs[0].cost + 1) / priority
+        heappush(self._heap, (finish, slot, self._seq))
+
+    def pop(self) -> Optional[Tuple[int, OutputJob]]:
+        """The next ``(slot, job)`` under WFQ order, or ``None`` when empty.
+
+        Entries whose unit was removed (cancelled) are skipped lazily.
+        """
+        from heapq import heappop, heappush
+
+        while self._heap:
+            finish, slot, _seq = heappop(self._heap)
+            queue = self._queues.get(slot)
+            if queue is None:
+                continue  # unit cancelled after this entry was pushed
+            job = queue.popleft()
+            self._virtual = max(self._virtual, finish)
+            if queue:
+                self._seq += 1
+                next_finish = finish + (queue[0].cost + 1) / self._priorities[slot]
+                heappush(self._heap, (next_finish, slot, self._seq))
+            else:
+                del self._queues[slot]
+                del self._priorities[slot]
+            return slot, job
+        return None
+
+    def remove_unit(self, slot: int) -> int:
+        """Drop a unit's queued jobs (cooperative cancel); returns how many."""
+        queue = self._queues.pop(slot, None)
+        self._priorities.pop(slot, None)
+        return len(queue) if queue is not None else 0
+
+
+@dataclass
+class _LiveUnit:
+    """One live request's execution state inside :class:`LiveSuiteScheduler`."""
+
+    unit: Optional[SuiteUnit]
+    prepared: Optional[PreparedRun]
+    ticket: object  # RequestTicket (typed loosely: api imports core, not back)
+    followers: List[OutputJob]
+    job_of: Dict[int, OutputJob]
+    records: Dict[int, OutputResult]
+    inflight: int = 0
+    queued: int = 0
+    dispatched: bool = False  # any primary reached the executor
+    finished: bool = False
+    # Remaining circuit budget right after planning; armed at first
+    # dispatch so queue wait behind other clients costs the unit nothing.
+    budget_left: Optional[float] = None
+    armed: bool = False
+    # forget() was requested while jobs were still in flight; the entry
+    # is dropped when the last one lands.
+    forgotten: bool = False
+
+    def release(self) -> None:
+        """Drop the heavy per-run state once the request is terminal (a
+        daemon keeps tickets for its lifetime; it must not keep AIGs)."""
+        self.unit = None
+        self.prepared = None
+        self.followers = []
+        self.job_of = {}
+        self.records = {}
+
+
+class LiveSuiteScheduler:
+    """A long-lived, incrementally fed fair scheduler over ONE executor.
+
+    Where :class:`SuiteScheduler` executes a *closed* batch (every unit
+    known before the first job dispatches), the live scheduler is the
+    **open** counterpart the asyncio session and the service daemon sit
+    on: it brings one executor backend up in live mode
+    (:meth:`repro.core.executors.ExecutorBackend.open`) and keeps it warm
+    for its whole lifetime, while requests
+
+    * **join** at any time (:meth:`add_request`) — the unit is planned,
+      its unique cones enter the live fair queue
+      (:class:`LiveFairQueue`) and start competing for workers
+      immediately, interleaved with every other in-flight request;
+    * **cancel** cooperatively (:meth:`cancel`) — queued jobs are
+      dropped, in-flight jobs finish but their results are discarded,
+      and no other request is perturbed;
+    * **complete** independently — once a unit's primaries are back its
+      followers replay locally and its report finalizes exactly as a
+      standalone run's would (same per-unit cache, deadline and seed
+      machinery, so fingerprints match solo runs).
+
+    Results are pushed, not pulled: job completions arrive through the
+    executor's non-blocking hook, and the scheduler surfaces them through
+    the per-request :class:`repro.api.lifecycle.RequestTicket` (state
+    transitions, final report, failure) plus an optional ``on_record``
+    callback per finished output.  Callbacks fire under the scheduler
+    lock from executor threads — they must not block (the async session
+    only posts to its event loop).
+
+    One request's failure marks *its* ticket ``failed`` and releases its
+    state; the executor, the other requests and the daemon all keep
+    going.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = BACKEND_PROCESS,
+        pool_id: int = 0,
+        on_record=None,
+        cache_provider=None,
+    ) -> None:
+        import threading
+
+        if jobs < 1:
+            raise DecompositionError("jobs must be at least 1")
+        self.jobs = jobs
+        self.backend = check_backend(backend)
+        self.pool_id = pool_id
+        self.pools_created = 0
+        self.worker_count = 0
+        self._on_record = on_record
+        self._cache_provider = cache_provider
+        self._lock = threading.RLock()
+        self._backend_impl = None
+        self._fallback: Optional[str] = None
+        self._queue = LiveFairQueue()
+        self._units: Dict[int, _LiveUnit] = {}
+        self._inflight_total = 0
+        self._pumping = False
+        self._closed = False
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "failed": 0,
+            "records": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._backend_impl is not None:
+            return
+        from repro.core.executors import create_backend as _create
+
+        backend = _create(self.backend, self.jobs)
+        if backend.open(self._on_job_done):
+            if self.backend != BACKEND_SERIAL:
+                self.pools_created += 1
+        else:
+            # No process pool in this environment: degrade to inline
+            # execution, report it per-request like the batch path does.
+            self._fallback = FALLBACK_POOL_UNAVAILABLE
+            backend = _create(BACKEND_SERIAL, 1)
+            backend.open(self._on_job_done)
+        self._backend_impl = backend
+        self.worker_count = backend.workers
+
+    def close(self) -> None:
+        """Shut the executor down; cancels everything still pending."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            backend = self._backend_impl
+            self._backend_impl = None
+            for slot, unit in self._units.items():
+                if not unit.ticket.terminal:
+                    self._queue.remove_unit(slot)
+                    if unit.ticket.mark_cancelled():
+                        self.stats["cancelled"] += 1
+                    unit.release()
+        # Outside the lock: pooled backends wait for in-flight jobs, whose
+        # completion hooks need the lock (they see _closed and return).
+        if backend is not None:
+            backend.shutdown()
+
+    # -- submission ---------------------------------------------------------------
+
+    def add_request(self, unit: SuiteUnit, ticket) -> int:
+        """Plan one request and enter it into the live dispatch stream.
+
+        Returns the request's executor slot.  Planning (cone extraction,
+        dedup splitting, persistent-cache warm) happens here, on the
+        caller's thread — **outside** the scheduler lock, so a large
+        circuit's planning never stalls other requests' completion hooks
+        (the shared persistent cache has its own lock); only queue entry
+        and context registration are serialised.
+        """
+        if not unit.priority > 0:
+            raise DecompositionError(
+                f"unit priority must be > 0 (got {unit.priority!r})"
+            )
+        with self._lock:
+            if self._closed:
+                raise DecompositionError(
+                    "the live scheduler is closed; no further requests"
+                )
+            self._ensure_open()
+        prepared = unit.scheduler.prepare(
+            unit.aig,
+            unit.operator,
+            unit.engines,
+            circuit_timeout=unit.circuit_timeout,
+            max_outputs=unit.max_outputs,
+            circuit_name=unit.circuit_name,
+        )
+        primaries, followers = unit.scheduler.split_for_pool(prepared)
+        dispatch = sorted(primaries, key=lambda job: (-job.cost, job.index))
+        state = _LiveUnit(
+            unit=unit,
+            prepared=prepared,
+            ticket=ticket,
+            followers=followers,
+            job_of={job.index: job for job in dispatch},
+            records={},
+            queued=len(dispatch),
+            # The circuit budget must not pay for queue wait behind other
+            # clients: snapshot what planning left and re-arm the deadline
+            # when the unit's jobs actually reach the executor (_pump) —
+            # the live analogue of SuiteScheduler._arm_deadline.
+            budget_left=(
+                None if prepared.deadline is None else prepared.deadline.remaining()
+            ),
+        )
+        with self._lock:
+            if self._closed:
+                raise DecompositionError(
+                    "the live scheduler is closed; no further requests"
+                )
+            slot = self._backend_impl.add_context(
+                (
+                    prepared.aig,
+                    prepared.operator,
+                    prepared.engines,
+                    unit.scheduler.worker_options(),
+                    prepared.report.circuit,
+                )
+            )
+            self._units[slot] = state
+            self.stats["submitted"] += 1
+            if dispatch:
+                self._queue.add_unit(slot, dispatch, unit.priority)
+                self._pump()
+                return slot
+        # Nothing to fan out (all followers/warm hits, or nothing
+        # planned): the request completes synchronously — outside the
+        # lock, like every other completion.
+        self._complete_unit(slot)
+        return slot
+
+    def cancel(self, slot: int) -> bool:
+        """Cooperatively cancel a request; ``True`` if it was cancellable.
+
+        Queued jobs are dropped immediately; jobs already on the executor
+        run to completion but their results are discarded.  Terminal
+        requests (and unknown slots) return ``False``.
+        """
+        with self._lock:
+            unit = self._units.get(slot)
+            if unit is None or unit.ticket.terminal:
+                return False
+            removed = self._queue.remove_unit(slot)
+            unit.queued -= removed
+            cancelled = unit.ticket.mark_cancelled()
+            if cancelled:
+                self.stats["cancelled"] += 1
+            if unit.inflight == 0:
+                unit.release()
+            self._pump()
+            return cancelled
+
+    def forget(self, slot: int) -> None:
+        """Drop a terminal request's unit entirely (daemon hygiene: a
+        service fed an unbounded request stream must not keep per-request
+        entries forever).  Non-terminal requests are kept — their jobs
+        may still be in flight."""
+        with self._lock:
+            unit = self._units.get(slot)
+            if unit is None or not unit.ticket.terminal:
+                return
+            if unit.inflight == 0:
+                del self._units[slot]
+            else:
+                unit.forgotten = True  # dropped when the last job lands
+
+    def ticket(self, slot: int):
+        with self._lock:
+            unit = self._units.get(slot)
+            return unit.ticket if unit is not None else None
+
+    def tickets(self) -> List[object]:
+        """Every request's ticket, in submission order."""
+        with self._lock:
+            return [self._units[slot].ticket for slot in sorted(self._units)]
+
+    # -- executor plumbing --------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Keep the executor saturated (lock held by the caller).
+
+        Iterative, with a reentrancy latch: the serial live backend
+        completes jobs synchronously inside ``submit``, so the completion
+        hook runs *during* the loop body — it processes the result and
+        returns, and this loop (not a recursive pump) dispatches the next
+        job.
+        """
+        if self._pumping or self._closed or self._backend_impl is None:
+            return
+        self._pumping = True
+        try:
+            while self._inflight_total < self.worker_count:
+                item = self._queue.pop()
+                if item is None:
+                    break
+                slot, job = item
+                unit = self._units[slot]
+                if not unit.armed:
+                    # The unit's jobs start NOW: arm its circuit budget
+                    # from the post-planning snapshot, not from submit
+                    # time — queue wait behind other requests must not
+                    # drain it (mirrors SuiteScheduler._arm_deadline).
+                    unit.armed = True
+                    if unit.budget_left is not None:
+                        unit.prepared.deadline = Deadline(unit.budget_left)
+                unit.queued -= 1
+                unit.inflight += 1
+                unit.dispatched = True
+                self._inflight_total += 1
+                unit.ticket.mark_running()
+                self._backend_impl.submit(
+                    (
+                        slot,
+                        job.index,
+                        job.output_name,
+                        job.seed,
+                        unit.prepared.deadline,
+                    ),
+                    job.function,
+                )
+        finally:
+            self._pumping = False
+
+    def _on_job_done(self, slot, index, record, error) -> None:
+        """Executor completion hook (any thread; serialised by the lock)."""
+        complete_slot = None
+        with self._lock:
+            if self._closed:
+                return
+            self._inflight_total -= 1
+            unit = self._units.get(slot)
+            if unit is not None:
+                unit.inflight -= 1
+                if unit.finished or unit.ticket.terminal:
+                    # Cancelled or failed with jobs in flight: discard the
+                    # result, release once the last one lands.
+                    if unit.inflight == 0:
+                        unit.release()
+                        if unit.forgotten:
+                            del self._units[slot]
+                elif error is not None:
+                    self._fail_unit(slot, unit, error)
+                else:
+                    if record is not None:
+                        job = unit.job_of[index]
+                        try:
+                            unit.unit.scheduler.absorb_worker_record(
+                                unit.prepared, job, record
+                            )
+                        except Exception as exc:  # extraction/verify failed
+                            self._fail_unit(slot, unit, exc)
+                        else:
+                            unit.records[index] = record
+                            self._emit_record(unit, record)
+                    if unit.inflight == 0 and unit.queued == 0:
+                        complete_slot = slot
+            self._pump()
+        if complete_slot is not None:
+            self._complete_unit(complete_slot)
+
+    def _emit_record(self, unit: _LiveUnit, record: OutputResult) -> None:
+        # Callers hold the lock on the hook path but not on the
+        # completion path; re-entrant, so counting under it is cheap.
+        with self._lock:
+            self.stats["records"] += 1
+        if self._on_record is not None:
+            self._on_record(unit.ticket, record)
+
+    def _fail_unit(self, slot: int, unit: _LiveUnit, error: BaseException) -> None:
+        removed = self._queue.remove_unit(slot)
+        unit.queued -= removed
+        unit.finished = True
+        self.stats["failed"] += 1
+        unit.ticket.mark_failed(f"{type(error).__name__}: {error}")
+        if unit.inflight == 0:
+            unit.release()
+
+    def _complete_unit(self, slot: int) -> None:
+        """Follower replay + report assembly for one finished unit.
+
+        Called WITHOUT the scheduler lock: follower replay can be real
+        search work and finalize rewrites the persistent snapshot, and
+        neither may stall other requests' dispatch or completion hooks.
+        The unit is claimed (``finished``) under the lock first, so
+        exactly one thread ever completes it; the shared persistent cache
+        is internally locked.  Mirrors the tail of
+        ``BatchScheduler._run_parallel``."""
+        with self._lock:
+            unit = self._units.get(slot)
+            if unit is None or unit.finished or unit.ticket.terminal:
+                return
+            unit.finished = True
+            prepared = unit.prepared
+            scheduler = unit.unit.scheduler
+            followers = unit.followers
+            records = unit.records
+            priority = unit.unit.priority
+            dispatched = unit.dispatched
+            if not unit.armed:
+                # All-follower units never reach _pump: their budget
+                # starts at replay time.
+                unit.armed = True
+                if unit.budget_left is not None:
+                    prepared.deadline = Deadline(unit.budget_left)
+        try:
+            unit.ticket.mark_running()  # no-op if already running
+            for record in scheduler.execute_local(prepared, followers, records):
+                self._emit_record(unit, record)
+            if dispatched:
+                used_workers = 0 if self._fallback else self.worker_count
+                fallback = self._fallback
+            else:
+                used_workers = 0
+                fallback = self._fallback or (
+                    FALLBACK_WARM_CACHE if followers else None
+                )
+            report = scheduler.finalize(
+                prepared,
+                records,
+                used_workers,
+                fallback,
+                extra_schedule={
+                    "live": True,
+                    "shared_pool": used_workers > 0,
+                    "pool_id": self.pool_id if used_workers else None,
+                    "backend": self.backend,
+                    "priority": priority,
+                },
+            )
+        except Exception as exc:
+            with self._lock:
+                self._fail_unit(slot, unit, exc)
+            return
+        with self._lock:
+            # Count BEFORE the transition: mark_done fires listeners that
+            # resolve the awaited report, and a caller may read stats the
+            # instant report() returns.
+            self.stats["completed"] += 1
+            if not unit.ticket.mark_done(report):
+                self.stats["completed"] -= 1  # lost the race to a cancel
+            unit.release()
+            if unit.forgotten and slot in self._units:
+                del self._units[slot]

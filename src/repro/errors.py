@@ -65,3 +65,11 @@ class DecompositionError(ReproError):
 
 class VerificationError(ReproError):
     """An extracted decomposition failed the independent equivalence check."""
+
+
+class ProtocolError(ReproError):
+    """A malformed or version-incompatible service wire frame."""
+
+
+class ServiceError(ReproError):
+    """The decomposition service (or a client's use of it) failed."""

@@ -1,0 +1,29 @@
+"""repro.service — the long-lived decomposition daemon and its clients.
+
+Three modules put the session API on a Unix socket:
+
+* :mod:`repro.service.protocol` — the versioned JSON-lines wire protocol
+  (``submit`` / ``event`` / ``result`` / ``cancel`` / ``stats`` frames)
+  plus fingerprint-preserving codecs for circuits, requests and reports;
+* :mod:`repro.service.daemon` — :class:`ReproService`, an asyncio server
+  multiplexing any number of client connections onto ONE
+  :class:`repro.api.aio.AsyncSession` (one warm executor pool, one
+  persistent cone cache, fair scheduling across all clients);
+* :mod:`repro.service.client` — :class:`ServiceClient`, a thin *blocking*
+  client so existing synchronous scripts run unchanged against a remote
+  session (``client.run(request)`` mirrors ``Session.run(request)``).
+
+The CLI front ends are ``step serve`` and ``step client``; the protocol
+spec and deployment notes live in ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ReproService, ServiceThread
+from repro.service.protocol import PROTOCOL_VERSION
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ReproService",
+    "ServiceClient",
+    "ServiceThread",
+]

@@ -1,0 +1,185 @@
+"""The thin blocking client of the decomposition service.
+
+:class:`ServiceClient` speaks the JSON-lines protocol over a Unix socket
+synchronously, so scripts written against the blocking
+:class:`repro.api.session.Session` move to a shared daemon by changing
+one line::
+
+    report = Session().run(request)                    # in-process
+    report = ServiceClient("/tmp/repro.sock").run(request)   # remote
+
+Several requests can be in flight on one connection (``submit`` returns
+the server-assigned id immediately); frames arriving for other requests
+while you wait on one are buffered and demultiplexed by id.  ``step
+client`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional
+
+from repro.api.request import DecompositionRequest
+from repro.core.result import CircuitReport
+from repro.errors import ProtocolError, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_frame,
+    decode_report,
+    encode_frame,
+    encode_request,
+)
+
+
+class ServiceClient:
+    """One blocking connection to a running ``step serve`` daemon."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = None) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(socket_path)
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot connect to the service at {socket_path!r}: {exc}"
+            ) from None
+        self._file = self._sock.makefile("rwb")
+        self._next_tag = 0
+        self._tagged: Dict[int, dict] = {}
+        self._events: Dict[int, List[dict]] = {}
+        self._results: Dict[int, dict] = {}
+        self._states: Dict[int, str] = {}
+        hello = self._read_frame()
+        if hello.get("type") != "hello" or hello.get("v") != PROTOCOL_VERSION:
+            self.close()
+            raise ProtocolError(
+                f"the server speaks protocol {hello.get('v')!r}, this client "
+                f"speaks {PROTOCOL_VERSION}"
+            )
+        # ``timeout`` bounds the connect + hello handshake only, never
+        # result waits: a healthy daemon may legitimately take longer than
+        # any connect timeout to finish a decomposition.
+        self._sock.settimeout(None)
+
+    # -- context management -------------------------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._sock.close()
+
+    # -- the protocol surface -----------------------------------------------------
+
+    def submit(self, request: DecompositionRequest) -> int:
+        """Submit one request; returns the server-assigned request id."""
+        reply = self._call({"type": "submit", "request": encode_request(request)})
+        return int(reply["id"])
+
+    def wait(self, request_id: int) -> CircuitReport:
+        """Block until the request is terminal; return (or raise) its outcome.
+
+        ``done`` returns the decoded report; ``cancelled`` and ``failed``
+        raise :class:`ServiceError` carrying the server's message.
+        """
+        while request_id not in self._results:
+            self._dispatch(self._read_frame())
+        result = self._results.pop(request_id)
+        state = result.get("state")
+        if state == "done":
+            return decode_report(result["report"])
+        detail = result.get("error") or state
+        raise ServiceError(f"request {request_id} {state}: {detail}")
+
+    def run(self, request: DecompositionRequest) -> CircuitReport:
+        """``Session.run``, remotely: submit one request and await it."""
+        return self.wait(self.submit(request))
+
+    def cancel(self, request_id: int) -> bool:
+        """Cooperatively cancel; returns whether the server cancelled it."""
+        reply = self._call({"type": "cancel", "id": request_id})
+        return bool(reply.get("cancelled"))
+
+    def stats(self) -> Dict[str, object]:
+        """The daemon's live counters (pools, request states, connections)."""
+        return self._call({"type": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return self._call({"type": "ping"}).get("type") == "pong"
+
+    def status(self, request_id: int) -> str:
+        """Last state the server reported for the request.
+
+        The blocking client's view advances whenever it reads frames —
+        i.e. during :meth:`wait`, :meth:`stats`, :meth:`cancel` or any
+        other call; it never reads the socket behind your back.  Send a
+        cheap :meth:`ping` to pull queued frames in.
+        """
+        if request_id in self._results:
+            return str(self._results[request_id].get("state"))
+        state = self._states.get(request_id)
+        if state is None:
+            raise ServiceError(f"unknown request id {request_id}")
+        return state
+
+    def events(self, request_id: int) -> List[dict]:
+        """Drain buffered per-output progress events for the request."""
+        return self._events.pop(request_id, [])
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _call(self, frame: dict) -> dict:
+        """Send one tagged frame and block for its tagged reply."""
+        self._next_tag += 1
+        tag = self._next_tag
+        frame = dict(frame)
+        frame["v"] = PROTOCOL_VERSION
+        frame["tag"] = tag
+        try:
+            self._file.write(encode_frame(frame))
+            self._file.flush()
+        except OSError as exc:
+            raise ServiceError(f"connection to the service lost: {exc}") from None
+        while tag not in self._tagged:
+            self._dispatch(self._read_frame())
+        reply = self._tagged.pop(tag)
+        if reply.get("type") == "error":
+            raise ServiceError(str(reply.get("error")))
+        return reply
+
+    def _read_frame(self) -> dict:
+        try:
+            line = self._file.readline()
+        except socket.timeout:
+            raise ServiceError("timed out waiting for the service") from None
+        except OSError as exc:
+            raise ServiceError(f"connection to the service lost: {exc}") from None
+        if not line:
+            raise ServiceError("the service closed the connection")
+        return decode_frame(line)
+
+    def _dispatch(self, frame: dict) -> None:
+        tag = frame.get("tag")
+        if tag is not None:
+            self._tagged[tag] = frame
+            # A tagged event (submit/cancel ack) still updates the state
+            # view; fall through for that.
+        frame_type = frame.get("type")
+        request_id = frame.get("id")
+        if frame_type == "result" and isinstance(request_id, int):
+            self._results[request_id] = frame
+            self._states[request_id] = str(frame.get("state"))
+        elif frame_type == "event" and isinstance(request_id, int):
+            self._states[request_id] = str(frame.get("state"))
+            if "output" in frame:
+                self._events.setdefault(request_id, []).append(frame)

@@ -1,0 +1,411 @@
+"""The long-lived decomposition daemon: one warm session, many clients.
+
+:class:`ReproService` is an asyncio Unix-socket server multiplexing any
+number of concurrent client connections onto **one**
+:class:`repro.api.aio.AsyncSession` — which means one executor pool paid
+for once, one shared persistent cone cache, and weighted fair scheduling
+across every client's in-flight requests (a small request never waits for
+a monster another client submitted first; it competes by priority).
+
+Protocol behaviour (frames in :mod:`repro.service.protocol`):
+
+* every ``submit`` is acknowledged with a ``queued`` event carrying the
+  server-assigned request id (and the client's ``tag``), then streams
+  ``running``/per-output progress events and finally one ``result`` frame
+  (``done`` with the encoded report, or ``cancelled``/``failed``);
+* malformed or version-mismatched frames get a one-line ``error`` reply
+  and the connection stays up — one bad client cannot wedge the daemon,
+  and neither can one failed request (its state machine records the
+  error; everything else keeps running);
+* a client that disconnects has its unfinished requests cancelled
+  cooperatively — abandoned work must not hold workers.
+
+``step serve --socket PATH`` is the CLI front end;
+:class:`ServiceThread` embeds a daemon in-process (tests, examples,
+notebooks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import Dict, Optional, Set
+
+from repro.api.aio import AsyncRequestHandle, AsyncSession
+from repro.api.config import CachePolicy
+from repro.api.lifecycle import STATE_DONE, TERMINAL_STATES
+from repro.api.registry import EngineRegistry
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    check_client_frame,
+    decode_frame,
+    decode_request,
+    encode_frame,
+    encode_report,
+)
+
+#: Per-line read limit.  Frames carry whole circuits and whole reports;
+#: 64 MiB is far beyond any realistic benchmark circuit while still
+#: bounding a hostile client's memory use.
+WIRE_LINE_LIMIT = 64 * 1024 * 1024
+
+
+class ReproService:
+    """The daemon: an asyncio server over one shared async session."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = "thread",
+        cache_dir: Optional[str] = None,
+        cache_max_entries: Optional[int] = None,
+        registry: Optional[EngineRegistry] = None,
+    ) -> None:
+        self._jobs = jobs
+        self._backend = backend
+        self._registry = registry
+        self._cache_policy = (
+            CachePolicy(directory=cache_dir, max_entries=cache_max_entries)
+            if cache_dir is not None
+            else None
+        )
+        self._session: Optional[AsyncSession] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._socket_path: Optional[str] = None
+        self._socket_id = None
+        self._connections = 0
+        self._served_connections = 0
+
+    @property
+    def session(self) -> Optional[AsyncSession]:
+        return self._session
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self, socket_path: str) -> asyncio.AbstractServer:
+        """Bind the Unix socket and start accepting connections."""
+        if self._server is not None:
+            raise ServiceError("the service is already serving")
+        self._session = AsyncSession(
+            registry=self._registry, jobs=self._jobs, backend=self._backend
+        )
+        if os.path.exists(socket_path):
+            # A previous daemon's stale socket file blocks bind(); a live
+            # daemon would still hold it open, so probing with connect
+            # would race — keep the policy simple: last starter wins.
+            os.unlink(socket_path)
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=socket_path, limit=WIRE_LINE_LIMIT
+        )
+        self._socket_path = socket_path
+        # Identity of OUR bind: shutdown must never unlink a socket a
+        # newer daemon re-bound on the same path (last-starter-wins).
+        try:
+            stat = os.stat(socket_path)
+            self._socket_id = (stat.st_dev, stat.st_ino)
+        except OSError:  # pragma: no cover
+            self._socket_id = None
+        return self._server
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop the socket file, close the shared session."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._session is not None:
+            await self._session.aclose()
+        if self._socket_path is not None:
+            try:
+                stat = os.stat(self._socket_path)
+                if self._socket_id == (stat.st_dev, stat.st_ino):
+                    os.unlink(self._socket_path)
+            except OSError:
+                pass  # already gone, or replaced by a newer daemon
+        self._socket_path = None
+
+    async def serve_forever(self, socket_path: str) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        server = await self.start(socket_path)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await self.aclose()
+
+    def stats(self) -> Dict[str, object]:
+        """Service-level counters layered over the session's."""
+        counters: Dict[str, object] = dict(self._session.stats())
+        counters["protocol"] = PROTOCOL_VERSION
+        counters["connections"] = self._connections
+        counters["served_connections"] = self._served_connections
+        counters["states"] = dict(self._session.status())
+        return counters
+
+    # -- one connection -----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        self._served_connections += 1
+        write_lock = asyncio.Lock()
+        # id -> final state once the pump delivered a result (None while
+        # in flight); the honest answer for a late cancel of a request
+        # whose session handle was already forgotten.
+        owned: Dict[int, Optional[str]] = {}
+        pumps: Set[asyncio.Task] = set()
+
+        async def send(frame: Dict[str, object]) -> None:
+            async with write_lock:
+                writer.write(encode_frame(frame))
+                await writer.drain()
+
+        try:
+            await send(
+                {"type": "hello", "v": PROTOCOL_VERSION, "server": "repro-service"}
+            )
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # An over-long line leaves the stream unparseable; the
+                    # only safe answer is to drop the connection.
+                    await send(
+                        {
+                            "type": "error",
+                            "v": PROTOCOL_VERSION,
+                            "error": "frame exceeds the line limit; closing",
+                        }
+                    )
+                    break
+                if not line:
+                    break
+                await self._handle_frame(line, send, owned, pumps)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections -= 1
+            # Cooperative cleanup: work nobody is listening for is work
+            # stolen from connected clients.
+            for request_id in owned:
+                handle = self._session.handle(request_id)
+                if handle is not None and not handle.ticket.terminal:
+                    handle.cancel()
+            for pump in pumps:
+                pump.cancel()
+            # The pumps normally forget() after their result frame; the
+            # ones just cancelled never will, so drop this connection's
+            # terminal requests here (cancel() above is synchronous, so
+            # cancelled requests are terminal already — non-terminal ones
+            # still have jobs in flight and are forgotten by forget()'s
+            # own terminal guard once the scheduler releases them).
+            for request_id in owned:
+                self._session.forget(request_id)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_frame(self, line, send, owned, pumps) -> None:
+        tag = None
+        try:
+            frame = decode_frame(line)
+            tag = frame.get("tag")
+            frame_type = check_client_frame(frame)
+            if frame_type == "ping":
+                await send(self._tagged({"type": "pong", "v": PROTOCOL_VERSION}, tag))
+            elif frame_type == "stats":
+                await send(
+                    self._tagged(
+                        {
+                            "type": "stats",
+                            "v": PROTOCOL_VERSION,
+                            "stats": self.stats(),
+                        },
+                        tag,
+                    )
+                )
+            elif frame_type == "cancel":
+                await self._handle_cancel(frame, send, owned, tag)
+            else:  # submit
+                await self._handle_submit(frame, send, owned, pumps, tag)
+        except ReproError as exc:
+            # ProtocolError (malformed/mismatched frames) and request
+            # validation errors alike: one line back, connection lives on.
+            await send(
+                self._tagged(
+                    {"type": "error", "v": PROTOCOL_VERSION, "error": str(exc)}, tag
+                )
+            )
+
+    @staticmethod
+    def _tagged(frame: Dict[str, object], tag) -> Dict[str, object]:
+        if tag is not None:
+            frame["tag"] = tag
+        return frame
+
+    async def _handle_submit(self, frame, send, owned, pumps, tag) -> None:
+        # Decode (node-by-node AIG rebuild) and submit (cone planning,
+        # persistent-cache warm) are CPU work: run them off-loop so one
+        # client's large circuit never stalls other connections' frames.
+        loop = asyncio.get_running_loop()
+        request = await loop.run_in_executor(
+            None, decode_request, frame.get("request"), self._cache_policy
+        )
+        handle = await loop.run_in_executor(None, self._session.submit, request)
+        owned[handle.id] = None
+        await send(
+            self._tagged(
+                {
+                    "type": "event",
+                    "v": PROTOCOL_VERSION,
+                    "id": handle.id,
+                    "name": handle.name,
+                    "state": "queued",
+                },
+                tag,
+            )
+        )
+        pump = asyncio.ensure_future(self._pump_request(handle, send, owned))
+        pumps.add(pump)
+        pump.add_done_callback(pumps.discard)
+
+    async def _handle_cancel(self, frame, send, owned, tag) -> None:
+        request_id = frame.get("id")
+        if not isinstance(request_id, int) or request_id not in owned:
+            raise ProtocolError(
+                f"cancel: unknown request id {request_id!r} for this connection"
+            )
+        handle = self._session.handle(request_id)
+        if handle is not None:
+            cancelled = handle.cancel()
+            state = handle.state
+        else:
+            # Already finished and forgotten: report the real terminal
+            # state the pump delivered, never a fictitious "cancelled".
+            cancelled = False
+            state = owned.get(request_id) or "done"
+        await send(
+            self._tagged(
+                {
+                    "type": "event",
+                    "v": PROTOCOL_VERSION,
+                    "id": request_id,
+                    "state": state,
+                    "cancelled": cancelled,
+                },
+                tag,
+            )
+        )
+
+    async def _pump_request(self, handle: AsyncRequestHandle, send, owned) -> None:
+        """Relay one request's lifecycle to its connection, then forget it."""
+        try:
+            async for event in handle.events():
+                if event["type"] == "record":
+                    await send(
+                        {
+                            "type": "event",
+                            "v": PROTOCOL_VERSION,
+                            "id": handle.id,
+                            "state": "running",
+                            "output": event["output"],
+                        }
+                    )
+                    continue
+                state = event["state"]
+                if state not in TERMINAL_STATES:
+                    await send(
+                        {
+                            "type": "event",
+                            "v": PROTOCOL_VERSION,
+                            "id": handle.id,
+                            "state": state,
+                        }
+                    )
+                    continue
+                result: Dict[str, object] = {
+                    "type": "result",
+                    "v": PROTOCOL_VERSION,
+                    "id": handle.id,
+                    "state": state,
+                }
+                if state == STATE_DONE:
+                    result["report"] = encode_report(handle.ticket.report)
+                elif handle.error:
+                    result["error"] = handle.error
+                owned[handle.id] = state
+                await send(result)
+            self._session.forget(handle.id)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+class ServiceThread:
+    """A daemon embedded in this process, on its own event-loop thread.
+
+    The test suite, the examples and notebooks use this to get a real
+    socket-speaking service without managing a subprocess::
+
+        with ServiceThread("/tmp/repro.sock", jobs=2, backend="thread"):
+            with ServiceClient("/tmp/repro.sock") as client:
+                report = client.run(request)
+
+    ``backend="thread"`` (the default here) keeps plug-in engines
+    registered in this process visible to the daemon's workers.
+    """
+
+    def __init__(self, socket_path: str, **service_kwargs) -> None:
+        service_kwargs.setdefault("backend", "thread")
+        self.socket_path = socket_path
+        self.service = ReproService(**service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.service.start(self.socket_path)
+        except BaseException as exc:  # noqa: BLE001 - relayed to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.service.aclose()

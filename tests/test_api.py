@@ -17,6 +17,7 @@ import pytest
 from repro import (
     ENGINES,
     QBF_ENGINES,
+    AsyncSession,
     Budgets,
     CachePolicy,
     DecompositionRequest,
@@ -522,3 +523,381 @@ class TestTopLevelExports:
         ):
             assert name in repro.__all__
             assert getattr(repro, name) is not None
+
+
+class TestRequestLifecycle:
+    """The explicit state machine: queued -> running -> done/cancelled/failed."""
+
+    def test_run_issues_a_done_ticket(self, adder3):
+        session = Session()
+        session.run(request_for(adder3, max_outputs=1))
+        (ticket,) = session.tickets()
+        assert ticket.state == "done"
+        assert ticket.report is not None
+        assert session.status() == {ticket.id: "done"}
+        assert session.status(ticket.id) == "done"
+
+    def test_submitted_requests_are_queued_then_done(self):
+        session = Session()
+        session.submit(suite_requests())
+        assert set(session.status().values()) == {"queued"}
+        list(session.as_completed())
+        assert set(session.status().values()) == {"done"}
+        for ticket, report in zip(session.tickets(), session.reports()):
+            assert ticket.report.fingerprint() == report.fingerprint()
+
+    def test_cancel_of_queued_request_removes_it_from_the_batch(self):
+        session = Session()
+        session.submit(suite_requests())
+        victim = session.tickets()[1]
+        assert session.cancel(victim.id) is True
+        assert victim.state == "cancelled"
+        list(session.as_completed())
+        reports = session.reports()
+        assert [report.circuit for report in reports] == ["mux2", "parity4"]
+        # Cancelling a drained (terminal) request is a no-op.
+        assert session.cancel(victim.id) is False
+        assert session.cancel(session.tickets()[0].id) is False
+
+    def test_unknown_ticket_id_is_one_line_error(self):
+        with pytest.raises(ReproError, match="unknown request ticket"):
+            Session().status(999)
+
+    def test_illegal_transition_raises_and_terminal_is_sticky(self):
+        from repro.api.lifecycle import RequestTicket
+
+        ticket = RequestTicket(1, "x")
+        with pytest.raises(ReproError, match="illegal request-state transition"):
+            ticket.mark_done(None)
+        ticket.mark_running()
+        ticket.mark_done("report")
+        # Late events after terminal are dropped, not raised (races).
+        assert ticket.mark_cancelled() is False
+        assert ticket.state == "done"
+
+    def test_abandoned_stream_cancels_undrained_tickets(self):
+        session = Session()
+        session.submit(suite_requests())
+        stream = session.as_completed()
+        next(stream)
+        stream.close()
+        states = set(session.status().values())
+        assert "cancelled" in states and "queued" not in states
+
+
+class TestSessionContextManager:
+    def test_close_is_deterministic_and_idempotent(self, adder3):
+        with Session() as session:
+            session.run(request_for(adder3, max_outputs=1))
+            assert not session.closed
+        assert session.closed
+        session.close()  # idempotent
+        with pytest.raises(ReproError, match="closed"):
+            session.run(request_for(adder3, max_outputs=1))
+        with pytest.raises(ReproError, match="closed"):
+            session.submit(request_for(adder3, max_outputs=1))
+
+    def test_close_cancels_pending_requests_but_keeps_reports(self):
+        session = Session()
+        session.submit([request_for(mux_tree(2))])
+        list(session.as_completed())
+        session.submit([request_for(ripple_carry_adder(2))])
+        session.close()
+        states = [ticket.state for ticket in session.tickets()]
+        assert states == ["done", "cancelled"]
+
+    def test_session_shares_one_persistent_cache_instance(self, tmp_path):
+        """One disk read per session: both runs use the same instance."""
+        cache = CachePolicy(directory=str(tmp_path))
+        aig = duplicated_cone_circuit(copies=2, seed=9)
+        with Session() as session:
+            cold = session.run(request_for(aig, cache=cache))
+            warm = session.run(request_for(aig, cache=cache))
+            assert len(session._persistent_caches) == 1
+        assert cold.schedule["persistent_saved"] >= 1
+        assert warm.schedule["persistent_hits"] >= 1
+        assert warm.fingerprint() == cold.fingerprint()
+
+
+def _run_async(coroutine):
+    import asyncio
+
+    return asyncio.run(coroutine)
+
+
+class TestAsyncSession:
+    """Async-vs-sync differential: same requests, same fingerprints."""
+
+    BACKENDS = ["serial", "thread"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_matches_sync_session(self, backend):
+        import asyncio
+
+        requests = suite_requests()
+
+        async def go():
+            async with AsyncSession(jobs=2, backend=backend) as session:
+                return await asyncio.gather(
+                    *(session.run(request) for request in requests)
+                )
+
+        reports = _run_async(go())
+        for request, report in zip(requests, reports):
+            assert report.fingerprint() == Session().run(request).fingerprint()
+
+    def test_as_completed_streams_the_full_record_set(self):
+        requests = suite_requests()
+
+        async def go():
+            async with AsyncSession(jobs=2, backend="thread") as session:
+                handles = [session.submit(request) for request in requests]
+                records = [record async for record in session.as_completed()]
+                return handles, records
+
+        handles, records = _run_async(go())
+        sync_session = Session()
+        sync_session.submit(suite_requests())
+        expected = sorted(r.fingerprint() for r in sync_session.as_completed())
+        assert sorted(r.fingerprint() for r in records) == expected
+        assert all(handle.state == "done" for handle in handles)
+
+    def test_events_stream_progress_and_terminal_state(self):
+        async def go():
+            async with AsyncSession(jobs=1, backend="serial") as session:
+                handle = session.submit(request_for(ripple_carry_adder(2)))
+                return [event async for event in handle.events()]
+
+        events = _run_async(go())
+        assert events[-1]["type"] == "state" and events[-1]["state"] == "done"
+        outputs = [e["output"] for e in events if e["type"] == "record"]
+        assert set(outputs) == {"s0", "s1", "cout"}
+
+    def test_cancel_perturbs_nothing_else(self):
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def stalling(function, operator, *, options, deadline):
+            release.wait(30)
+            return BiDecResult(engine="TEST-ASTALL", operator=operator, decomposed=False)
+
+        default_registry().register(EngineSpec("TEST-ASTALL", runner=stalling))
+        try:
+
+            async def go():
+                async with AsyncSession(jobs=1, backend="thread") as session:
+                    slow = session.submit(
+                        request_for(ripple_carry_adder(2), engines=("TEST-ASTALL",))
+                    )
+                    fast = session.submit(request_for(mux_tree(2)))
+                    assert slow.cancel() is True
+                    release.set()
+                    report = await fast.report()
+                    with pytest.raises(ReproError, match="cancelled"):
+                        await slow.report()
+                    return slow.state, report
+
+            state, report = _run_async(go())
+            assert state == "cancelled"
+            assert (
+                report.fingerprint()
+                == Session().run(request_for(mux_tree(2))).fingerprint()
+            )
+        finally:
+            release.set()
+            default_registry().unregister("TEST-ASTALL")
+
+    def test_failed_request_does_not_take_the_session_down(self):
+        def broken(function, operator, *, options, deadline):
+            raise RuntimeError("kaboom")
+
+        default_registry().register(EngineSpec("TEST-ABROKEN", runner=broken))
+        try:
+
+            async def go():
+                async with AsyncSession(jobs=1, backend="thread") as session:
+                    bad = session.submit(
+                        request_for(mux_tree(2), engines=("TEST-ABROKEN",))
+                    )
+                    with pytest.raises(ReproError, match="kaboom"):
+                        await bad.report()
+                    good = await session.run(request_for(mux_tree(2)))
+                    return bad, good, session.stats()
+
+            bad, good, stats = _run_async(go())
+            assert bad.state == "failed" and "kaboom" in bad.error
+            assert good.circuit == "mux2"
+            assert stats["failed"] == 1 and stats["completed"] == 1
+        finally:
+            default_registry().unregister("TEST-ABROKEN")
+
+    def test_live_fair_queue_interleaves_joining_units_by_priority(self):
+        """Incremental WFQ: a unit joining mid-stream competes from the
+        current virtual time, weighted by its priority."""
+        from repro.core.scheduler import LiveFairQueue, OutputJob
+
+        def jobs(count):
+            return [
+                OutputJob(
+                    index=i,
+                    output_name=f"o{i}",
+                    num_support=2,
+                    input_names=(),
+                    cost=10,
+                    seed=0,
+                    cache_key=None,
+                )
+                for i in range(count)
+            ]
+
+        queue = LiveFairQueue()
+        queue.add_unit(0, jobs(4), priority=1.0)
+        order = [queue.pop()[0]]
+        # Unit 1 (double priority) joins after one dispatch; equal-cost
+        # jobs, so it gets two dispatch slots for each of unit 0's.
+        queue.add_unit(1, jobs(4), priority=2.0)
+        while len(queue):
+            order.append(queue.pop()[0])
+        assert order == [0, 1, 0, 1, 1, 0, 1, 0]
+        assert queue.pop() is None
+
+    def test_live_fair_queue_remove_unit_drops_queued_jobs(self):
+        from repro.core.scheduler import LiveFairQueue, OutputJob
+
+        def job(i):
+            return OutputJob(
+                index=i,
+                output_name=f"o{i}",
+                num_support=2,
+                input_names=(),
+                cost=1,
+                seed=0,
+                cache_key=None,
+            )
+
+        queue = LiveFairQueue()
+        queue.add_unit(0, [job(0), job(1)], priority=1.0)
+        queue.add_unit(1, [job(0)], priority=1.0)
+        assert queue.remove_unit(0) == 2
+        remaining = []
+        while len(queue):
+            remaining.append(queue.pop()[0])
+        assert remaining == [1]
+
+    def test_submit_after_close_rejected(self):
+        async def go():
+            session = AsyncSession(jobs=1, backend="serial")
+            await session.aclose()
+            with pytest.raises(ReproError, match="closed"):
+                session.submit(request_for(mux_tree(2)))
+
+        _run_async(go())
+
+    def test_async_session_requires_a_running_loop(self):
+        with pytest.raises(ReproError, match="running event loop"):
+            AsyncSession()
+
+
+class TestLiveSchedulerInvariants:
+    """Regressions for the live scheduler's daemon-grade invariants."""
+
+    def test_queue_wait_does_not_drain_circuit_budgets(self):
+        """A live request's per-circuit budget starts when ITS jobs reach
+        the executor, not at submission — time spent queued behind other
+        clients costs it nothing (live analogue of the suite test)."""
+        import time
+
+        def sleepy(function, operator, *, options, deadline):
+            time.sleep(0.4)
+            return BiDecResult(
+                engine="TEST-LSLEEP", operator=operator, decomposed=False
+            )
+
+        default_registry().register(EngineSpec("TEST-LSLEEP", runner=sleepy))
+        try:
+
+            async def go():
+                async with AsyncSession(jobs=1, backend="thread") as session:
+                    slow = session.submit(
+                        request_for(ripple_carry_adder(2), engines=("TEST-LSLEEP",))
+                    )
+                    budgeted = session.submit(
+                        request_for(
+                            mux_tree(2), budgets=Budgets(per_circuit=0.75)
+                        )
+                    )
+                    await slow.report()
+                    return await budgeted.report()
+
+            report = _run_async(go())
+            # The slow request held the only worker for >= 1.2 s; with the
+            # budget armed at submit time the mux output would be skipped.
+            assert report.schedule["skipped"] == []
+            assert len(report.outputs) == 1
+        finally:
+            default_registry().unregister("TEST-LSLEEP")
+
+    def test_forget_releases_per_request_scheduler_state(self):
+        """A daemon serving an unbounded stream must not accumulate
+        per-request units (or their AIGs) in the live scheduler."""
+
+        async def go():
+            async with AsyncSession(jobs=1, backend="serial") as session:
+                for _ in range(5):
+                    handle = session.submit(request_for(mux_tree(2)))
+                    await handle.report()
+                    session.forget(handle.id)
+                return len(session._live._units), len(session._handles)
+
+        units, handles = _run_async(go())
+        assert units == 0 and handles == 0
+
+    def test_failure_with_concurrent_jobs_releases_the_unit(self):
+        """One job failing while siblings are in flight must still drive
+        the unit to released state (no stuck inflight accounting)."""
+        import threading
+        import time
+
+        gate = threading.Event()
+
+        def first_fails(function, operator, *, options, deadline):
+            if not gate.is_set():
+                gate.set()
+                raise RuntimeError("first job exploded")
+            time.sleep(0.05)
+            return BiDecResult(
+                engine="TEST-HALFFAIL", operator=operator, decomposed=False
+            )
+
+        default_registry().register(
+            EngineSpec("TEST-HALFFAIL", runner=first_fails)
+        )
+        try:
+
+            async def go():
+                async with AsyncSession(jobs=2, backend="thread") as session:
+                    handle = session.submit(
+                        request_for(ripple_carry_adder(2), engines=("TEST-HALFFAIL",))
+                    )
+                    with pytest.raises(ReproError, match="exploded"):
+                        await handle.report()
+                    # Give straggler completions time to land, then check
+                    # the unit fully drained and released.
+                    import asyncio
+
+                    for _ in range(100):
+                        units = session._live._units
+                        unit = next(iter(units.values()))
+                        if unit.inflight == 0 and unit.prepared is None:
+                            break
+                        await asyncio.sleep(0.05)
+                    unit = next(iter(session._live._units.values()))
+                    return handle.state, unit.inflight, unit.prepared
+
+            state, inflight, prepared = _run_async(go())
+            assert state == "failed"
+            assert inflight == 0 and prepared is None
+        finally:
+            default_registry().unregister("TEST-HALFFAIL")

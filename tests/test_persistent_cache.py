@@ -290,3 +290,143 @@ class TestConcurrentSaves:
             if name.startswith(PERSISTENT_CACHE_FILENAME) and name != PERSISTENT_CACHE_FILENAME
         ]
         assert leftovers == []
+
+
+class TestCompaction:
+    """max_entries: LRU-by-last-hit eviction at save time (PR 2 follow-up)."""
+
+    def _entry(self, name):
+        from repro.core.result import BiDecResult, OutputResult
+
+        record = OutputResult(circuit="c", output_name=name, num_support=2)
+        record.results["STEP-MG"] = BiDecResult(
+            engine="STEP-MG", operator="or", decomposed=False
+        )
+        return (("a", "b"), record)
+
+    def _absorbed(self, path, keys, max_entries=None, hit=()):
+        cache = ConeCache()
+        for key in keys:
+            cache.store(key, self._entry(str(key)))
+        cache.hit_keys.update(hit)
+        persistent = PersistentConeCache(path, max_entries=max_entries)
+        persistent.absorb(cache, "ctx")
+        persistent.save()
+        return persistent
+
+    @staticmethod
+    def _stored(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+        return {
+            key
+            for entries in payload["contexts"].values()
+            for key in entries
+        }
+
+    def test_save_evicts_down_to_the_bound(self, tmp_path):
+        path = str(tmp_path / "cone_cache.json")
+        persistent = self._absorbed(path, [(1,), (2,), (3,), (4,)], max_entries=2)
+        assert persistent.evicted_entries == 2
+        assert len(self._stored(path)) == 2
+
+    def test_unbounded_snapshots_are_untouched(self, tmp_path):
+        path = str(tmp_path / "cone_cache.json")
+        self._absorbed(path, [(1,), (2,), (3,)])
+        assert len(self._stored(path)) == 3
+
+    def test_recently_hit_entries_survive_eviction(self, tmp_path):
+        path = str(tmp_path / "cone_cache.json")
+        # Run 1: three entries stored, bound 2 -> one evicted (all equal
+        # recency, deterministic tie-break).
+        self._absorbed(path, [(1,), (2,), (3,)], max_entries=2)
+        survivors = self._stored(path)
+        assert len(survivors) == 2
+        # Run 2: warm both survivors, HIT only one of them, and absorb a
+        # new entry; the un-hit survivor is the eviction victim.
+        persistent = PersistentConeCache(path, max_entries=2)
+        cache = ConeCache()
+        persistent.warm(cache, "ctx")
+        warmed = sorted(cache.items(), key=lambda item: str(item[0]))
+        hit_key = warmed[0][0]
+        assert cache.lookup(hit_key) is not None  # marks recency
+        cache.store((9, 9), self._entry("new"))
+        persistent.absorb(cache, "ctx")
+        persistent.save()
+        stored = self._stored(path)
+        assert len(stored) == 2
+        # The hit key is still present; the un-hit one is gone.
+        hit_json = json.dumps(hit_key, separators=(",", ":"))
+        unhit_json = json.dumps(warmed[1][0], separators=(",", ":"))
+        assert hit_json in stored
+        assert unhit_json not in stored
+
+    def test_recency_bumps_alone_mark_the_snapshot_dirty(self, tmp_path):
+        path = str(tmp_path / "cone_cache.json")
+        self._absorbed(path, [(1,)], max_entries=5)
+        persistent = PersistentConeCache(path, max_entries=5)
+        cache = ConeCache()
+        persistent.warm(cache, "ctx")
+        (key, _value), = list(cache.items())
+        cache.lookup(key)
+        assert persistent.absorb(cache, "ctx") == 0  # nothing new
+        assert persistent.dirty  # but recency moved
+        persistent.save()
+        assert not persistent.dirty
+
+    def test_fully_warm_unbounded_run_stays_rewrite_free(self, tmp_path):
+        """The PR 2 optimisation must survive: without a bound, a warm
+        run neither dirties nor rewrites the snapshot."""
+        path = str(tmp_path / "cone_cache.json")
+        self._absorbed(path, [(1,)])
+        before = os.stat(path).st_mtime_ns
+        persistent = PersistentConeCache(path)
+        cache = ConeCache()
+        persistent.warm(cache, "ctx")
+        (key, _value), = list(cache.items())
+        cache.lookup(key)
+        assert persistent.absorb(cache, "ctx") == 0
+        assert not persistent.dirty
+        assert os.stat(path).st_mtime_ns == before
+
+    def test_generation_clock_survives_reload(self, tmp_path):
+        path = str(tmp_path / "cone_cache.json")
+        self._absorbed(path, [(1,)], max_entries=5)
+        second = self._absorbed(path, [(2,)], max_entries=5)
+        with open(path) as handle:
+            payload = json.load(handle)
+        generations = {
+            entry["g"]
+            for entries in payload["contexts"].values()
+            for entry in entries.values()
+        }
+        assert len(generations) == 2  # run 2's entry is newer than run 1's
+        assert second.max_entries == 5
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="max_entries"):
+            PersistentConeCache(str(tmp_path / "x.json"), max_entries=0)
+
+    def test_end_to_end_bound_via_cache_policy(self, tmp_path):
+        """Session + CachePolicy(max_entries): the snapshot never exceeds
+        the bound across many distinct circuits."""
+        from repro.api import CachePolicy, DecompositionRequest, Session
+
+        policy = CachePolicy(directory=str(tmp_path), max_entries=2)
+        with Session() as session:
+            for seed in (21, 22, 23, 24, 25):
+                aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=seed)
+                session.run(
+                    DecompositionRequest(
+                        circuit=aig,
+                        operator="or",
+                        engines=(ENGINE_STEP_MG,),
+                        cache=policy,
+                    )
+                )
+        path = tmp_path / PERSISTENT_CACHE_FILENAME
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert sum(len(v) for v in payload["contexts"].values()) <= 2

@@ -1,0 +1,411 @@
+"""Tests for the decomposition service: daemon, wire protocol, clients.
+
+The contracts under test:
+
+* a report obtained through the daemon is **fingerprint-identical** to the
+  same request run through a local ``Session`` (acceptance criterion);
+* N clients share ONE warm executor pool (``stats["pools_created"]``);
+* cancelling one in-flight request never perturbs concurrent requests;
+* malformed and version-mismatched frames get one-line ``error`` replies
+  and the connection (and daemon) live on;
+* the ``step client`` CLI mirrors ``step decompose`` against a daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    Budgets,
+    DecompositionRequest,
+    EngineSpec,
+    Session,
+    default_registry,
+)
+from repro.circuits.generators import (
+    decomposable_by_construction,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.core.result import BiDecResult
+from repro.core.spec import ENGINE_STEP_MG, ENGINE_STEP_QD
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.service import PROTOCOL_VERSION, ServiceClient, ServiceThread
+from repro.service.protocol import (
+    decode_circuit,
+    decode_report,
+    decode_request,
+    encode_circuit,
+    encode_report,
+    encode_request,
+)
+
+
+def request_for(aig, engines=(ENGINE_STEP_MG,), **kwargs):
+    return DecompositionRequest(
+        circuit=aig, operator="or", engines=tuple(engines), **kwargs
+    )
+
+
+@pytest.fixture
+def socket_path(tmp_path):
+    # AF_UNIX paths are limited to ~107 bytes; pytest tmp dirs stay well
+    # under that, but keep the file name tight anyway.
+    return str(tmp_path / "repro.sock")
+
+
+@pytest.fixture
+def daemon(socket_path):
+    """An in-process daemon on the thread backend (plug-in engines and
+    coverage both need the workers in this process)."""
+    with ServiceThread(socket_path, jobs=2, backend="thread") as service:
+        yield service
+
+
+class TestWireCodecs:
+    @pytest.mark.parametrize("builder", [mux_tree, ripple_carry_adder, parity_tree])
+    def test_circuit_roundtrip_is_node_exact(self, builder):
+        aig = builder(3)
+        back = decode_circuit(json.loads(json.dumps(encode_circuit(aig))))
+        assert back.name == aig.name
+        assert back.num_nodes == aig.num_nodes
+        assert back.outputs == aig.outputs
+        for index in range(back.num_nodes):
+            assert back.node_kind(index) == aig.node_kind(index)
+            if aig.is_and(index):
+                assert back.fanins(index) == aig.fanins(index)
+
+    def test_latched_circuit_roundtrip(self):
+        from repro.aig.aig import AIG
+
+        aig = AIG("seq")
+        a = aig.add_input("a")
+        latch = aig.add_latch("l0", init_value=1)
+        aig.set_latch_next(latch, aig.land(a, latch))
+        aig.add_output("o", aig.lor(a, latch))
+        back = decode_circuit(encode_circuit(aig))
+        assert back.latches == aig.latches
+        assert back.node(back.latches[0]).init_value == 1
+        assert back.node(back.latches[0]).next_state is not None
+
+    def test_tampered_circuit_is_one_line_protocol_error(self):
+        wire = encode_circuit(mux_tree(2))
+        wire["nodes"][0] = ["a", 2, 4]  # an input replayed as an AND
+        with pytest.raises(ProtocolError, match="malformed circuit"):
+            decode_circuit(wire)
+
+    def test_request_roundtrip_preserves_the_decomposition_definition(self):
+        request = request_for(
+            ripple_carry_adder(2),
+            engines=(ENGINE_STEP_MG, ENGINE_STEP_QD),
+            budgets=Budgets(per_call=2.0, per_output=30.0, per_circuit=600.0),
+            priority=2.5,
+            max_outputs=2,
+        )
+        back = decode_request(json.loads(json.dumps(encode_request(request))))
+        assert back.operator == request.operator
+        assert back.engines == request.engines
+        assert back.budgets == request.budgets
+        assert back.priority == request.priority
+        assert back.max_outputs == request.max_outputs
+        assert Session().run(back).fingerprint() == Session().run(request).fingerprint()
+
+    def test_report_roundtrip_is_fingerprint_identical(self):
+        # decomposable_by_construction guarantees extracted fa/fb travel.
+        aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=13)
+        report = Session().run(request_for(aig, engines=(ENGINE_STEP_QD,)))
+        back = decode_report(json.loads(json.dumps(encode_report(report))))
+        assert back.fingerprint() == report.fingerprint()
+        assert back.schedule == report.schedule
+        wire_fa = back.outputs[0].results[ENGINE_STEP_QD].fa
+        assert wire_fa is not None
+        real = wire_fa.to_function()
+        assert real.truth_table() == wire_fa.truth_table()
+
+    def test_bad_request_payload_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="missing field"):
+            decode_request({"operator": "or"})
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_request([1, 2, 3])
+
+
+class TestDaemonRoundTrip:
+    def test_daemon_report_fingerprint_identical_to_local_session(self, daemon):
+        """Acceptance: daemon result == local Session result, bit for bit."""
+        request = request_for(
+            ripple_carry_adder(2), engines=(ENGINE_STEP_MG, ENGINE_STEP_QD)
+        )
+        with ServiceClient(daemon.socket_path) as client:
+            remote = client.run(request)
+        local = Session().run(request)
+        assert remote.fingerprint() == local.fingerprint()
+        assert remote.schedule.get("live") is True
+
+    def test_progress_events_stream_per_output(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            request_id = client.submit(request_for(ripple_carry_adder(2)))
+            report = client.wait(request_id)
+            outputs = {event["output"] for event in client.events(request_id)}
+        assert outputs == {record.output_name for record in report.outputs}
+
+    def test_two_concurrent_clients_share_one_pool(self, daemon):
+        """Acceptance: N clients, one executor (stats is the witness)."""
+        results = {}
+
+        def run_client(key, aig):
+            with ServiceClient(daemon.socket_path) as client:
+                results[key] = client.run(request_for(aig))
+
+        threads = [
+            threading.Thread(target=run_client, args=("a", mux_tree(2))),
+            threading.Thread(target=run_client, args=("b", ripple_carry_adder(2))),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert results["a"].circuit == "mux2"
+        assert results["b"].circuit == "rca2"
+        with ServiceClient(daemon.socket_path) as client:
+            stats = client.stats()
+        assert stats["pools_created"] == 1
+        assert stats["completed"] >= 2
+        assert stats["backend"] == "thread"
+
+    def test_cancel_mid_suite_leaves_other_requests_unaffected(self, daemon):
+        """Acceptance: cancelling one in-flight request perturbs nothing."""
+        release = threading.Event()
+
+        def stalling(function, operator, *, options, deadline):
+            release.wait(30)
+            return BiDecResult(
+                engine="TEST-STALL", operator=operator, decomposed=False
+            )
+
+        default_registry().register(EngineSpec("TEST-STALL", runner=stalling))
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                slow = client.submit(
+                    request_for(ripple_carry_adder(2), engines=("TEST-STALL",))
+                )
+                fast = client.submit(request_for(mux_tree(2)))
+                assert client.cancel(slow) is True
+                release.set()  # let any in-flight stalled job finish
+                report = client.wait(fast)
+                with pytest.raises(ServiceError, match="cancelled"):
+                    client.wait(slow)
+            assert (
+                report.fingerprint()
+                == Session().run(request_for(mux_tree(2))).fingerprint()
+            )
+        finally:
+            release.set()
+            default_registry().unregister("TEST-STALL")
+
+    def test_failed_request_reports_error_and_daemon_survives(self, daemon):
+        def broken(function, operator, *, options, deadline):
+            raise RuntimeError("engine exploded")
+
+        default_registry().register(EngineSpec("TEST-BROKEN", runner=broken))
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                bad = client.submit(request_for(mux_tree(2), engines=("TEST-BROKEN",)))
+                with pytest.raises(ServiceError, match="engine exploded"):
+                    client.wait(bad)
+                # The daemon took the failure in stride.
+                good = client.run(request_for(mux_tree(2)))
+            assert len(good.outputs) == 1
+        finally:
+            default_registry().unregister("TEST-BROKEN")
+
+    def test_daemon_shares_one_persistent_cache_across_clients(
+        self, tmp_path, socket_path
+    ):
+        aig, *_ = decomposable_by_construction("or", 3, 3, 1, seed=5)
+        cache_dir = str(tmp_path / "cache")
+        with ServiceThread(
+            socket_path, jobs=2, backend="thread", cache_dir=cache_dir
+        ):
+            with ServiceClient(socket_path) as client:
+                cold = client.run(request_for(aig))
+                warm = client.run(request_for(aig))
+        assert cold.schedule["persistent_saved"] >= 1
+        assert warm.schedule["persistent_hits"] >= 1
+        assert warm.fingerprint() == cold.fingerprint()
+        snapshot = json.load(open(os.path.join(cache_dir, "cone_cache.json")))
+        assert sum(len(v) for v in snapshot["contexts"].values()) >= 1
+
+
+class TestProtocolErrors:
+    def test_malformed_frame_gets_one_line_error_reply(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            client._file.write(b"{not json}\n")
+            client._file.flush()
+            frame = client._read_frame()
+            assert frame["type"] == "error"
+            assert "malformed frame" in frame["error"]
+            assert "\n" not in frame["error"]
+            # The connection survived the garbage.
+            assert client.ping()
+
+    def test_version_mismatch_gets_one_line_error_reply(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            client._file.write(b'{"v": 99, "type": "stats", "tag": 1}\n')
+            client._file.flush()
+            frame = client._read_frame()
+            assert frame["type"] == "error"
+            assert "version mismatch" in frame["error"]
+            assert str(PROTOCOL_VERSION) in frame["error"]
+            assert client.ping()
+
+    def test_unknown_frame_type_rejected(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            client._file.write(b'{"v": 1, "type": "explode"}\n')
+            client._file.flush()
+            frame = client._read_frame()
+            assert frame["type"] == "error" and "unknown frame type" in frame["error"]
+
+    def test_invalid_request_relays_validation_error(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            wire = encode_request(request_for(mux_tree(2)))
+            wire["engines"] = ["NO-SUCH-ENGINE"]
+            client._file.write(
+                json.dumps(
+                    {"v": 1, "type": "submit", "tag": 7, "request": wire}
+                ).encode()
+                + b"\n"
+            )
+            client._file.flush()
+            frame = client._read_frame()
+            assert frame["type"] == "error"
+            assert "unknown engine" in frame["error"]
+            assert frame["tag"] == 7
+
+    def test_wrong_typed_submit_fields_get_error_reply_not_disconnect(
+        self, daemon
+    ):
+        """engines: 5 / budgets: [1] must be one-line errors, never a
+        dead connection."""
+        with ServiceClient(daemon.socket_path) as client:
+            for request_payload in (
+                {"circuit": encode_circuit(mux_tree(2)), "operator": "or", "engines": 5},
+                {
+                    "circuit": encode_circuit(mux_tree(2)),
+                    "operator": "or",
+                    "engines": ["STEP-MG"],
+                    "budgets": [1],
+                },
+                {"circuit": "not-a-circuit", "operator": "or", "engines": ["STEP-MG"]},
+            ):
+                client._file.write(
+                    json.dumps(
+                        {"v": 1, "type": "submit", "request": request_payload}
+                    ).encode()
+                    + b"\n"
+                )
+                client._file.flush()
+                frame = client._read_frame()
+                assert frame["type"] == "error", frame
+                assert "\n" not in frame["error"]
+            assert client.ping()  # connection still healthy
+
+    def test_cancel_of_foreign_id_rejected(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            with pytest.raises(ServiceError, match="unknown request id"):
+                client.cancel(424242)
+
+    def test_connecting_to_missing_socket_is_one_line_error(self, tmp_path):
+        with pytest.raises(ServiceError, match="cannot connect"):
+            ServiceClient(str(tmp_path / "nowhere.sock"))
+
+
+class TestClientCli:
+    def test_client_subcommand_matches_local_decompose(
+        self, daemon, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.io.blif import write_blif
+
+        path = str(tmp_path / "rca2.blif")
+        write_blif(ripple_carry_adder(2), path)
+        assert (
+            main(
+                [
+                    "client",
+                    path,
+                    "--socket",
+                    daemon.socket_path,
+                    "--engine",
+                    "STEP-MG",
+                    "--fingerprint",
+                ]
+            )
+            == 0
+        )
+        remote_out = capsys.readouterr().out
+        assert main(["decompose", path, "--engine", "STEP-MG", "--fingerprint"]) == 0
+        local_out = capsys.readouterr().out
+        remote_fp = [l for l in remote_out.splitlines() if l.startswith("report fingerprint")]
+        local_fp = [l for l in local_out.splitlines() if l.startswith("report fingerprint")]
+        assert remote_fp == local_fp != []
+
+    def test_client_against_dead_socket_is_exit_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # "c17" is a library circuit, so the failure is the socket, not IO.
+        assert (
+            main(["client", "c17", "--socket", str(tmp_path / "dead.sock")]) == 1
+        )
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot connect" in err
+
+    def test_serve_flag_validation(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--socket", "/tmp/x.sock", "--jobs", "0"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+        assert (
+            main(["serve", "--socket", "/tmp/x.sock", "--cache-max-entries", "5"]) == 1
+        )
+        assert "--cache-dir" in capsys.readouterr().err
+
+
+class TestServiceThreadLifecycle:
+    def test_stale_socket_file_is_replaced(self, socket_path):
+        open(socket_path, "w").write("stale")
+        with ServiceThread(socket_path, jobs=1, backend="serial"):
+            with ServiceClient(socket_path) as client:
+                assert client.ping()
+        assert not os.path.exists(socket_path)
+
+    def test_disconnect_cancels_unfinished_requests(self, daemon):
+        release = threading.Event()
+
+        def stalling(function, operator, *, options, deadline):
+            release.wait(30)
+            return BiDecResult(engine="TEST-HANG", operator=operator, decomposed=False)
+
+        default_registry().register(EngineSpec("TEST-HANG", runner=stalling))
+        try:
+            client = ServiceClient(daemon.socket_path)
+            client.submit(request_for(ripple_carry_adder(2), engines=("TEST-HANG",)))
+            client.close()  # walk away mid-request
+            deadline = time.time() + 20
+            session = daemon.service.session
+            while time.time() < deadline:
+                # Disconnect cancels the orphaned request AND forgets its
+                # handle — a daemon must not accumulate abandoned state.
+                if session.stats()["cancelled"] >= 1 and not session.status():
+                    break
+                time.sleep(0.05)
+            assert session.stats()["cancelled"] >= 1
+            assert session.status() == {}
+        finally:
+            release.set()
+            default_registry().unregister("TEST-HANG")
