@@ -13,10 +13,18 @@ Examples
     step info adder.blif
 
     # a long-lived daemon sharing one pool and one cache across clients,
-    # and the client subcommand mirroring `decompose` against it:
+    # and the client subcommand mirroring `decompose` against it
+    # (addresses are Unix paths or HOST:PORT):
     step serve --socket /tmp/repro.sock --backend process --jobs 4 \
         --cache-dir ~/.cache/repro
     step client adder.blif --socket /tmp/repro.sock --engine STEP-QD
+
+    # a sharded tier: N TCP daemons behind one consistent-hash router
+    step serve --socket 127.0.0.1:7001 --jobs 4 &
+    step serve --socket 127.0.0.1:7002 --jobs 4 &
+    step route --listen 127.0.0.1:7000 \
+        --shard 127.0.0.1:7001 --shard 127.0.0.1:7002
+    step client adder.blif --socket 127.0.0.1:7000 --engine STEP-QD
 """
 
 from __future__ import annotations
@@ -221,26 +229,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _serve_until_signal(server, address: str, banner) -> int:
+    """Shared serve loop of `serve` and `route`: start, print the banner
+    with the resolved address, stop cleanly on SIGINT/SIGTERM."""
     import asyncio
-
-    from repro.service import ReproService
-
-    if args.jobs < 1:
-        raise ReproError(f"--jobs must be at least 1 (got {args.jobs})")
-    _check_cache_flags(args)
-    service = ReproService(
-        jobs=args.jobs,
-        backend=args.backend,
-        cache_dir=args.cache_dir,
-        cache_max_entries=args.cache_max_entries,
-    )
-    print(
-        f"serving on {args.socket} (backend={args.backend}, jobs={args.jobs}"
-        + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
-        + ") — SIGINT/SIGTERM to stop",
-        flush=True,
-    )
 
     async def _serve() -> None:
         import signal
@@ -252,11 +244,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(signum, stop.set)
             except NotImplementedError:  # pragma: no cover - non-POSIX loops
                 pass
-        await service.start(args.socket)
+        await server.start(address)
+        print(banner(server.address), flush=True)
         try:
             await stop.wait()
         finally:
-            await service.aclose()
+            await server.aclose()
 
     try:
         asyncio.run(_serve())
@@ -264,8 +257,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - signal handler races
         print("shutting down")
     except OSError as exc:
-        raise ReproError(f"cannot serve on {args.socket!r}: {exc}") from None
+        raise ReproError(f"cannot serve on {address!r}: {exc}") from None
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReproService
+
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be at least 1 (got {args.jobs})")
+    _check_cache_flags(args)
+    service = ReproService(
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries,
+    )
+    return _serve_until_signal(
+        service,
+        args.socket,
+        lambda address: (
+            f"serving on {address} (backend={args.backend}, jobs={args.jobs}"
+            + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
+            + ") — SIGINT/SIGTERM to stop"
+        ),
+    )
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.service import ReproRouter
+
+    if args.retries < 1:
+        raise ReproError(f"--retries must be at least 1 (got {args.retries})")
+    if args.probe_interval <= 0:
+        raise ReproError(
+            f"--probe-interval must be positive (got {args.probe_interval})"
+        )
+    router = ReproRouter(
+        args.shard, max_attempts=args.retries, probe_interval=args.probe_interval
+    )
+    return _serve_until_signal(
+        router,
+        args.listen,
+        lambda address: (
+            f"routing on {address} across {len(args.shard)} shard(s): "
+            + ", ".join(args.shard)
+            + " — SIGINT/SIGTERM to stop"
+        ),
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -375,10 +414,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run the long-lived decomposition daemon on a Unix socket",
+        help="run the long-lived decomposition daemon (Unix socket or TCP)",
     )
     serve.add_argument(
-        "--socket", required=True, help="Unix socket path to listen on"
+        "--socket",
+        required=True,
+        metavar="ADDRESS",
+        help="address to listen on: a Unix socket path or HOST:PORT",
     )
     serve.add_argument(
         "--backend",
@@ -405,13 +447,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_cmd_serve)
 
+    route = sub.add_parser(
+        "route",
+        help="run the consistent-hash router over N `step serve` shards",
+    )
+    route.add_argument(
+        "--listen",
+        required=True,
+        metavar="ADDRESS",
+        help="client-facing address: a Unix socket path or HOST:PORT",
+    )
+    route.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        metavar="ADDRESS",
+        help="a shard daemon's address (repeat once per shard)",
+    )
+    route.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help=(
+            "shard attempts per request before it fails over to a `failed` "
+            "result carrying the shard error (default: 3)"
+        ),
+    )
+    route.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help=(
+            "seconds between health probes that re-admit returning shards "
+            "to the hash ring (default: 1.0)"
+        ),
+    )
+    route.set_defaults(handler=_cmd_route)
+
     client = sub.add_parser(
         "client",
-        help="run one decompose against a `step serve` daemon (same output)",
+        help="run one decompose against a `step serve` daemon or a "
+        "`step route` shard fleet (same output)",
     )
     _add_decomposition_flags(client)
     client.add_argument(
-        "--socket", required=True, help="Unix socket of the running daemon"
+        "--socket",
+        required=True,
+        metavar="ADDRESS",
+        help="the daemon's or router's address: a Unix socket path or HOST:PORT",
     )
     client.add_argument(
         "--connect-timeout",

@@ -71,5 +71,22 @@ class ProtocolError(ReproError):
     """A malformed or version-incompatible service wire frame."""
 
 
+class FrameTooLarge(ProtocolError):
+    """A wire line exceeded the per-frame size limit.
+
+    The oversized line is discarded in full, so the connection remains
+    usable; ``tag`` carries the client's correlation token when it could
+    be recovered from the discarded bytes (best effort), letting servers
+    answer with a *tagged* ``error`` frame.
+    """
+
+    def __init__(self, limit: int, tag: object = None) -> None:
+        self.limit = limit
+        self.tag = tag
+        super().__init__(
+            f"frame exceeds the {limit}-byte line limit; frame discarded"
+        )
+
+
 class ServiceError(ReproError):
     """The decomposition service (or a client's use of it) failed."""

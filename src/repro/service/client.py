@@ -1,12 +1,13 @@
 """The thin blocking client of the decomposition service.
 
 :class:`ServiceClient` speaks the JSON-lines protocol over a Unix socket
-synchronously, so scripts written against the blocking
-:class:`repro.api.session.Session` move to a shared daemon by changing
-one line::
+or TCP synchronously, so scripts written against the blocking
+:class:`repro.api.session.Session` move to a shared daemon (or a
+``step route`` shard fleet) by changing one line::
 
-    report = Session().run(request)                    # in-process
-    report = ServiceClient("/tmp/repro.sock").run(request)   # remote
+    report = Session().run(request)                          # in-process
+    report = ServiceClient("/tmp/repro.sock").run(request)   # daemon
+    report = ServiceClient("10.0.0.5:7000").run(request)     # daemon/router
 
 Several requests can be in flight on one connection (``submit`` returns
 the server-assigned id immediately); frames arriving for other requests
@@ -28,24 +29,36 @@ from repro.service.protocol import (
     decode_report,
     encode_frame,
     encode_request,
+    parse_address,
 )
 
 
 class ServiceClient:
-    """One blocking connection to a running ``step serve`` daemon."""
+    """One blocking connection to a ``step serve`` daemon or ``step
+    route`` router, addressed by Unix path or ``host:port``."""
 
-    def __init__(self, socket_path: str, timeout: Optional[float] = None) -> None:
-        self.socket_path = socket_path
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if timeout is not None:
-            self._sock.settimeout(timeout)
+    def __init__(self, address: str, timeout: Optional[float] = None) -> None:
+        self.address = address
+        kind, host, port = parse_address(address)
         try:
-            self._sock.connect(socket_path)
+            if kind == "tcp":
+                self._sock = socket.create_connection(
+                    (host or "127.0.0.1", port), timeout=timeout
+                )
+            else:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                if timeout is not None:
+                    self._sock.settimeout(timeout)
+                self._sock.connect(host)
         except OSError as exc:
-            self._sock.close()
+            if kind == "unix":
+                self._sock.close()
             raise ServiceError(
-                f"cannot connect to the service at {socket_path!r}: {exc}"
+                f"cannot connect to the service at {address!r}: {exc}"
             ) from None
+        if kind == "tcp":
+            # Frames are whole requests/replies: latency beats batching.
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._file = self._sock.makefile("rwb")
         self._next_tag = 0
         self._tagged: Dict[int, dict] = {}
@@ -63,6 +76,11 @@ class ServiceClient:
         # result waits: a healthy daemon may legitimately take longer than
         # any connect timeout to finish a decomposition.
         self._sock.settimeout(None)
+
+    @property
+    def socket_path(self) -> str:
+        """Backwards-compatible alias of :attr:`address`."""
+        return self.address
 
     # -- context management -------------------------------------------------------
 
@@ -91,8 +109,25 @@ class ServiceClient:
 
         ``done`` returns the decoded report; ``cancelled`` and ``failed``
         raise :class:`ServiceError` carrying the server's message.
+        Waiting on an id this connection never submitted (or one already
+        consumed by an earlier :meth:`wait`) raises immediately — no
+        ``result`` frame will ever arrive for it, so looping on the
+        socket would hang forever.
         """
         while request_id not in self._results:
+            state = self._states.get(request_id)
+            if state is None:
+                raise ServiceError(
+                    f"unknown request id {request_id!r}: not a request "
+                    "submitted on this connection"
+                )
+            if state in ("done", "cancelled", "failed"):
+                # Terminal and its result frame already consumed by an
+                # earlier wait(): nothing more will ever arrive for it.
+                raise ServiceError(
+                    f"request {request_id} already waited on "
+                    f"(terminal state {state!r})"
+                )
             self._dispatch(self._read_frame())
         result = self._results.pop(request_id)
         state = result.get("state")

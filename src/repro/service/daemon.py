@@ -1,11 +1,13 @@
 """The long-lived decomposition daemon: one warm session, many clients.
 
-:class:`ReproService` is an asyncio Unix-socket server multiplexing any
-number of concurrent client connections onto **one**
-:class:`repro.api.aio.AsyncSession` — which means one executor pool paid
-for once, one shared persistent cone cache, and weighted fair scheduling
-across every client's in-flight requests (a small request never waits for
-a monster another client submitted first; it competes by priority).
+:class:`ReproService` is an asyncio server — on a Unix socket or a TCP
+``host:port`` — multiplexing any number of concurrent client connections
+onto **one** :class:`repro.api.aio.AsyncSession`, which means one
+executor pool paid for once, one shared persistent cone cache, and
+weighted fair scheduling across every client's in-flight requests (a
+small request never waits for a monster another client submitted first;
+it competes by priority).  TCP is what lets ``repro.service.router`` put
+N of these daemons behind one consistent-hash front door.
 
 Protocol behaviour (frames in :mod:`repro.service.protocol`):
 
@@ -20,7 +22,7 @@ Protocol behaviour (frames in :mod:`repro.service.protocol`):
 * a client that disconnects has its unfinished requests cancelled
   cooperatively — abandoned work must not hold workers.
 
-``step serve --socket PATH`` is the CLI front end;
+``step serve --socket ADDRESS`` is the CLI front end;
 :class:`ServiceThread` embeds a daemon in-process (tests, examples,
 notebooks).
 """
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import stat as stat_module
 import threading
 from typing import Dict, Optional, Set
 
@@ -36,20 +39,49 @@ from repro.api.aio import AsyncRequestHandle, AsyncSession
 from repro.api.config import CachePolicy
 from repro.api.lifecycle import STATE_DONE, TERMINAL_STATES
 from repro.api.registry import EngineRegistry
-from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.errors import FrameTooLarge, ProtocolError, ReproError, ServiceError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    WIRE_LINE_LIMIT,
+    FrameReader,
     check_client_frame,
     decode_frame,
     decode_request,
     encode_frame,
     encode_report,
+    format_address,
+    parse_address,
 )
 
-#: Per-line read limit.  Frames carry whole circuits and whole reports;
-#: 64 MiB is far beyond any realistic benchmark circuit while still
-#: bounding a hostile client's memory use.
-WIRE_LINE_LIMIT = 64 * 1024 * 1024
+
+async def open_listener(handler, address: str):
+    """Bind a JSON-lines listener on a Unix path or ``host:port``.
+
+    Returns ``(server, resolved_address, unix_path_or_None)``; a TCP bind
+    to port 0 resolves to the kernel-assigned port.  A pre-existing file
+    at a Unix path is unlinked only when it *is* a socket (the stale
+    leftover of a killed daemon); anything else — a user's regular file,
+    a directory — is refused with a one-line :class:`ServiceError` and
+    survives untouched.
+    """
+    kind, host, port = parse_address(address)
+    if kind == "unix" and os.path.exists(host):
+        # A previous daemon's stale socket file blocks bind(); a live
+        # daemon would still hold it open, so probing with connect would
+        # race — keep the policy simple: last starter wins.  Anything
+        # that is NOT a socket was never ours to delete.
+        if not stat_module.S_ISSOCK(os.stat(host).st_mode):
+            raise ServiceError(
+                f"refusing to serve on {host!r}: the path exists and is "
+                "not a socket"
+            )
+        os.unlink(host)
+    if kind == "tcp":
+        server = await asyncio.start_server(handler, host=host or None, port=port)
+        bound = server.sockets[0].getsockname()
+        return server, format_address(bound[0], bound[1]), None
+    server = await asyncio.start_unix_server(handler, path=host)
+    return server, host, host
 
 
 class ReproService:
@@ -62,10 +94,12 @@ class ReproService:
         cache_dir: Optional[str] = None,
         cache_max_entries: Optional[int] = None,
         registry: Optional[EngineRegistry] = None,
+        line_limit: int = WIRE_LINE_LIMIT,
     ) -> None:
         self._jobs = jobs
         self._backend = backend
         self._registry = registry
+        self._line_limit = line_limit
         self._cache_policy = (
             CachePolicy(directory=cache_dir, max_entries=cache_max_entries)
             if cache_dir is not None
@@ -73,40 +107,53 @@ class ReproService:
         )
         self._session: Optional[AsyncSession] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[str] = None
         self._socket_path: Optional[str] = None
         self._socket_id = None
         self._connections = 0
         self._served_connections = 0
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._conn_writers: Set[asyncio.StreamWriter] = set()
 
     @property
     def session(self) -> Optional[AsyncSession]:
         return self._session
 
+    @property
+    def address(self) -> Optional[str]:
+        """The bound address: the Unix path, or the **resolved**
+        ``host:port`` (a TCP bind to port 0 reports the kernel's pick)."""
+        return self._address
+
     # -- lifecycle ----------------------------------------------------------------
 
-    async def start(self, socket_path: str) -> asyncio.AbstractServer:
-        """Bind the Unix socket and start accepting connections."""
+    async def start(self, address: str) -> asyncio.AbstractServer:
+        """Bind a Unix path or ``host:port`` and start accepting.
+
+        A pre-existing file at a Unix path is unlinked only when it *is*
+        a socket (the stale leftover of a killed daemon); pointing
+        ``step serve`` at a regular file is refused with a one-line
+        :class:`ServiceError` and the file survives.
+        """
         if self._server is not None:
             raise ServiceError("the service is already serving")
+        self._server, self._address, self._socket_path = await open_listener(
+            self._handle_connection, address
+        )
+        # No await between binding and building the session: connection
+        # handlers only run once control returns to the loop, so every
+        # handler sees a live session.
         self._session = AsyncSession(
             registry=self._registry, jobs=self._jobs, backend=self._backend
         )
-        if os.path.exists(socket_path):
-            # A previous daemon's stale socket file blocks bind(); a live
-            # daemon would still hold it open, so probing with connect
-            # would race — keep the policy simple: last starter wins.
-            os.unlink(socket_path)
-        self._server = await asyncio.start_unix_server(
-            self._handle_connection, path=socket_path, limit=WIRE_LINE_LIMIT
-        )
-        self._socket_path = socket_path
-        # Identity of OUR bind: shutdown must never unlink a socket a
-        # newer daemon re-bound on the same path (last-starter-wins).
-        try:
-            stat = os.stat(socket_path)
-            self._socket_id = (stat.st_dev, stat.st_ino)
-        except OSError:  # pragma: no cover
-            self._socket_id = None
+        if self._socket_path is not None:
+            # Identity of OUR bind: shutdown must never unlink a socket a
+            # newer daemon re-bound on the same path (last-starter-wins).
+            try:
+                stat = os.stat(self._socket_path)
+                self._socket_id = (stat.st_dev, stat.st_ino)
+            except OSError:  # pragma: no cover
+                self._socket_id = None
         return self._server
 
     async def aclose(self) -> None:
@@ -115,6 +162,14 @@ class ReproService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # EOF still-connected clients so their handlers run their own
+        # cleanup and exit, instead of being cancelled (noisily) at
+        # event-loop teardown.  Must happen while the session is still
+        # open: handler cleanup cancels and forgets owned requests.
+        for conn_writer in list(self._conn_writers):
+            conn_writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(self._conn_tasks, timeout=5)
         if self._session is not None:
             await self._session.aclose()
         if self._socket_path is not None:
@@ -125,10 +180,11 @@ class ReproService:
             except OSError:
                 pass  # already gone, or replaced by a newer daemon
         self._socket_path = None
+        self._address = None
 
-    async def serve_forever(self, socket_path: str) -> None:
+    async def serve_forever(self, address: str) -> None:
         """Run until cancelled (the CLI entry point)."""
-        server = await self.start(socket_path)
+        server = await self.start(address)
         try:
             async with server:
                 await server.serve_forever()
@@ -151,6 +207,10 @@ class ReproService:
     ) -> None:
         self._connections += 1
         self._served_connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
         write_lock = asyncio.Lock()
         # id -> final state once the pump delivered a result (None while
         # in flight); the honest answer for a late cancel of a request
@@ -163,24 +223,30 @@ class ReproService:
                 writer.write(encode_frame(frame))
                 await writer.drain()
 
+        frames = FrameReader(reader, limit=self._line_limit)
         try:
             await send(
                 {"type": "hello", "v": PROTOCOL_VERSION, "server": "repro-service"}
             )
             while True:
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    # An over-long line leaves the stream unparseable; the
-                    # only safe answer is to drop the connection.
+                    line = await frames.readline()
+                except FrameTooLarge as exc:
+                    # The oversized line was discarded in full — the stream
+                    # is positioned at the next frame, so the "malformed
+                    # frames get one-line error replies" contract holds
+                    # here too (tagged when the tag could be recovered).
                     await send(
-                        {
-                            "type": "error",
-                            "v": PROTOCOL_VERSION,
-                            "error": "frame exceeds the line limit; closing",
-                        }
+                        self._tagged(
+                            {
+                                "type": "error",
+                                "v": PROTOCOL_VERSION,
+                                "error": str(exc),
+                            },
+                            exc.tag,
+                        )
                     )
-                    break
+                    continue
                 if not line:
                     break
                 await self._handle_frame(line, send, owned, pumps)
@@ -188,6 +254,9 @@ class ReproService:
             pass
         finally:
             self._connections -= 1
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
             # Cooperative cleanup: work nobody is listening for is work
             # stolen from connected clients.
             for request_id in owned:
@@ -355,13 +424,16 @@ class ServiceThread:
             with ServiceClient("/tmp/repro.sock") as client:
                 report = client.run(request)
 
-    ``backend="thread"`` (the default here) keeps plug-in engines
-    registered in this process visible to the daemon's workers.
+    The address may equally be TCP (``"127.0.0.1:0"`` binds an ephemeral
+    port; read the resolved one back from :attr:`address` after
+    :meth:`start`).  ``backend="thread"`` (the default here) keeps
+    plug-in engines registered in this process visible to the daemon's
+    workers.
     """
 
-    def __init__(self, socket_path: str, **service_kwargs) -> None:
+    def __init__(self, address: str, **service_kwargs) -> None:
         service_kwargs.setdefault("backend", "thread")
-        self.socket_path = socket_path
+        self.address = address
         self.service = ReproService(**service_kwargs)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -377,6 +449,11 @@ class ServiceThread:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+    @property
+    def socket_path(self) -> str:
+        """Backwards-compatible alias of :attr:`address`."""
+        return self.address
 
     def start(self) -> "ServiceThread":
         self._thread.start()
@@ -399,11 +476,14 @@ class ServiceThread:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         try:
-            await self.service.start(self.socket_path)
+            await self.service.start(self.address)
         except BaseException as exc:  # noqa: BLE001 - relayed to start()
             self._startup_error = exc
             self._started.set()
             return
+        # Publish the *resolved* address (TCP port 0 → the kernel's pick)
+        # before start() returns in the launching thread.
+        self.address = self.service.address
         self._started.set()
         try:
             await self._stop.wait()

@@ -1,10 +1,12 @@
-"""The service wire protocol: versioned JSON lines over a Unix socket.
+"""The service wire protocol: versioned JSON lines over a stream socket.
 
-Every frame is one JSON object on one ``\\n``-terminated line.  Client
-frames carry the protocol version in ``"v"``; the server answers a
-version mismatch (or any malformed frame) with a one-line ``error`` frame
-and keeps the connection alive.  See ``docs/service.md`` for the full
-frame catalogue.
+Every frame is one JSON object on one ``\\n``-terminated line, carried
+over either a Unix socket or TCP (:func:`parse_address` classifies the
+two address forms).  Client frames carry the protocol version in ``"v"``;
+the server answers a version mismatch (or any malformed frame — including
+one past the :data:`WIRE_LINE_LIMIT` line cap, see :class:`FrameReader`)
+with a one-line ``error`` frame and keeps the connection alive.  See
+``docs/service.md`` for the full frame catalogue.
 
 The codecs in this module are **fingerprint-preserving**: a circuit is
 encoded node-for-node (same indices, same strashed AND order), so the
@@ -19,7 +21,8 @@ stand-ins with identical semantic fingerprints.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+import re
+from typing import Dict, List, Optional, Tuple
 
 from repro.aig.aig import AIG, lit_make
 from repro.api.config import Budgets, CachePolicy, Parallelism
@@ -31,12 +34,19 @@ from repro.core.result import (
     OutputResult,
     SearchStatistics,
 )
-from repro.errors import ProtocolError, ReproError
+from repro.errors import FrameTooLarge, ProtocolError, ReproError, ServiceError
 
 PROTOCOL_VERSION = 1
 
 #: Frame types a client may send.
 CLIENT_FRAME_TYPES = ("submit", "cancel", "stats", "ping")
+
+#: Per-line read limit.  Frames carry whole circuits and whole reports;
+#: 64 MiB is far beyond any realistic benchmark circuit while still
+#: bounding a hostile client's memory use.  An over-long line is
+#: *discarded in full* and answered with a one-line ``error`` frame — the
+#: connection stays usable (see :class:`FrameReader`).
+WIRE_LINE_LIMIT = 64 * 1024 * 1024
 
 #: Truth tables are only shipped up to this support size — exactly the
 #: range report fingerprints compare truth tables over (beyond it they
@@ -84,6 +94,143 @@ def check_client_frame(frame: Dict[str, object]) -> str:
             + ", ".join(CLIENT_FRAME_TYPES)
         )
     return frame_type
+
+
+# -- addresses ------------------------------------------------------------------
+
+
+def parse_address(address: str) -> Tuple[str, str, Optional[int]]:
+    """Classify a service address string.
+
+    ``"host:port"`` (port all digits, no path separator) parses to
+    ``("tcp", host, port)`` — the host may be empty ("bind every
+    interface" for servers, loopback for clients) and IPv6 literals may
+    be bracketed (``"[::1]:7000"``).  Anything else is a Unix socket
+    path: ``("unix", path, None)``.
+    """
+    if not isinstance(address, str) or not address:
+        raise ServiceError(f"invalid service address {address!r}")
+    if "/" not in address and ":" in address:
+        host, _, port = address.rpartition(":")
+        if port.isdigit():
+            return ("tcp", host.strip("[]"), int(port))
+    return ("unix", address, None)
+
+
+def format_address(host: str, port: int) -> str:
+    """The canonical ``host:port`` form (IPv6 hosts bracketed)."""
+    return f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
+
+
+# -- line framing with a recoverable size cap ------------------------------------
+
+#: How much of an oversized line's head/tail is retained to recover the
+#: client's ``tag`` (written near the end of every frame the bundled
+#: clients send).
+_TAG_SNIFF_WINDOW = 4096
+
+_TAG_INT = re.compile(rb'"tag":(-?\d+)[,}]')
+_TAG_STR = re.compile(rb'"tag":"((?:[^"\\]|\\.)*)"')
+
+
+def _sniff_tag(head: bytes, tail: bytes) -> Optional[object]:
+    """Best-effort recovery of the ``tag`` from a discarded frame."""
+    for window in (tail, head):
+        ints = _TAG_INT.findall(window)
+        if ints:
+            return int(ints[-1])
+        strings = _TAG_STR.findall(window)
+        if strings:
+            try:
+                return json.loads(b'"' + strings[-1] + b'"')
+            except ValueError:  # pragma: no cover - pattern clipped mid-escape
+                return None
+    return None
+
+
+class FrameReader:
+    """An incremental JSON-lines reader with an explicit per-line cap.
+
+    ``asyncio.StreamReader.readline`` raises once its buffer limit is hit
+    and leaves the stream unparseable — the pre-PR-6 daemon had no choice
+    but to drop the connection, breaking the "malformed frames get
+    one-line error replies" contract.  This reader owns its buffer: a
+    line longer than ``limit`` is discarded *through its terminating
+    newline* (constant memory), the client's ``tag`` is recovered from
+    the discarded bytes when possible, and :class:`FrameTooLarge` is
+    raised — after which the stream is positioned at the next frame and
+    :meth:`readline` keeps working.
+    """
+
+    #: Read granularity; also bounds the memory spent while discarding.
+    CHUNK = 1 << 16
+
+    def __init__(
+        self, reader: "asyncio.StreamReader", limit: int = WIRE_LINE_LIMIT
+    ) -> None:
+        self._reader = reader
+        self._limit = limit
+        self._buffer = bytearray()
+        self._scanned = 0
+
+    async def readline(self) -> bytes:
+        """One full ``\\n``-terminated line; ``b""`` at EOF.
+
+        The final line of a stream that ends without a newline is
+        returned as-is (it will fail JSON decoding like any truncated
+        frame would).  Raises :class:`FrameTooLarge` for a line past the
+        cap — the oversized line is gone, the connection is not.
+        """
+        while True:
+            newline = self._buffer.find(b"\n", self._scanned)
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                self._scanned = 0
+                if len(line) > self._limit:
+                    # The whole line arrived buffered before the cap
+                    # could trip mid-read: enforce it here too, or the
+                    # limit would depend on TCP segmentation.
+                    raise FrameTooLarge(
+                        self._limit,
+                        tag=_sniff_tag(
+                            line[:_TAG_SNIFF_WINDOW], line[-_TAG_SNIFF_WINDOW:]
+                        ),
+                    )
+                return line
+            self._scanned = len(self._buffer)
+            if self._scanned > self._limit:
+                raise FrameTooLarge(self._limit, tag=await self._discard_line())
+            chunk = await self._reader.read(self.CHUNK)
+            if not chunk:
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                self._scanned = 0
+                return line
+            self._buffer += chunk
+
+    async def _discard_line(self) -> Optional[object]:
+        """Drop the in-progress oversized line; returns its sniffed tag.
+
+        Keeps only a head/tail window of the discarded bytes; anything
+        the wire delivered *after* the line's newline is preserved as the
+        start of the next frame.
+        """
+        head = bytes(self._buffer[:_TAG_SNIFF_WINDOW])
+        tail = bytes(self._buffer[-_TAG_SNIFF_WINDOW:])
+        self._buffer.clear()
+        self._scanned = 0
+        while True:
+            chunk = await self._reader.read(self.CHUNK)
+            if not chunk:  # EOF inside the oversized line
+                break
+            newline = chunk.find(b"\n")
+            if newline >= 0:
+                tail = (tail + chunk[:newline])[-_TAG_SNIFF_WINDOW:]
+                self._buffer += chunk[newline + 1 :]
+                break
+            tail = (tail + chunk)[-_TAG_SNIFF_WINDOW:]
+        return _sniff_tag(head, tail)
 
 
 # -- circuit codec --------------------------------------------------------------

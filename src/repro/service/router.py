@@ -1,0 +1,930 @@
+"""The sharded service tier: one front door, N daemon shards.
+
+:class:`ReproRouter` is an asyncio server that speaks the exact client
+protocol of :class:`repro.service.daemon.ReproService` — same handshake,
+same frame catalogue — while owning **no** execution substrate of its
+own.  Every ``submit`` is forwarded to one of N configured ``step
+serve`` shards over a persistent connection, chosen by **consistent
+hashing of the request's canonical cone signature set**: the same
+circuit (and every structural duplicate of it) always lands on the same
+shard, so each shard's warm persistent cone cache specialises and the
+fleet behaves like one logical cache N times the size of any single
+daemon's.
+
+Mechanics:
+
+* **Routing key.**  :func:`request_route_key` decodes the submitted
+  circuit and computes the fanin-commutative
+  :func:`repro.aig.signature.canonical_cone_signature` of every primary
+  output — the exact keys the shards' cone caches use — then buckets by
+  the *dominant* signature (most outputs; digest order breaks ties).
+  Constant-free circuits with no outputs fall back to the circuit name.
+* **Id translation.**  The router assigns its own request ids.  A
+  shard's ``queued`` ack teaches the router the shard-local id; every
+  subsequent ``event``/``result`` frame is relayed with the shard-local
+  id translated back to the router-global one, and ``cancel`` frames
+  travel the other way.  ``stats`` aggregates numeric counters across
+  shards (per-shard detail under ``"shards"``, router counters under
+  ``"router"``).
+* **Failover.**  A shard that disconnects mid-request has its in-flight
+  requests re-submitted to the next shard on the hash ring (bounded by
+  ``max_attempts``; exhaustion yields a ``failed`` result carrying the
+  last shard error).  A health probe re-dials down shards every
+  ``probe_interval`` seconds and re-admits them to the ring on success.
+
+Because every shard individually guarantees fingerprint-identical
+reports, a report served through the router is fingerprint-identical to
+a solo ``Session.run()`` **regardless of which shard served it** — the
+property that makes failover invisible to clients
+(``tests/test_router.py`` and the CI service-smoke job assert it).
+
+``step route --listen ADDR --shard ADDR --shard ADDR ...`` is the CLI
+front end; :class:`RouterThread` embeds a router in-process (tests,
+examples).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import os
+import threading
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aig.function import BooleanFunction
+from repro.aig.signature import canonical_cone_signature
+from repro.errors import FrameTooLarge, ProtocolError, ReproError, ServiceError
+from repro.service.daemon import open_listener
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    WIRE_LINE_LIMIT,
+    FrameReader,
+    check_client_frame,
+    decode_circuit,
+    decode_frame,
+    encode_frame,
+    parse_address,
+)
+
+#: Virtual points per shard on the hash ring.  Enough that removing one
+#: shard spreads its keyspace over every survivor instead of dumping it
+#: on a single neighbour.
+RING_REPLICAS = 64
+
+
+# -- routing key ----------------------------------------------------------------
+
+
+def request_route_key(payload: object) -> Tuple[str, str]:
+    """The (route key, display name) of a submit frame's request payload.
+
+    The key is the dominant canonical cone signature digest across the
+    circuit's primary outputs — dominant by output count, ties broken by
+    digest order, so the key is a pure function of the circuit's
+    structure (never of output order or construction history).  Raises
+    :class:`ProtocolError` for payloads whose circuit does not decode,
+    exactly as a shard would.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("malformed submit: 'request' must be a JSON object")
+    try:
+        circuit = decode_circuit(payload["circuit"])
+    except KeyError:
+        raise ProtocolError("malformed submit: missing field 'circuit'") from None
+    name = str(payload.get("name") or circuit.name)
+    digests: List[str] = []
+    for index in range(len(circuit.outputs)):
+        function = BooleanFunction.from_output(circuit, index)
+        signature = canonical_cone_signature(
+            function.aig, function.root, function.inputs
+        )
+        digests.append(str(signature[2]))
+    if not digests:
+        return f"circuit:{name}", name
+    counts = Counter(digests)
+    dominant = max(counts, key=lambda digest: (counts[digest], digest))
+    return f"cone:{dominant}", name
+
+
+def _ring_point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def build_ring(
+    shards: Sequence[str], replicas: int = RING_REPLICAS
+) -> List[Tuple[int, str]]:
+    """The sorted consistent-hash ring: ``replicas`` points per shard.
+
+    Points depend only on the shard address strings, so every router
+    configured with the same shard set — in any order — routes every key
+    identically (the determinism the per-shard warm caches rely on).
+    """
+    ring = [
+        (_ring_point(f"{address}#{index}"), address)
+        for address in shards
+        for index in range(replicas)
+    ]
+    ring.sort()
+    return ring
+
+
+# -- one shard ------------------------------------------------------------------
+
+
+class _ShardLink:
+    """One persistent connection to a shard, owned by the router loop.
+
+    Tagged round trips (submit/cancel/stats relays) resolve through
+    :meth:`call`; untagged frames — the shard's progress events and
+    results — flow to :meth:`ReproRouter._relay` for id translation.
+    All state lives on the router's event loop; no locks beyond the
+    write lock.
+    """
+
+    def __init__(self, router: "ReproRouter", address: str) -> None:
+        self.address = address
+        self.up = False
+        #: shard-local request id -> _PendingRequest being relayed.
+        self.routes: Dict[int, "_PendingRequest"] = {}
+        self._router = router
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._frames: Optional[FrameReader] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._calls: Dict[str, Tuple[Optional[object], asyncio.Future]] = {}
+        self._next_tag = 0
+        self._closing = False
+
+    async def connect(self) -> None:
+        """Dial the shard and complete the versioned handshake."""
+        kind, host, port = parse_address(self.address)
+        if kind == "tcp":
+            reader, writer = await asyncio.open_connection(
+                host or "127.0.0.1", port
+            )
+        else:
+            reader, writer = await asyncio.open_unix_connection(host)
+        frames = FrameReader(reader, limit=self._router.line_limit)
+        try:
+            hello = decode_frame(await frames.readline())
+        except ProtocolError:
+            writer.close()
+            raise ServiceError(
+                f"shard {self.address} did not complete the handshake"
+            ) from None
+        if hello.get("type") != "hello" or hello.get("v") != PROTOCOL_VERSION:
+            writer.close()
+            raise ServiceError(
+                f"shard {self.address} speaks protocol {hello.get('v')!r}, "
+                f"this router speaks {PROTOCOL_VERSION}"
+            )
+        self._writer = writer
+        self._frames = frames
+        self.up = True
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def close(self) -> None:
+        self._closing = True
+        self.up = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+
+    async def call(self, frame: Dict[str, object], on_reply=None) -> dict:
+        """One tagged round trip; ``on_reply`` runs synchronously in the
+        reader (before any later frame is processed) when given."""
+        if not self.up:
+            raise ServiceError(f"shard {self.address} is down")
+        self._next_tag += 1
+        tag = f"r{self._next_tag}"
+        frame = dict(frame)
+        frame["tag"] = tag
+        future = asyncio.get_running_loop().create_future()
+        self._calls[tag] = (on_reply, future)
+        try:
+            await self._send(frame)
+        except (OSError, ServiceError) as exc:
+            self._calls.pop(tag, None)
+            raise ServiceError(
+                f"shard {self.address} went away mid-call: {exc}"
+            ) from None
+        return await future
+
+    async def _send(self, frame: Dict[str, object]) -> None:
+        if self._writer is None:
+            raise ServiceError(f"shard {self.address} is down")
+        async with self._write_lock:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._frames.readline()
+                if not line:
+                    raise ServiceError(
+                        f"shard {self.address} closed the connection"
+                    )
+                frame = decode_frame(line)
+                tag = frame.get("tag")
+                if tag is not None:
+                    entry = self._calls.pop(tag, None)
+                    if entry is not None:
+                        on_reply, future = entry
+                        if on_reply is not None:
+                            on_reply(frame)
+                        if not future.done():
+                            future.set_result(frame)
+                    continue  # tagged frames are always direct replies
+                await self._router._relay(self, frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any loss of the stream
+            self._fail(exc)
+
+    def _fail(self, exc: BaseException) -> None:
+        """The connection is gone: fail callers, hand work to failover."""
+        if self._closing or not self.up:
+            return
+        self.up = False
+        if self._writer is not None:
+            self._writer.close()
+        calls, self._calls = self._calls, {}
+        for _, future in calls.values():
+            if not future.done():
+                future.set_exception(
+                    ServiceError(f"shard {self.address} disconnected: {exc}")
+                )
+        self._router._on_shard_down(self, exc)
+
+
+# -- one routed request ---------------------------------------------------------
+
+
+class _PendingRequest:
+    """One client submit on its way through (possibly several) shards."""
+
+    __slots__ = (
+        "global_id",
+        "connection",
+        "payload",
+        "key",
+        "name",
+        "shard",
+        "local_id",
+        "attempts",
+        "last_error",
+        "cancel_requested",
+        "done",
+        "final_state",
+    )
+
+    def __init__(self, global_id, connection, payload, key, name) -> None:
+        self.global_id = global_id
+        self.connection = connection
+        self.payload = payload
+        self.key = key
+        self.name = name
+        self.shard: Optional[_ShardLink] = None
+        self.local_id: Optional[int] = None
+        self.attempts = 0
+        self.last_error: Optional[str] = None
+        self.cancel_requested = False
+        self.done = False
+        self.final_state: Optional[str] = None
+
+
+class _ClientConnection:
+    """One client of the router: a writer, its lock, its requests."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        #: router-global id -> _PendingRequest (kept after completion so
+        #: a late cancel gets the honest terminal state, like the daemon).
+        self.owned: Dict[int, _PendingRequest] = {}
+
+    async def send(self, frame: Dict[str, object]) -> None:
+        async with self._lock:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+
+    async def push(self, frame: Dict[str, object]) -> None:
+        """A server-initiated frame: a vanished client is not an error."""
+        try:
+            await self.send(frame)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+# -- the router -----------------------------------------------------------------
+
+
+class ReproRouter:
+    """The consistent-hash front door over N ``step serve`` shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        max_attempts: int = 3,
+        probe_interval: float = 1.0,
+        replicas: int = RING_REPLICAS,
+        line_limit: int = WIRE_LINE_LIMIT,
+    ) -> None:
+        if not shards:
+            raise ServiceError("a router needs at least one shard address")
+        if len(set(shards)) != len(shards):
+            raise ServiceError(f"duplicate shard addresses in {list(shards)!r}")
+        self.line_limit = line_limit
+        self._links: Dict[str, _ShardLink] = {
+            address: _ShardLink(self, address) for address in shards
+        }
+        self._ring = build_ring(shards, replicas=replicas)
+        self._max_attempts = max_attempts
+        self._probe_interval = probe_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[str] = None
+        self._socket_path: Optional[str] = None
+        self._probe_task: Optional[asyncio.Task] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._conn_writers: Set[asyncio.StreamWriter] = set()
+        self._next_global_id = 0
+        self._counters = {
+            "routed": 0,
+            "failovers": 0,
+            "results": 0,
+            "connections": 0,
+            "served_connections": 0,
+        }
+
+    @property
+    def address(self) -> Optional[str]:
+        """The bound client-facing address (resolved for TCP port 0)."""
+        return self._address
+
+    @property
+    def shards(self) -> List[str]:
+        return list(self._links)
+
+    def shard_for(self, key: str) -> Optional[str]:
+        """The address the ring currently routes ``key`` to (diagnostics)."""
+        link = self._pick(key)
+        return link.address if link is not None else None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self, listen_address: str) -> asyncio.AbstractServer:
+        """Dial the shards, bind the client-facing listener, start probing.
+
+        Shards that are down at start are tolerated (the probe re-admits
+        them) as long as at least one is reachable.
+        """
+        if self._server is not None:
+            raise ServiceError("the router is already serving")
+        failures = []
+        for link in self._links.values():
+            try:
+                await link.connect()
+            except (OSError, ReproError) as exc:
+                failures.append(f"{link.address}: {exc}")
+        if not any(link.up for link in self._links.values()):
+            raise ServiceError(
+                "none of the configured shards is reachable — "
+                + "; ".join(failures)
+            )
+        self._server, self._address, self._socket_path = await open_listener(
+            self._handle_connection, listen_address
+        )
+        self._probe_task = asyncio.ensure_future(self._probe_loop())
+        return self._server
+
+    async def aclose(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            self._probe_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # EOF still-connected clients so their handlers run their own
+        # cleanup and exit, instead of being cancelled (noisily) at
+        # event-loop teardown.
+        for conn_writer in list(self._conn_writers):
+            conn_writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(self._conn_tasks, timeout=5)
+        for link in self._links.values():
+            await link.close()
+        if self._socket_path is not None:
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass
+            self._socket_path = None
+        self._address = None
+
+    async def serve_forever(self, listen_address: str) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        server = await self.start(listen_address)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await self.aclose()
+
+    # -- the ring -----------------------------------------------------------------
+
+    def _pick(self, key: str, exclude: Sequence[str] = ()) -> Optional[_ShardLink]:
+        """First *up* shard clockwise of the key's ring point."""
+        if not self._ring:
+            return None
+        index = bisect.bisect(self._ring, (_ring_point(key), ""))
+        for step in range(len(self._ring)):
+            _, address = self._ring[(index + step) % len(self._ring)]
+            link = self._links[address]
+            if link.up and address not in exclude:
+                return link
+        return None
+
+    async def _probe_loop(self) -> None:
+        """Re-dial down shards; success re-admits them to the ring."""
+        while True:
+            await asyncio.sleep(self._probe_interval)
+            for link in list(self._links.values()):
+                if not link.up:
+                    try:
+                        await link.connect()
+                    except (OSError, ReproError):
+                        pass  # still down; next probe retries
+
+    # -- client connections -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._counters["connections"] += 1
+        self._counters["served_connections"] += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        conn = _ClientConnection(writer)
+        frames = FrameReader(reader, limit=self.line_limit)
+        tasks: List[asyncio.Task] = []
+        try:
+            await conn.send(
+                {"type": "hello", "v": PROTOCOL_VERSION, "server": "repro-router"}
+            )
+            while True:
+                try:
+                    line = await frames.readline()
+                except FrameTooLarge as exc:
+                    await conn.send(
+                        self._tagged(
+                            {
+                                "type": "error",
+                                "v": PROTOCOL_VERSION,
+                                "error": str(exc),
+                            },
+                            exc.tag,
+                        )
+                    )
+                    continue
+                if not line:
+                    break
+                task = await self._handle_frame(conn, line)
+                if task is not None:
+                    tasks.append(task)
+                    tasks = [t for t in tasks if not t.done()]
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._counters["connections"] -= 1
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
+            # A vanished client's work must not hold shard workers: relay
+            # a cancel for everything still in flight and stop relaying.
+            for pending in conn.owned.values():
+                if pending.done:
+                    continue
+                pending.cancel_requested = True
+                link, local_id = pending.shard, pending.local_id
+                if link is not None and local_id is not None:
+                    link.routes.pop(local_id, None)
+                    asyncio.ensure_future(self._cancel_on_shard(link, local_id))
+            conn.owned.clear()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _cancel_on_shard(self, link: _ShardLink, local_id: int) -> None:
+        try:
+            await link.call(
+                {"type": "cancel", "v": PROTOCOL_VERSION, "id": local_id}
+            )
+        except (OSError, ReproError):
+            pass  # the shard is gone; nothing left to cancel
+
+    @staticmethod
+    def _tagged(frame: Dict[str, object], tag) -> Dict[str, object]:
+        if tag is not None:
+            frame["tag"] = tag
+        return frame
+
+    async def _handle_frame(
+        self, conn: _ClientConnection, line: bytes
+    ) -> Optional[asyncio.Task]:
+        tag = None
+        try:
+            frame = decode_frame(line)
+            tag = frame.get("tag")
+            frame_type = check_client_frame(frame)
+            if frame_type == "ping":
+                await conn.send(
+                    self._tagged({"type": "pong", "v": PROTOCOL_VERSION}, tag)
+                )
+            elif frame_type == "stats":
+                await self._handle_stats(conn, tag)
+            elif frame_type == "cancel":
+                await self._handle_cancel(conn, frame, tag)
+            else:  # submit
+                return await self._handle_submit(conn, frame, tag)
+        except ReproError as exc:
+            await conn.send(
+                self._tagged(
+                    {"type": "error", "v": PROTOCOL_VERSION, "error": str(exc)},
+                    tag,
+                )
+            )
+        return None
+
+    # -- submit / dispatch / failover ---------------------------------------------
+
+    async def _handle_submit(
+        self, conn: _ClientConnection, frame: dict, tag
+    ) -> asyncio.Task:
+        # Decoding the circuit and hashing every output cone is CPU work:
+        # run it off-loop so one client's monster circuit never stalls
+        # other connections' frames (mirrors the daemon's submit path).
+        loop = asyncio.get_running_loop()
+        key, name = await loop.run_in_executor(
+            None, request_route_key, frame.get("request")
+        )
+        self._next_global_id += 1
+        pending = _PendingRequest(
+            self._next_global_id, conn, frame.get("request"), key, name
+        )
+        conn.owned[pending.global_id] = pending
+        # Ack with the router-global id immediately: the client has a
+        # stable handle even if the first shard dies before acking.
+        await conn.send(
+            self._tagged(
+                {
+                    "type": "event",
+                    "v": PROTOCOL_VERSION,
+                    "id": pending.global_id,
+                    "name": name,
+                    "state": "queued",
+                },
+                tag,
+            )
+        )
+        return asyncio.ensure_future(self._dispatch(pending))
+
+    async def _dispatch(self, pending: _PendingRequest) -> None:
+        """Bind the request to a shard; walk the ring on shard failure."""
+        while True:
+            if pending.done:
+                return
+            if pending.cancel_requested:
+                await self._finish(pending, "cancelled")
+                return
+            if pending.attempts >= self._max_attempts:
+                await self._finish(
+                    pending,
+                    "failed",
+                    error=(
+                        f"gave up after {pending.attempts} shard attempt(s); "
+                        f"last shard error: {pending.last_error}"
+                    ),
+                )
+                return
+            link = self._pick(pending.key)
+            if link is None:
+                await self._finish(
+                    pending,
+                    "failed",
+                    error=(
+                        "no shard is up"
+                        + (
+                            f"; last shard error: {pending.last_error}"
+                            if pending.last_error
+                            else ""
+                        )
+                    ),
+                )
+                return
+            pending.attempts += 1
+            try:
+                reply = await link.call(
+                    {
+                        "type": "submit",
+                        "v": PROTOCOL_VERSION,
+                        "request": pending.payload,
+                    },
+                    on_reply=lambda frame, link=link: self._bind(
+                        link, frame, pending
+                    ),
+                )
+            except ServiceError as exc:
+                pending.last_error = str(exc)
+                continue
+            if reply.get("type") == "error":
+                # The shard judged the request itself invalid (unknown
+                # engine, bad budgets, ...) — not a shard failure, and
+                # every shard would answer the same; don't retry.
+                await self._finish(
+                    pending, "failed", error=str(reply.get("error"))
+                )
+                return
+            self._counters["routed"] += 1
+            if pending.cancel_requested:
+                # The client cancelled in the pre-bind window and already
+                # holds our "cancelled: True" promise — honour it
+                # deterministically, like the daemon cancelling a queued
+                # request: drop the route (the shard's racing outcome is
+                # no longer relayed), tell the shard, synthesise the
+                # terminal result.
+                if pending.local_id is not None:
+                    link.routes.pop(pending.local_id, None)
+                    asyncio.ensure_future(
+                        self._cancel_on_shard(link, pending.local_id)
+                    )
+                await self._finish(pending, "cancelled")
+            return
+
+    def _bind(self, link: _ShardLink, reply: dict, pending: _PendingRequest) -> None:
+        """Register the shard-local id — synchronously, inside the link
+        reader, so no event of this request can outrun its route entry."""
+        local_id = reply.get("id")
+        if reply.get("type") == "event" and isinstance(local_id, int):
+            pending.shard = link
+            pending.local_id = local_id
+            link.routes[local_id] = pending
+
+    async def _finish(
+        self, pending: _PendingRequest, state: str, error: Optional[str] = None
+    ) -> None:
+        """Deliver a router-synthesised terminal result to the client."""
+        if pending.done:
+            return
+        pending.done = True
+        pending.final_state = state
+        self._counters["results"] += 1
+        frame: Dict[str, object] = {
+            "type": "result",
+            "v": PROTOCOL_VERSION,
+            "id": pending.global_id,
+            "state": state,
+        }
+        if error is not None:
+            frame["error"] = error
+        await pending.connection.push(frame)
+
+    def _on_shard_down(self, link: _ShardLink, exc: BaseException) -> None:
+        """Failover: every request the dead shard held goes back on the
+        ring (the dead shard is already excluded — it is marked down)."""
+        routes, link.routes = link.routes, {}
+        for pending in routes.values():
+            if pending.done:
+                continue
+            pending.shard = None
+            pending.local_id = None
+            pending.last_error = f"shard {link.address} disconnected: {exc}"
+            self._counters["failovers"] += 1
+            asyncio.ensure_future(self._dispatch(pending))
+
+    # -- relay / cancel / stats ---------------------------------------------------
+
+    async def _relay(self, link: _ShardLink, frame: dict) -> None:
+        """Translate a shard's untagged frame to router-global ids."""
+        local_id = frame.get("id")
+        pending = link.routes.get(local_id)
+        if pending is None:
+            return  # a finished or cancelled-away request's late frames
+        out = dict(frame)
+        out["id"] = pending.global_id
+        if frame.get("type") == "result":
+            link.routes.pop(local_id, None)
+            state = str(frame.get("state"))
+            if state == "cancelled" and not pending.cancel_requested:
+                # Nobody on this side asked: the shard is shedding its
+                # in-flight work (draining/shutting down).  Re-route
+                # instead of relaying — a graceful `kill -TERM` of one
+                # shard must lose no requests, exactly like a crash.
+                pending.shard = None
+                pending.local_id = None
+                pending.last_error = (
+                    f"shard {link.address} cancelled the request while "
+                    "shutting down"
+                )
+                self._counters["failovers"] += 1
+                asyncio.ensure_future(self._dispatch(pending))
+                return
+            pending.done = True
+            pending.final_state = state
+            self._counters["results"] += 1
+        await pending.connection.push(out)
+
+    async def _handle_cancel(self, conn: _ClientConnection, frame: dict, tag) -> None:
+        global_id = frame.get("id")
+        pending = (
+            conn.owned.get(global_id) if isinstance(global_id, int) else None
+        )
+        if pending is None:
+            raise ProtocolError(
+                f"cancel: unknown request id {global_id!r} for this connection"
+            )
+        if pending.done:
+            # Honest terminal state, never a fictitious "cancelled".
+            await conn.send(
+                self._tagged(
+                    {
+                        "type": "event",
+                        "v": PROTOCOL_VERSION,
+                        "id": global_id,
+                        "state": pending.final_state or "done",
+                        "cancelled": False,
+                    },
+                    tag,
+                )
+            )
+            return
+        if pending.shard is None:
+            # Not bound to a shard yet (dispatch or failover in flight):
+            # the dispatcher honours the flag and synthesises the result.
+            pending.cancel_requested = True
+            await conn.send(
+                self._tagged(
+                    {
+                        "type": "event",
+                        "v": PROTOCOL_VERSION,
+                        "id": global_id,
+                        "state": "queued",
+                        "cancelled": True,
+                    },
+                    tag,
+                )
+            )
+            return
+        link, local_id = pending.shard, pending.local_id
+        # Record that cancellation is the *client's* wish before the shard
+        # answers: a "cancelled" result arriving for this request must be
+        # relayed as the honest outcome, not mistaken for the shard
+        # shedding work and revived by failover.
+        pending.cancel_requested = True
+        try:
+            reply = await link.call(
+                {"type": "cancel", "v": PROTOCOL_VERSION, "id": local_id}
+            )
+        except ServiceError:
+            # The shard died under the cancel; failover would only revive
+            # work the client just told us to kill.
+            pending.cancel_requested = True
+            await conn.send(
+                self._tagged(
+                    {
+                        "type": "event",
+                        "v": PROTOCOL_VERSION,
+                        "id": global_id,
+                        "state": "queued",
+                        "cancelled": True,
+                    },
+                    tag,
+                )
+            )
+            return
+        await conn.send(
+            self._tagged(
+                {
+                    "type": "event",
+                    "v": PROTOCOL_VERSION,
+                    "id": global_id,
+                    "state": reply.get("state"),
+                    "cancelled": bool(reply.get("cancelled")),
+                },
+                tag,
+            )
+        )
+
+    async def _handle_stats(self, conn: _ClientConnection, tag) -> None:
+        aggregate: Dict[str, object] = {}
+        shards: Dict[str, object] = {}
+        for address in sorted(self._links):
+            link = self._links[address]
+            if not link.up:
+                shards[address] = {"up": False}
+                continue
+            try:
+                reply = await link.call({"type": "stats", "v": PROTOCOL_VERSION})
+            except ServiceError:
+                shards[address] = {"up": False}
+                continue
+            stats = reply.get("stats") if reply.get("type") == "stats" else None
+            if not isinstance(stats, dict):
+                shards[address] = {"up": True}
+                continue
+            shards[address] = {"up": True, **stats}
+            for key, value in stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                aggregate[key] = aggregate.get(key, 0) + value
+        stats_frame: Dict[str, object] = dict(aggregate)
+        stats_frame["protocol"] = PROTOCOL_VERSION
+        stats_frame["router"] = {
+            **self._counters,
+            "shards_up": sum(link.up for link in self._links.values()),
+            "shards_down": sum(not link.up for link in self._links.values()),
+        }
+        stats_frame["shards"] = shards
+        await conn.send(
+            self._tagged(
+                {"type": "stats", "v": PROTOCOL_VERSION, "stats": stats_frame},
+                tag,
+            )
+        )
+
+
+class RouterThread:
+    """A router embedded in this process, on its own event-loop thread.
+
+    The sibling of :class:`repro.service.daemon.ServiceThread` — tests
+    and examples stand up a whole shard fleet in one process::
+
+        shard_a = ServiceThread("127.0.0.1:0", jobs=2).start()
+        shard_b = ServiceThread("127.0.0.1:0", jobs=2).start()
+        with RouterThread("127.0.0.1:0", [shard_a.address, shard_b.address]) as front:
+            with ServiceClient(front.address) as client:
+                report = client.run(request)
+    """
+
+    def __init__(
+        self, listen_address: str, shards: Sequence[str], **router_kwargs
+    ) -> None:
+        self.address = listen_address
+        self.router = ReproRouter(shards, **router_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+
+    def __enter__(self) -> "RouterThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> "RouterThread":
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"router failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.router.start(self.address)
+        except BaseException as exc:  # noqa: BLE001 - relayed to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.address = self.router.address
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.router.aclose()

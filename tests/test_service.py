@@ -224,6 +224,29 @@ class TestDaemonRoundTrip:
         finally:
             default_registry().unregister("TEST-BROKEN")
 
+    def test_daemon_over_tcp_round_trip(self):
+        """A TCP daemon serves the same bits as a Unix-socket one."""
+        with ServiceThread("127.0.0.1:0", jobs=2, backend="thread") as service:
+            # Port 0 resolved to the kernel's pick before start() returned.
+            assert service.address != "127.0.0.1:0"
+            request = request_for(ripple_carry_adder(2))
+            with ServiceClient(service.address) as client:
+                remote = client.run(request)
+        assert remote.fingerprint() == Session().run(request).fingerprint()
+
+    def test_wait_of_unknown_id_raises_instead_of_hanging(self, daemon):
+        """Regression: wait() on a foreign id used to loop on the socket
+        forever — no result frame will ever arrive for it."""
+        with ServiceClient(daemon.socket_path) as client:
+            with pytest.raises(ServiceError, match="unknown request id"):
+                client.wait(424242)
+            # An id consumed by an earlier wait() can never yield another
+            # result frame — waiting again must raise, not loop forever.
+            request_id = client.submit(request_for(mux_tree(2)))
+            client.wait(request_id)
+            with pytest.raises(ServiceError, match="already waited on"):
+                client.wait(request_id)
+
     def test_daemon_shares_one_persistent_cache_across_clients(
         self, tmp_path, socket_path
     ):
@@ -315,6 +338,29 @@ class TestProtocolErrors:
                 assert "\n" not in frame["error"]
             assert client.ping()  # connection still healthy
 
+    def test_oversized_frame_gets_tagged_error_and_connection_survives(
+        self, socket_path
+    ):
+        """Regression: a frame past the line limit used to kill the
+        connection; now it is discarded, answered (with the sniffed tag)
+        and the stream keeps framing correctly."""
+        with ServiceThread(
+            socket_path, jobs=1, backend="serial", line_limit=2048
+        ) as service:
+            with ServiceClient(service.socket_path) as client:
+                huge = {"v": 1, "type": "ping", "pad": "x" * 4096, "tag": 77}
+                client._file.write(
+                    json.dumps(huge, separators=(",", ":")).encode() + b"\n"
+                )
+                client._file.flush()
+                frame = client._read_frame()
+                assert frame["type"] == "error"
+                assert "2048-byte line limit" in frame["error"]
+                assert frame["tag"] == 77
+                # The oversized line is gone *through its newline*: the
+                # connection keeps serving framed traffic.
+                assert client.ping()
+
     def test_cancel_of_foreign_id_rejected(self, daemon):
         with ServiceClient(daemon.socket_path) as client:
             with pytest.raises(ServiceError, match="unknown request id"):
@@ -378,11 +424,25 @@ class TestClientCli:
 
 class TestServiceThreadLifecycle:
     def test_stale_socket_file_is_replaced(self, socket_path):
-        open(socket_path, "w").write("stale")
+        import socket as socket_module
+
+        # The leftover of a killed daemon: a bound-then-abandoned socket.
+        stale = socket_module.socket(socket_module.AF_UNIX)
+        stale.bind(socket_path)
+        stale.close()
+        assert os.path.exists(socket_path)
         with ServiceThread(socket_path, jobs=1, backend="serial"):
             with ServiceClient(socket_path) as client:
                 assert client.ping()
         assert not os.path.exists(socket_path)
+
+    def test_regular_file_socket_path_is_refused_and_survives(self, socket_path):
+        """`step serve --socket some_regular_file` must not delete it."""
+        with open(socket_path, "w") as handle:
+            handle.write("precious user data")
+        with pytest.raises(ServiceError, match="not a socket"):
+            ServiceThread(socket_path, jobs=1, backend="serial").start()
+        assert open(socket_path).read() == "precious user data"
 
     def test_disconnect_cancels_unfinished_requests(self, daemon):
         release = threading.Event()
