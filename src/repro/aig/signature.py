@@ -309,6 +309,11 @@ class PersistentConeCache:
     def save(self) -> None:
         """Merge with the on-disk snapshot, then atomically rewrite it.
 
+        The snapshot is **canonical**: all JSON object keys are emitted
+        sorted, so runs that computed the same entries produce byte-
+        identical ``cone_cache.json`` files whatever order they absorbed
+        them in — snapshots can be diffed/content-hashed directly.
+
         Two guarantees for processes *sharing* one cache directory:
 
         * **No torn reads** — the payload is written to a pid-suffixed
@@ -348,7 +353,9 @@ class PersistentConeCache:
                 # re-stamp THIS run's entries above the merged maximum, or
                 # LRU compaction would rank our newest work as oldest and
                 # evict it first (clock inversion across writers).
-                for context, key_json in self._stamped:
+                # Sorted so the re-stamp walk (and any future side
+                # effect of it) is order-deterministic across runs.
+                for context, key_json in sorted(self._stamped):
                     entry = self._contexts.get(context, {}).get(key_json)
                     if entry is not None:
                         entry["g"] = merged_generation + 1
@@ -360,7 +367,12 @@ class PersistentConeCache:
             # now that the thread execution backend exists.
             temp_path = f"{self.path}.tmp.{os.getpid()}.{threading.get_ident()}"
             with open(temp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                # sort_keys canonicalises the snapshot: contexts, entry
+                # keys and entry fields are emitted in sorted order, so
+                # two runs that computed the same entries write byte-
+                # identical files regardless of absorption order — CI's
+                # warm-cache job diffs snapshots directly on that.
+                json.dump(payload, handle, sort_keys=True)
             os.replace(temp_path, self.path)
             self.dirty = False
             self._stamped.clear()

@@ -1,0 +1,70 @@
+"""Repo-specific static analysis: the determinism / async-hygiene linter.
+
+Every tier of this system is held to one invariant — reports
+fingerprint-identical to the serial reference — and the service tier to
+a second: nothing blocks the shared event loop.  The differential test
+suites catch violations after the fact, on the inputs CI happens to run;
+this package catches the *source patterns* that cause them, on every
+line, at lint time (``step lint``).
+
+Rule classes (full catalog in ``docs/analysis.md``):
+
+* **DET** — unordered-set iteration in order-sensitive positions, wall-
+  clock reads outside ``utils/timer.py``, entropy outside
+  ``utils/rng.py``, ``id()`` in keys;
+* **ASYNC** — blocking calls inside the service tier's coroutines,
+  ``await`` under a held threading lock;
+* **ERR** — bare/swallowed broad excepts on scheduler/daemon paths,
+  wire error replies without a correlation tag.
+
+Findings are waived either inline (``# repro: allow[RULE-ID] reason`` —
+a reviewed decision with its justification) or by the committed
+``lint-baseline.json`` (legacy findings only; new code is never
+baselined).
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    ModuleUnderAnalysis,
+    analyze_paths,
+    discover_files,
+    module_path_for,
+    render_json,
+    render_text,
+)
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    AnalysisReport,
+    Finding,
+)
+from repro.analysis.registry import RULES, Checker, RuleSpec, rule
+from repro.analysis.suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "ModuleUnderAnalysis",
+    "RULES",
+    "RuleSpec",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Suppression",
+    "analyze_paths",
+    "apply_baseline",
+    "discover_files",
+    "load_baseline",
+    "module_path_for",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "rule",
+    "write_baseline",
+]

@@ -1,0 +1,113 @@
+"""The committed finding baseline: legacy findings that don't block.
+
+``lint-baseline.json`` records findings that predate a rule (or a rule's
+tightening) so adopting the analyzer never requires a big-bang cleanup:
+baselined findings are subtracted from a run, anything *new* still fails.
+The policy for this repo (docs/analysis.md) is that new code never gets
+baselined — genuine findings are fixed or carry an inline suppression
+with a written reason; the baseline only ever shrinks.
+
+Matching is by ``(rule, module path, message)`` with multiplicity — not
+by line number, so unrelated edits above a legacy finding don't
+un-baseline it, and fixing one of two identical findings in a file still
+surfaces the other as fixed (the stale baseline entry is reported by
+``--write-baseline`` refreshes, which always emit canonically sorted
+JSON so diffs stay reviewable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ReproError
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter:
+    """The baseline's ``(rule, path, message) -> count`` multiset.
+
+    A malformed baseline is a hard error, not an empty waiver set: a
+    truncated file silently waiving nothing would fail CI with hundreds
+    of "new" findings and no hint why.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {path!r}: {exc}") from None
+    except ValueError as exc:
+        raise ReproError(f"baseline {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ReproError(
+            f"baseline {path!r}: expected a version-{BASELINE_VERSION} baseline object"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise ReproError(f"baseline {path!r}: 'findings' must be a list")
+    counts: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ReproError(f"baseline {path!r}: malformed finding entry {entry!r}")
+        try:
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError):
+            raise ReproError(
+                f"baseline {path!r}: malformed finding entry {entry!r}"
+            ) from None
+        if count < 1:
+            raise ReproError(
+                f"baseline {path!r}: count must be positive in {entry!r}"
+            )
+        counts[key] += count
+    return counts
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as a canonically ordered baseline; return count.
+
+    Entries are sorted by (rule, path, message) and the JSON is emitted
+    with sorted keys, so regenerating an unchanged baseline is a no-op
+    diff.
+    """
+    counts: Counter = Counter(f.baseline_key() for f in findings)
+    entries: List[dict] = [
+        {"rule": rule, "path": module_path, "message": message, "count": count}
+        for (rule, module_path, message), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        raise ReproError(f"cannot write baseline {path!r}: {exc}") from None
+    return sum(counts.values())
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], int]:
+    """Subtract baselined findings; return (live findings, waived count)."""
+    remaining = Counter(baseline)
+    live: List[Finding] = []
+    waived = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            waived += 1
+        else:
+            live.append(finding)
+    return live, waived

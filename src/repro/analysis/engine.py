@@ -1,0 +1,280 @@
+"""The analysis engine: discovery, parsing, one walk, filtering, output.
+
+``analyze_paths`` is the whole pipeline the CLI and tests drive:
+
+1. discover ``.py`` files under the given paths (sorted — the run order,
+   and therefore the output, is reproducible);
+2. parse each into a :class:`ModuleUnderAnalysis` (AST + parent links +
+   comment-derived suppressions);
+3. run every in-scope rule's checker over ONE walk of the AST;
+4. apply inline suppressions, then the baseline;
+5. append the suppression-hygiene findings (missing reason, unused).
+
+Findings come back in canonical (path, line, col, rule) order inside an
+:class:`AnalysisReport`; ``render_text``/``render_json`` turn it into
+the two CLI output formats.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import apply_baseline
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    AnalysisReport,
+    Finding,
+)
+from repro.analysis.registry import RULES, RuleSpec
+from repro.analysis.suppressions import (
+    Suppression,
+    parse_suppressions,
+    suppressions_by_target,
+)
+from repro.errors import ReproError
+
+# Importing the rule modules populates the registry.
+from repro.analysis import rules_async  # noqa: F401
+from repro.analysis import rules_det  # noqa: F401
+from repro.analysis import rules_err  # noqa: F401
+
+# Meta-findings the engine itself emits (they are rules in the catalog
+# sense — documented, baselineable — but need no checker class).
+RULE_PARSE = "PARSE"
+RULE_SUP_REASON = "SUP-REASON"
+RULE_SUP_UNUSED = "SUP-UNUSED"
+
+
+class ModuleUnderAnalysis:
+    """One parsed source file plus the navigation aids checkers need."""
+
+    def __init__(self, path: str, module_path: str, text: str) -> None:
+        self.path = path
+        self.module_path = module_path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)  # SyntaxError handled above
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent  # repro: allow[DET-ID-KEY] within-one-walk parent links; never ordered, hashed into results, or persisted
+        self.suppressions: List[Suppression] = parse_suppressions(text)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))  # repro: allow[DET-ID-KEY] same within-walk parent-link lookup as above
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+
+def module_path_for(path: str, root: str) -> str:
+    """The scope-relative module path of ``path`` (see Finding.path).
+
+    Uses the part below the innermost ``repro`` package directory when
+    there is one, so scanning ``src/repro``, ``src`` or a single file
+    all yield the same stable paths; otherwise falls back to the path
+    relative to the scanned root.
+    """
+    normalized = os.path.abspath(path).replace(os.sep, "/")
+    head, sep, tail = normalized.rpartition("/repro/")
+    if sep:
+        return tail
+    if os.path.isdir(root):
+        return os.path.relpath(path, root).replace(os.sep, "/")
+    # A lone file outside any repro package: keep its parent directory so
+    # directory-scoped rules (core/, service/ …) still resolve.
+    parent = os.path.basename(os.path.dirname(normalized))
+    name = os.path.basename(normalized)
+    return f"{parent}/{name}" if parent else name
+
+
+def discover_files(paths: Sequence[str]) -> List[tuple]:
+    """Sorted ``(file_path, scan_root)`` pairs under ``paths``."""
+    files: List[tuple] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append((path, path))
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append((os.path.join(dirpath, filename), path))
+        else:
+            raise ReproError(f"no such file or directory: {path!r}")
+    return sorted(files)
+
+
+def _select_rules(only: Optional[Sequence[str]]) -> List[RuleSpec]:
+    if only is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    specs = []
+    for rule_id in only:
+        if rule_id not in RULES:
+            raise ReproError(
+                f"unknown rule {rule_id!r}; known rules: {', '.join(sorted(RULES))}"
+            )
+        specs.append(RULES[rule_id])
+    return specs
+
+
+def _run_checkers(module: ModuleUnderAnalysis, specs: List[RuleSpec]) -> List[Finding]:
+    checkers = [spec.checker(module) for spec in specs]
+    for checker in checkers:
+        checker.begin()
+    dispatch = []
+    for checker in checkers:
+        table = {}
+        for name in dir(checker):
+            if name.startswith("visit_"):
+                table[name[len("visit_") :]] = getattr(checker, name)
+        dispatch.append(table)
+    for node in ast.walk(module.tree):
+        node_type = type(node).__name__
+        for table in dispatch:
+            handler = table.get(node_type)
+            if handler is not None:
+                handler(node)
+    findings: List[Finding] = []
+    for checker in checkers:
+        checker.finish()
+        findings.extend(checker.findings)
+    return findings
+
+
+def _apply_suppressions(
+    module: ModuleUnderAnalysis, findings: List[Finding]
+) -> tuple:
+    """Split one module's findings into (live, suppressed_count)."""
+    by_target = suppressions_by_target(module.suppressions)
+    live: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        waivers = by_target.get(finding.line, [])
+        matched = None
+        for suppression in waivers:
+            if suppression.covers(finding.rule):
+                matched = suppression
+                break
+        if matched is not None:
+            matched.used = True
+            suppressed += 1
+        else:
+            live.append(finding)
+    return live, suppressed
+
+
+def _suppression_hygiene(module: ModuleUnderAnalysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for suppression in module.suppressions:
+        if not suppression.reason:
+            findings.append(
+                Finding(
+                    rule=RULE_SUP_REASON,
+                    severity=SEVERITY_ERROR,
+                    path=module.module_path,
+                    line=suppression.line,
+                    col=1,
+                    message=(
+                        "suppression of "
+                        + ", ".join(suppression.rules)
+                        + " has no reason; write why the finding is acceptable"
+                    ),
+                )
+            )
+        if not suppression.used:
+            findings.append(
+                Finding(
+                    rule=RULE_SUP_UNUSED,
+                    severity=SEVERITY_WARNING,
+                    path=module.module_path,
+                    line=suppression.line,
+                    col=1,
+                    message=(
+                        "suppression of "
+                        + ", ".join(suppression.rules)
+                        + " matched no finding; delete the stale comment"
+                    ),
+                )
+            )
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Counter] = None,
+) -> AnalysisReport:
+    """Run the analyzer over ``paths`` and return the filtered report."""
+    specs = _select_rules(rules)
+    report = AnalysisReport()
+    all_findings: List[Finding] = []
+    for file_path, scan_root in discover_files(paths):
+        module_path = module_path_for(file_path, scan_root)
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ReproError(f"cannot read {file_path!r}: {exc}") from None
+        try:
+            module = ModuleUnderAnalysis(file_path, module_path, text)
+        except SyntaxError as exc:
+            all_findings.append(
+                Finding(
+                    rule=RULE_PARSE,
+                    severity=SEVERITY_ERROR,
+                    path=module_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            report.files_scanned += 1
+            continue
+        report.files_scanned += 1
+        in_scope = [spec for spec in specs if spec.applies_to(module_path)]
+        raw = _run_checkers(module, in_scope)
+        live, suppressed = _apply_suppressions(module, raw)
+        report.suppressed += suppressed
+        all_findings.extend(live)
+        all_findings.extend(_suppression_hygiene(module))
+    if baseline:
+        all_findings, waived = apply_baseline(all_findings, baseline)
+        report.baselined = waived
+    report.findings = sorted(all_findings, key=Finding.sort_key)
+    return report
+
+
+def render_text(report: AnalysisReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    summary = (
+        f"{report.files_scanned} file(s): "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    if report.baselined:
+        summary += f", {report.baselined} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    payload = {
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "findings": [finding.to_json() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,98 @@
+"""Findings — what the static analyzer reports.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: the engine sorts them into a canonical order (path,
+line, column, rule) so two runs over the same tree produce byte-identical
+output — the analyzer is held to the same determinism bar it enforces.
+
+Severities
+----------
+``error`` findings fail ``step lint`` (exit status 1) unless suppressed
+inline or carried by the committed baseline; ``warning`` findings are
+reported but never affect the exit status (today only the unused-
+suppression hygiene rule emits them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the *module path* — the part of the file path below the
+    ``repro`` package root (``core/scheduler.py``), or relative to the
+    scanned directory for trees that contain no ``repro`` segment (the
+    test fixtures).  Module paths keep baselines portable across
+    checkouts and working directories.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The identity baselines match on.
+
+        Deliberately excludes the line number: unrelated edits above a
+        legacy finding must not un-baseline it.
+        """
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run.
+
+    ``findings`` are the live (non-suppressed, non-baselined) findings in
+    canonical order; ``suppressed``/``baselined`` count what inline
+    ``allow`` comments and the baseline absorbed, so the text summary can
+    be honest about how much is being waived.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    @property
+    def blocking(self) -> bool:
+        """True when the run must fail (any live error-severity finding)."""
+        return bool(self.errors)

@@ -1,0 +1,134 @@
+"""The rule framework: specs, the registry, and the checker base class.
+
+A *rule* is an id, a severity, a scope (which module paths it applies
+to) and a checker class; the :func:`rule` decorator registers all of it
+in one place so the engine, the CLI's ``--list-rules`` table and the
+docs catalog all read from the same source of truth.
+
+Checkers are AST visitors in the classic ``visit_<NodeType>`` style, but
+dispatch is driven by the engine's single walk over each module: one
+parse, one traversal, every in-scope rule — adding a rule never adds a
+pass.  A checker is instantiated once per (rule, module) pair, so per-
+module state (import maps, set-typed name inference) lives naturally on
+the instance; ``begin()`` runs before the walk, ``finish()`` after.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple, Type
+
+from repro.analysis.findings import SEVERITIES, Finding
+
+if TYPE_CHECKING:  # circular at runtime: engine imports this module
+    from repro.analysis.engine import ModuleUnderAnalysis
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Everything the engine and the docs need to know about one rule."""
+
+    id: str
+    title: str
+    severity: str
+    category: str
+    scope: Tuple[str, ...]  # module-path prefixes; empty = whole tree
+    exclude: Tuple[str, ...]  # module-path prefixes exempted from the scope
+    rationale: str
+    checker: Type["Checker"]
+
+    def applies_to(self, module_path: str) -> bool:
+        if any(module_path.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(module_path.startswith(prefix) for prefix in self.scope)
+
+
+# id -> spec, in registration order; iterate sorted(RULES) for output.
+RULES: Dict[str, RuleSpec] = {}
+
+
+def rule(
+    rule_id: str,
+    *,
+    title: str,
+    severity: str,
+    category: str,
+    scope: Tuple[str, ...] = (),
+    exclude: Tuple[str, ...] = (),
+    rationale: str = "",
+):
+    """Class decorator registering a :class:`Checker` under ``rule_id``."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r} for rule {rule_id}")
+
+    def register(checker: Type["Checker"]) -> Type["Checker"]:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        spec = RuleSpec(
+            id=rule_id,
+            title=title,
+            severity=severity,
+            category=category,
+            scope=tuple(scope),
+            exclude=tuple(exclude),
+            rationale=rationale,
+            checker=checker,
+        )
+        RULES[rule_id] = spec
+        checker.spec = spec
+        return checker
+
+    return register
+
+
+class Checker:
+    """Base class of every rule checker.
+
+    Subclasses implement ``visit_<NodeType>`` methods; the engine calls
+    the matching method for every node of its walk.  ``self.report``
+    records a finding at a node's location under this rule's id and
+    severity.
+    """
+
+    spec: RuleSpec  # installed by @rule
+
+    def __init__(self, module: "ModuleUnderAnalysis") -> None:
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def begin(self) -> None:
+        """Per-module setup before the walk (import maps, inference)."""
+
+    def finish(self) -> None:
+        """Per-module wrap-up after the walk."""
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=self.spec.id,
+                severity=self.spec.severity,
+                path=self.module.module_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+
+def call_name(node: ast.AST) -> str:
+    """Dotted name of a call target / reference, best effort.
+
+    ``time.perf_counter`` -> ``"time.perf_counter"``; deeper attribute
+    chains keep their last two segments (``datetime.datetime.now`` ->
+    ``"datetime.now"`` is matched by suffix).  Unresolvable shapes
+    (subscripts, calls) return ``""``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = call_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""

@@ -1,0 +1,116 @@
+"""ASYNC-class rules: event-loop hygiene in the service tier.
+
+The daemon and router multiplex every client connection onto one asyncio
+loop; a single blocking call in a coroutine stalls all of them at once
+(and, worse, does so only under load — exactly the failure differential
+tests never see).  CPU-bound or blocking work belongs in
+``loop.run_in_executor`` (see ``service/daemon.py``'s submit path for
+the idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, call_name, rule
+from repro.analysis.findings import SEVERITY_ERROR
+
+# The asyncio-native tiers: coroutines here run on the one shared loop.
+ASYNC_SCOPE = ("service/", "api/aio.py")
+
+# Dotted call names that block the calling thread outright.
+_BLOCKING_DOTTED = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "os.system": "run it in an executor",
+    "subprocess.run": "use asyncio.create_subprocess_exec",
+    "subprocess.call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec",
+    "socket.socket": "use asyncio streams (open_connection/start_server)",
+    "socket.create_connection": "use asyncio.open_connection",
+}
+# Bare-name calls that open blocking channels inside a coroutine.  The
+# sync ServiceClient and sync Session are the repo-specific offenders:
+# both park the thread on socket/pool waits.
+_BLOCKING_NAMES = {
+    "open": "do file I/O in an executor",
+    "input": "never prompt inside the service loop",
+    "ServiceClient": "use the async wire client or an executor",
+    "Session": "use repro.api.aio.AsyncSession",
+}
+
+
+def _enclosing_function(module, node):
+    """Nearest enclosing function def, or None at module level."""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+@rule(
+    "ASYNC-BLOCKING",
+    title="blocking call inside a coroutine",
+    severity=SEVERITY_ERROR,
+    category="ASYNC",
+    scope=ASYNC_SCOPE,
+    rationale=(
+        "A blocking call inside `async def` freezes the daemon's event "
+        "loop for every connected client; push blocking work through "
+        "loop.run_in_executor or use the asyncio-native equivalent."
+    ),
+)
+class BlockingCallChecker(Checker):
+    def visit_Call(self, node: ast.Call) -> None:
+        function = _enclosing_function(self.module, node)
+        if not isinstance(function, ast.AsyncFunctionDef):
+            return
+        name = call_name(node.func)
+        hint = _BLOCKING_DOTTED.get(name)
+        if hint is None and isinstance(node.func, ast.Name):
+            hint = _BLOCKING_NAMES.get(name)
+        if hint is not None:
+            self.report(
+                node,
+                f"blocking call {name}(...) inside `async def "
+                f"{function.name}` stalls the event loop; {hint}",
+            )
+
+
+@rule(
+    "ASYNC-LOCK-AWAIT",
+    title="await while holding a threading lock",
+    severity=SEVERITY_ERROR,
+    category="ASYNC",
+    rationale=(
+        "`await` suspends the coroutine with the threading lock still "
+        "held; any thread (or the loop itself, re-entering) that needs "
+        "the lock then deadlocks. Hold thread locks only across straight-"
+        "line code, or use asyncio.Lock with `async with`."
+    ),
+)
+class LockAwaitChecker(Checker):
+    _LOCK_CONSTRUCTORS = {"threading.Lock", "threading.RLock", "Lock", "RLock"}
+
+    def _lock_like(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            return call_name(expr.func) in self._LOCK_CONSTRUCTORS
+        name = call_name(expr)
+        return "lock" in name.rsplit(".", 1)[-1].lower()
+
+    def visit_Await(self, node: ast.Await) -> None:
+        # Walk outward to the enclosing function only: a `with lock:` in
+        # an *outer* function does not span this coroutine's awaits.
+        for ancestor in self.module.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    if self._lock_like(item.context_expr):
+                        self.report(
+                            node,
+                            "await while holding a threading lock "
+                            f"({ast.unparse(item.context_expr)}); release "
+                            "it first or use asyncio.Lock",
+                        )
+                        return

@@ -1,0 +1,141 @@
+"""ERR-class rules: error-path discipline in the scheduler and service.
+
+One failed request must never take the scheduler down — but the dual
+discipline is that no failure may vanish either: every broad catch has
+to record, relay or re-raise, and every wire error reply has to carry
+the client's correlation tag so the failure lands on the request that
+caused it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, call_name, rule
+from repro.analysis.findings import SEVERITY_ERROR
+
+# The always-on tiers where a swallowed failure strands requests.
+ERROR_PATH_SCOPE = ("core/", "service/", "api/")
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _names_in(expr: ast.AST):
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+@rule(
+    "ERR-BARE-EXCEPT",
+    title="bare except:",
+    severity=SEVERITY_ERROR,
+    category="ERR",
+    rationale=(
+        "A bare except catches SystemExit and KeyboardInterrupt too, "
+        "turning shutdown signals into silent continues. Catch a named "
+        "exception type (BaseException if interception really is the "
+        "point, with a reason)."
+    ),
+)
+class BareExceptChecker(Checker):
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node, "bare `except:`; name the exception type being handled"
+            )
+
+
+@rule(
+    "ERR-SWALLOW",
+    title="broad exception swallowed",
+    severity=SEVERITY_ERROR,
+    category="ERR",
+    scope=ERROR_PATH_SCOPE,
+    rationale=(
+        "In the scheduler/daemon tiers a swallowed Exception strands the "
+        "request it belonged to: nothing marks the ticket failed, nothing "
+        "replies to the client. Broad catches must record, relay or "
+        "re-raise — `pass` is only acceptable for narrow, named "
+        "exceptions."
+    ),
+)
+class SwallowedExceptionChecker(Checker):
+    def _is_broad(self, type_node: ast.AST) -> bool:
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(elt) for elt in type_node.elts)
+        return call_name(type_node).rsplit(".", 1)[-1] in _BROAD_EXCEPTIONS
+
+    def _handles(self, statement: ast.stmt) -> bool:
+        """True when the statement plausibly *does* something with the
+        failure: raises, calls, assigns, returns/yields a value…"""
+        if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+            return False
+        if isinstance(statement, ast.Return):
+            return statement.value is not None and not isinstance(
+                statement.value, ast.Constant
+            )
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            return False  # a stray docstring/ellipsis is not handling
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None or not self._is_broad(node.type):
+            return
+        if not any(self._handles(statement) for statement in node.body):
+            self.report(
+                node,
+                "broad exception caught and swallowed; record the failure "
+                "(ticket/reply/log) or re-raise",
+            )
+
+
+@rule(
+    "ERR-UNTAGGED-REPLY",
+    title="error reply without a correlation tag",
+    severity=SEVERITY_ERROR,
+    category="ERR",
+    scope=("service/",),
+    rationale=(
+        "The wire protocol correlates replies by the client's `tag`; an "
+        "error frame sent without one cannot be matched to the submit "
+        "that failed, so pipelined clients hang. Route error frames "
+        "through the connection's _tagged(...) helper."
+    ),
+)
+class UntaggedErrorReplyChecker(Checker):
+    def _dict_keys(self, node: ast.Dict):
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                yield key.value
+
+    def _is_error_frame(self, node: ast.Dict) -> bool:
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+                and isinstance(value, ast.Constant)
+                and value.value == "error"
+            ):
+                return True
+        return False
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if not self._is_error_frame(node):
+            return
+        if "tag" in set(self._dict_keys(node)):
+            return
+        for ancestor in self.module.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                callee = call_name(ancestor.func).rsplit(".", 1)[-1]
+                if callee == "_tagged":
+                    return
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        self.report(
+            node,
+            'error frame built without a "tag"; wrap it in the '
+            "connection's _tagged(...) helper",
+        )

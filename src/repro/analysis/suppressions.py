@@ -1,0 +1,105 @@
+"""Inline suppressions: ``# repro: allow[RULE-ID] reason``.
+
+A suppression waives named rules for exactly one statement line — either
+the line carrying the trailing comment, or (for a comment-only line) the
+next line that holds code.  The *reason* is mandatory: a suppression is a
+reviewed decision, and the decision's justification belongs next to it.
+Suppressions are themselves linted:
+
+* ``SUP-REASON`` (error) — an ``allow`` comment with no reason text;
+* ``SUP-UNUSED`` (warning) — an ``allow`` comment that waived nothing,
+  i.e. the hazard it excused has since been fixed or moved.
+
+Comments are extracted with :mod:`tokenize`, so an ``allow`` spelled
+inside a string literal or docstring is inert — only real comments
+suppress.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)\]"
+    r"\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    line: int  # line the comment itself is on (1-based)
+    target_line: int  # line whose findings it waives
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+def _comment_tokens(text: str) -> List[Tuple[int, int, str]]:
+    """``(line, col, comment_text)`` for every real comment in ``text``.
+
+    Tokenisation errors (the file may not even be valid Python — the
+    engine reports that separately) degrade to "no comments seen".
+    """
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def _next_code_line(lines: List[str], after: int) -> int:
+    """The first line past ``after`` that holds code (1-based).
+
+    Skips blank and comment-only lines so a standalone ``allow`` comment
+    can sit above further commentary.  Falls back to the line after the
+    comment when the file ends first (the suppression then simply
+    matches nothing and is reported unused).
+    """
+    index = after  # ``after`` is 1-based; lines[after] is the next line
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped and not stripped.startswith("#"):
+            return index + 1
+        index += 1
+    return after + 1
+
+
+def parse_suppressions(text: str) -> List[Suppression]:
+    """Every ``allow`` comment in ``text``, with its resolved target line."""
+    lines = text.splitlines()
+    suppressions: List[Suppression] = []
+    for line, col, comment in _comment_tokens(text):
+        match = _ALLOW_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = match.group("reason").strip()
+        standalone = col == len(lines[line - 1]) - len(lines[line - 1].lstrip())
+        target = _next_code_line(lines, line) if standalone else line
+        suppressions.append(
+            Suppression(line=line, target_line=target, rules=rules, reason=reason)
+        )
+    return suppressions
+
+
+def suppressions_by_target(
+    suppressions: List[Suppression],
+) -> Dict[int, List[Suppression]]:
+    table: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        table.setdefault(suppression.target_line, []).append(suppression)
+    return table

@@ -25,6 +25,10 @@ Examples
     step route --listen 127.0.0.1:7000 \
         --shard 127.0.0.1:7001 --shard 127.0.0.1:7002
     step client adder.blif --socket 127.0.0.1:7000 --engine STEP-QD
+
+    # the repo's own static analyzer: determinism / async-hygiene /
+    # error-path rules (exit 0 clean, 1 findings, 2 usage errors)
+    step lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ from repro.circuits import generators
 from repro.circuits.library import classic_circuit, classic_circuit_names
 from repro.core.executors import BACKEND_PROCESS, BACKENDS
 from repro.core.spec import ENGINES
-from repro.errors import ReproError
+from repro.errors import ReproError, UsageError
 from repro.io.bench import read_bench, write_bench
 from repro.io.blif import read_blif, write_blif
 
@@ -307,6 +311,58 @@ def _cmd_route(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        RULES,
+        analyze_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            spec = RULES[rule_id]
+            scope = ", ".join(spec.scope) if spec.scope else "whole tree"
+            print(f"{rule_id:>18} [{spec.severity}] {spec.title} (scope: {scope})")
+        return 0
+    paths = args.paths or ["src/repro"]
+    for path in paths:
+        if not os.path.exists(path):
+            raise UsageError(f"no such file or directory: {path!r}")
+    # Baseline resolution: an explicit --baseline must exist (a typo'd
+    # path silently waiving nothing would defeat the gate); the implicit
+    # default is only used when the file is actually there.
+    baseline = None
+    if args.no_baseline:
+        if args.baseline is not None:
+            raise UsageError("--no-baseline and --baseline are mutually exclusive")
+        baseline_path = None
+    elif args.baseline is not None:
+        if not os.path.isfile(args.baseline) and not args.write_baseline:
+            raise UsageError(f"no such baseline file: {args.baseline!r}")
+        baseline_path = args.baseline
+    else:
+        baseline_path = (
+            DEFAULT_BASELINE_NAME
+            if os.path.isfile(DEFAULT_BASELINE_NAME)
+            else None
+        )
+    if args.write_baseline:
+        report = analyze_paths(paths)
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        count = write_baseline(target, report.findings)
+        print(f"wrote {target}: {count} finding(s) baselined")
+        return 0
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+    report = analyze_paths(paths, baseline=baseline)
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 1 if report.blocking else 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.family not in _GENERATORS:
         raise ReproError(
@@ -504,6 +560,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.set_defaults(handler=_cmd_client)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/async-hygiene static analyzer over the tree",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline of waived legacy findings (default: lint-baseline.json "
+            "in the current directory, when present)"
+        ),
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
+
     generate = sub.add_parser("generate", help="write a generated benchmark circuit")
     generate.add_argument("family", help=", ".join(sorted(_GENERATORS)))
     generate.add_argument("--width", type=int, default=4)
@@ -523,7 +621,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        # UsageError carries 2 (called wrong), everything else 1 (failed).
+        return getattr(exc, "exit_code", 1)
 
 
 if __name__ == "__main__":

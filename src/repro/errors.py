@@ -90,3 +90,14 @@ class FrameTooLarge(ProtocolError):
 
 class ServiceError(ReproError):
     """The decomposition service (or a client's use of it) failed."""
+
+
+class UsageError(ReproError):
+    """Invalid command-line usage (bad paths/flags, not a failed run).
+
+    The CLI maps these to exit status 2 — mirroring argparse's own usage
+    failures — so scripts can tell "you called it wrong" (2) apart from
+    "it ran and found problems" (1).
+    """
+
+    exit_code = 2

@@ -697,22 +697,22 @@ class Solver:
         for var in range(1, self._num_vars + 1):
             reason = self._reason[var]
             if reason is not None and reason.learned:
-                locked.add(id(reason))
+                locked.add(id(reason))  # repro: allow[DET-ID-KEY] within-run identity membership; never ordered or persisted
         self._learnts.sort(key=lambda c: c.activity)
         half = len(self._learnts) // 2
         removed = []
         kept = []
         for i, clause in enumerate(self._learnts):
-            if i < half and id(clause) not in locked and len(clause.lits) > 2:
+            if i < half and id(clause) not in locked and len(clause.lits) > 2:  # repro: allow[DET-ID-KEY] membership test against the identity set above
                 removed.append(clause)
             else:
                 kept.append(clause)
         if not removed:
             return
-        removed_ids = {id(c) for c in removed}
+        removed_ids = {id(c) for c in removed}  # repro: allow[DET-ID-KEY] within-run identity membership; the kept-clause ORDER comes from the deterministic activity sort
         for ilit in range(2, 2 * self._num_vars + 2):
             watchers = self._watches[ilit]
-            self._watches[ilit] = [c for c in watchers if id(c) not in removed_ids]
+            self._watches[ilit] = [c for c in watchers if id(c) not in removed_ids]  # repro: allow[DET-ID-KEY] membership filter; watcher order is inherited from the list, not from id()
         self._learnts = kept
 
     # -------------------------------------------------------------- proofs

@@ -166,6 +166,7 @@ class ReproService:
         # cleanup and exit, instead of being cancelled (noisily) at
         # event-loop teardown.  Must happen while the session is still
         # open: handler cleanup cancels and forgets owned requests.
+        # repro: allow[DET-SET-ITER] shutdown close order is irrelevant and StreamWriters are unsortable; nothing downstream observes it
         for conn_writer in list(self._conn_writers):
             conn_writer.close()
         if self._conn_tasks:
@@ -263,6 +264,7 @@ class ReproService:
                 handle = self._session.handle(request_id)
                 if handle is not None and not handle.ticket.terminal:
                     handle.cancel()
+            # repro: allow[DET-SET-ITER] cancellation order of dead pumps is irrelevant; tasks are unsortable and no result depends on it
             for pump in pumps:
                 pump.cancel()
             # The pumps normally forget() after their result frame; the

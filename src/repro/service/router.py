@@ -414,6 +414,7 @@ class ReproRouter:
         # EOF still-connected clients so their handlers run their own
         # cleanup and exit, instead of being cancelled (noisily) at
         # event-loop teardown.
+        # repro: allow[DET-SET-ITER] shutdown close order is irrelevant and StreamWriters are unsortable; nothing downstream observes it
         for conn_writer in list(self._conn_writers):
             conn_writer.close()
         if self._conn_tasks:

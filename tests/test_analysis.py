@@ -1,0 +1,750 @@
+"""Tests for the static analyzer (``repro.analysis`` / ``step lint``).
+
+Fixture snippets are written under per-test tmp directories whose layout
+mirrors the package (``core/``, ``service/``, ``utils/`` …) so rule
+scoping resolves exactly as it does over ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    analyze_paths,
+    load_baseline,
+    module_path_for,
+    parse_suppressions,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.cli import main
+from repro.errors import ReproError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+REPO_SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def write_module(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def rules_fired(tmp_path, relpath, source):
+    write_module(tmp_path, relpath, source)
+    report = analyze_paths([str(tmp_path)])
+    return [finding.rule for finding in report.findings]
+
+
+class TestScoping:
+    def test_module_path_below_repro_package(self):
+        assert (
+            module_path_for(os.path.join(REPO_SRC, "core", "scheduler.py"), REPO_SRC)
+            == "core/scheduler.py"
+        )
+
+    def test_module_path_relative_to_scan_root(self, tmp_path):
+        path = write_module(tmp_path, "core/x.py", "x = 1\n")
+        assert module_path_for(str(path), str(tmp_path)) == "core/x.py"
+
+    def test_rule_catalog_is_scoped(self):
+        assert RULES["DET-SET-ITER"].applies_to("core/scheduler.py")
+        assert not RULES["DET-SET-ITER"].applies_to("sat/solver.py")
+        assert RULES["DET-WALLCLOCK"].applies_to("sat/solver.py")
+        assert not RULES["DET-WALLCLOCK"].applies_to("utils/timer.py")
+        assert not RULES["DET-RNG"].applies_to("utils/rng.py")
+        assert RULES["ASYNC-BLOCKING"].applies_to("api/aio.py")
+        assert not RULES["ASYNC-BLOCKING"].applies_to("api/session.py")
+
+
+class TestDetSetIter:
+    def test_for_over_set_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = {1, 2, 3}
+            for item in pending:
+                print(item)
+            """,
+        )
+        assert fired == ["DET-SET-ITER"]
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = {1, 2, 3}
+            for item in sorted(pending):
+                print(item)
+            """,
+        )
+        assert fired == []
+
+    def test_list_wrapper_does_not_launder(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = set()
+            for item in list(pending):
+                print(item)
+            """,
+        )
+        assert fired == ["DET-SET-ITER"]
+
+    def test_comprehension_over_set_call_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            names = [str(n) for n in set("abc")]
+            """,
+        )
+        assert fired == ["DET-SET-ITER"]
+
+    def test_annotated_attribute_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            from typing import Set
+
+            class Tracker:
+                def __init__(self) -> None:
+                    self.live: Set[str] = set()
+
+                def dump(self):
+                    return [name for name in self.live]
+            """,
+        )
+        assert fired == ["DET-SET-ITER"]
+
+    def test_set_building_consumers_are_clean(self, tmp_path):
+        # Membership, unordered reductions and set-to-set comprehensions
+        # cannot leak iteration order.
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = {1, 2, 3}
+            ok = 2 in pending
+            total = sum(x for x in pending)
+            biggest = max(pending)
+            doubled = {x * 2 for x in pending}
+            """,
+        )
+        assert fired == []
+
+    def test_out_of_scope_tree_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "sat/x.py",
+            """
+            for item in {1, 2}:
+                print(item)
+            """,
+        )
+        assert fired == []
+
+
+class TestDetWallclock:
+    def test_time_call_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            import time
+
+            started = time.time()
+            """,
+        )
+        assert fired == ["DET-WALLCLOCK"]
+
+    def test_from_import_alias_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "sat/x.py",
+            """
+            from time import perf_counter
+
+            t0 = perf_counter()
+            """,
+        )
+        assert "DET-WALLCLOCK" in fired
+
+    def test_bare_reference_fires(self, tmp_path):
+        # time.perf_counter passed as a default_factory is still a clock.
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            import time
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class D:
+                start: float = field(default_factory=time.perf_counter)
+            """,
+        )
+        assert "DET-WALLCLOCK" in fired
+
+    def test_timer_module_is_exempt(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "utils/timer.py",
+            """
+            import time
+
+            now = time.perf_counter()
+            """,
+        )
+        assert fired == []
+
+    def test_sleep_is_not_a_clock_read(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            import time
+
+            def nap():
+                time.sleep(0.01)
+            """,
+        )
+        assert fired == []
+
+
+class TestDetRng:
+    def test_random_module_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            import random
+
+            pick = random.choice([1, 2])
+            """,
+        )
+        assert fired == ["DET-RNG"]
+
+    def test_os_urandom_and_from_import_fire(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            import os
+            from random import randint
+
+            salt = os.urandom(8)
+            n = randint(0, 10)
+            """,
+        )
+        assert fired == ["DET-RNG", "DET-RNG"]
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "utils/rng.py",
+            """
+            import random
+
+            def deterministic_rng(seed):
+                return random.Random(seed)
+            """,
+        )
+        assert fired == []
+
+
+class TestDetIdKey:
+    def test_id_call_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            seen = {id(object())}
+            """,
+        )
+        assert "DET-ID-KEY" in fired
+
+    def test_id_attribute_and_method_are_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "api/x.py",
+            """
+            class Handle:
+                @property
+                def id(self):
+                    return 7
+
+            def read(handle):
+                return handle.id
+            """,
+        )
+        assert fired == []
+
+
+class TestAsyncBlocking:
+    def test_time_sleep_in_coroutine_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            import time
+
+            async def pump():
+                time.sleep(1)
+            """,
+        )
+        assert fired == ["ASYNC-BLOCKING"]
+
+    def test_open_and_sync_clients_fire(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            from repro.service import ServiceClient
+
+            async def relay(path):
+                data = open(path).read()
+                client = ServiceClient("/tmp/x.sock")
+                return data, client
+            """,
+        )
+        assert fired == ["ASYNC-BLOCKING", "ASYNC-BLOCKING"]
+
+    def test_sync_function_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            import time
+
+            def warmup():
+                time.sleep(0.1)
+            """,
+        )
+        assert fired == []
+
+    def test_nested_sync_def_is_clean(self, tmp_path):
+        # A sync helper *defined* inside a coroutine runs off-loop (it is
+        # typically shipped to run_in_executor); its body may block.
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            import time
+
+            async def pump(loop):
+                def blocking():
+                    time.sleep(1)
+                await loop.run_in_executor(None, blocking)
+            """,
+        )
+        assert fired == []
+
+    def test_out_of_scope_coroutine_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            import time
+
+            async def tick():
+                time.sleep(1)
+            """,
+        )
+        assert fired == []
+
+
+class TestAsyncLockAwait:
+    def test_await_under_threading_lock_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            async def flush(self):
+                with self._lock:
+                    await self.drain()
+            """,
+        )
+        assert fired == ["ASYNC-LOCK-AWAIT"]
+
+    def test_async_with_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            async def flush(self):
+                async with self._lock:
+                    await self.drain()
+            """,
+        )
+        assert fired == []
+
+    def test_await_after_lock_release_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            async def flush(self):
+                with self._lock:
+                    payload = self.render()
+                await self.send(payload)
+            """,
+        )
+        assert fired == []
+
+    def test_coroutine_defined_under_lock_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            def build(self):
+                with self._lock:
+                    async def later():
+                        await self.drain()
+                    return later
+            """,
+        )
+        assert fired == []
+
+
+class TestErrRules:
+    def test_bare_except_fires_anywhere(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "sat/x.py",
+            """
+            try:
+                risky()
+            except:
+                pass
+            """,
+        )
+        assert "ERR-BARE-EXCEPT" in fired
+
+    def test_swallowed_exception_fires_in_scope(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            try:
+                risky()
+            except Exception:
+                pass
+            """,
+        )
+        assert fired == ["ERR-SWALLOW"]
+
+    def test_handled_exception_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            try:
+                risky()
+            except Exception as exc:
+                ticket.mark_failed(str(exc))
+            """,
+        )
+        assert fired == []
+
+    def test_narrow_pass_is_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            try:
+                risky()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            """,
+        )
+        assert fired == []
+
+    def test_broad_member_of_tuple_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "api/x.py",
+            """
+            try:
+                risky()
+            except (ValueError, Exception):
+                continue
+            """,
+        )
+        # `continue` outside a loop is also a syntax error in real code;
+        # keep the snippet legal:
+        assert fired == ["PARSE"] or fired == ["ERR-SWALLOW"]
+
+    def test_untagged_error_frame_fires(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            async def reply(send, exc):
+                await send({"type": "error", "v": 1, "error": str(exc)})
+            """,
+        )
+        assert fired == ["ERR-UNTAGGED-REPLY"]
+
+    def test_tagged_helper_and_tag_key_are_clean(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "service/x.py",
+            """
+            async def reply(self, send, exc, tag):
+                await send(self._tagged({"type": "error", "error": str(exc)}, tag))
+                await send({"type": "error", "error": str(exc), "tag": tag})
+            """,
+        )
+        assert fired == []
+
+
+class TestSuppressions:
+    def test_trailing_suppression_waives_finding(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = {1, 2}
+            for item in pending:  # repro: allow[DET-SET-ITER] order feeds nothing observable
+                print(item)
+            """,
+        )
+        assert fired == []
+
+    def test_standalone_suppression_covers_next_code_line(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = {1, 2}
+            # repro: allow[DET-SET-ITER] order feeds nothing observable
+            for item in pending:
+                print(item)
+            """,
+        )
+        assert fired == []
+
+    def test_wrong_rule_id_does_not_waive(self, tmp_path):
+        fired = rules_fired(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = {1, 2}
+            for item in pending:  # repro: allow[DET-WALLCLOCK] mismatched rule
+                print(item)
+            """,
+        )
+        assert "DET-SET-ITER" in fired
+        assert "SUP-UNUSED" in fired
+
+    def test_missing_reason_is_an_error(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            pending = {1, 2}
+            for item in pending:  # repro: allow[DET-SET-ITER]
+                print(item)
+            """,
+        )
+        report = analyze_paths([str(tmp_path)])
+        assert [f.rule for f in report.findings] == ["SUP-REASON"]
+        assert report.blocking
+
+    def test_unused_suppression_warns_without_blocking(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            value = 1  # repro: allow[DET-SET-ITER] nothing here anymore
+            """,
+        )
+        report = analyze_paths([str(tmp_path)])
+        assert [f.rule for f in report.findings] == ["SUP-UNUSED"]
+        assert not report.blocking
+
+    def test_string_literal_allow_is_inert(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            DOC = "# repro: allow[DET-SET-ITER] not a comment"
+            """,
+        )
+        report = analyze_paths([str(tmp_path)])
+        assert report.findings == []
+
+    def test_parse_suppressions_shapes(self):
+        supps = parse_suppressions(
+            "x = 1  # repro: allow[A-1, B-2] two rules\n"
+        )
+        assert len(supps) == 1
+        assert supps[0].rules == ("A-1", "B-2")
+        assert supps[0].reason == "two rules"
+        assert supps[0].target_line == 1
+
+
+class TestBaseline:
+    def test_round_trip_waives_exactly_once(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            a = {1}
+            for item in a:
+                print(item)
+            for item in a:
+                print(item)
+            """,
+        )
+        report = analyze_paths([str(tmp_path)])
+        assert len(report.findings) == 2
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report.findings)
+        # Fully baselined: clean.
+        full = analyze_paths(
+            [str(tmp_path)], baseline=load_baseline(str(baseline_path))
+        )
+        assert full.findings == [] and full.baselined == 2
+        # A baseline carrying only ONE occurrence still surfaces the other.
+        write_baseline(str(baseline_path), report.findings[:1])
+        partial = analyze_paths(
+            [str(tmp_path)], baseline=load_baseline(str(baseline_path))
+        )
+        assert len(partial.findings) == 1 and partial.baselined == 1
+
+    def test_baseline_file_is_canonical(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            for item in {1}:
+                print(item)
+            """,
+        )
+        report = analyze_paths([str(tmp_path)])
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_baseline(str(first), report.findings)
+        write_baseline(str(second), list(reversed(report.findings)))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_malformed_baseline_is_a_hard_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{\"version\": 99}")
+        with pytest.raises(ReproError):
+            load_baseline(str(bad))
+        bad.write_text("not json")
+        with pytest.raises(ReproError):
+            load_baseline(str(bad))
+
+
+class TestOutputAndCli:
+    def test_parse_error_is_a_finding(self, tmp_path):
+        write_module(tmp_path, "core/x.py", "def broken(:\n")
+        report = analyze_paths([str(tmp_path)])
+        assert [f.rule for f in report.findings] == ["PARSE"]
+        assert report.blocking
+
+    def test_text_and_json_renderings_are_deterministic(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            import time
+
+            t = time.time()
+            for item in {1}:
+                print(item)
+            """,
+        )
+        report_a = analyze_paths([str(tmp_path)])
+        report_b = analyze_paths([str(tmp_path)])
+        assert render_text(report_a) == render_text(report_b)
+        payload = json.loads(render_json(report_a))
+        assert payload["errors"] == 2
+        # Canonical order: by source location (the clock read is first).
+        assert [f["rule"] for f in payload["findings"]] == [
+            "DET-WALLCLOCK",
+            "DET-SET-ITER",
+        ]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        dirty = write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            for item in {1}:
+                print(item)
+            """,
+        )
+        clean = write_module(tmp_path, "core/y.py", "value = 1\n")
+        assert main(["lint", str(clean), "--no-baseline"]) == 0
+        assert main(["lint", str(dirty), "--no-baseline"]) == 1
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+        assert (
+            main(
+                [
+                    "lint",
+                    str(clean),
+                    "--no-baseline",
+                    "--baseline",
+                    "whatever.json",
+                ]
+            )
+            == 2
+        )
+        assert main(["lint", str(clean), "--baseline", "nope.json"]) == 2
+        capsys.readouterr()
+        assert main(["lint", "--list-rules"]) == 0
+        listing = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in listing
+
+    def test_cli_write_baseline_round_trip(self, tmp_path, capsys, monkeypatch):
+        write_module(
+            tmp_path,
+            "core/x.py",
+            """
+            for item in {1}:
+                print(item)
+            """,
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(tmp_path), "--write-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").is_file()
+        capsys.readouterr()
+        # The default baseline is picked up from the working directory.
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        write_module(tmp_path, "core/x.py", "value = 1\n")
+        assert main(["lint", str(tmp_path), "--no-baseline", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestSelfCheck:
+    def test_committed_tree_is_lint_clean(self, capsys):
+        """``step lint src/repro`` must exit 0 on the committed tree."""
+        assert os.path.isdir(REPO_SRC)
+        code = main(["lint", REPO_SRC, "--no-baseline"])
+        output = capsys.readouterr().out
+        assert code == 0, f"lint findings on the committed tree:\n{output}"
+
+    def test_every_rule_has_title_and_rationale(self):
+        for spec in RULES.values():
+            assert spec.title and spec.rationale, spec.id

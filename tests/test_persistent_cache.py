@@ -199,6 +199,35 @@ class TestSnapshotFormat:
             "stats",
         }
 
+    def test_snapshot_bytes_are_canonical(self, tmp_path):
+        """Same entries, any absorption order -> byte-identical snapshots.
+
+        Two fresh cache directories populated by identical runs must end
+        up with byte-identical ``cone_cache.json`` files (CI's warm-cache
+        job diffs them directly), and a snapshot whose contexts/entries
+        arrive in a different order must serialise identically too.
+        """
+        aig = build_circuit()
+        run(aig, tmp_path / "a", engines=(ENGINE_STEP_MG, ENGINE_STEP_QD))
+        run(aig, tmp_path / "b", engines=(ENGINE_STEP_MG, ENGINE_STEP_QD))
+        first = (tmp_path / "a" / PERSISTENT_CACHE_FILENAME).read_bytes()
+        second = (tmp_path / "b" / PERSISTENT_CACHE_FILENAME).read_bytes()
+        assert first == second
+
+        # Different in-memory insertion order, same serialised bytes.
+        forward = PersistentConeCache(str(tmp_path / "fwd.json"))
+        backward = PersistentConeCache(str(tmp_path / "bwd.json"))
+        entries = [("ctx-a", '["k1"]'), ("ctx-b", '["k2"]')]
+        for context, key in entries:
+            forward._contexts.setdefault(context, {})[key] = {"inputs": []}
+        for context, key in reversed(entries):
+            backward._contexts.setdefault(context, {})[key] = {"inputs": []}
+        forward.save()
+        backward.save()
+        assert (tmp_path / "fwd.json").read_bytes() == (
+            tmp_path / "bwd.json"
+        ).read_bytes()
+
     def test_absorb_then_warm_round_trip(self, tmp_path):
         """Direct ConeCache -> snapshot -> ConeCache interchange."""
         aig = build_circuit()
