@@ -12,6 +12,12 @@ Rule classes (full catalog in ``docs/analysis.md``):
 * **DET** — unordered-set iteration in order-sensitive positions, wall-
   clock reads outside ``utils/timer.py``, entropy outside
   ``utils/rng.py``, ``id()`` in keys;
+* **DET-FLOW** — whole-program taint flow: nondeterminism sources
+  (sets, clocks, entropy, ``id()``) tracked through the call graph to
+  fingerprint/cache/wire sinks, across module boundaries;
+* **PROTO** — wire-protocol conformance of daemon/router/client frame
+  construction and dispatch against schemas derived from
+  ``service/protocol.py``;
 * **ASYNC** — blocking calls inside the service tier's coroutines,
   ``await`` under a held threading lock;
 * **ERR** — bare/swallowed broad excepts on scheduler/daemon paths,
@@ -29,6 +35,7 @@ from repro.analysis.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.analysis.callgraph import Project, ProjectIndex
 from repro.analysis.engine import (
     ModuleUnderAnalysis,
     analyze_paths,
@@ -43,7 +50,15 @@ from repro.analysis.findings import (
     AnalysisReport,
     Finding,
 )
-from repro.analysis.registry import RULES, Checker, RuleSpec, rule
+from repro.analysis.protocol_model import ProtocolModel
+from repro.analysis.registry import (
+    RULES,
+    Checker,
+    ProjectChecker,
+    RuleSpec,
+    project_rule,
+    rule,
+)
 from repro.analysis.suppressions import Suppression, parse_suppressions
 
 __all__ = [
@@ -52,6 +67,10 @@ __all__ = [
     "DEFAULT_BASELINE_NAME",
     "Finding",
     "ModuleUnderAnalysis",
+    "Project",
+    "ProjectChecker",
+    "ProjectIndex",
+    "ProtocolModel",
     "RULES",
     "RuleSpec",
     "SEVERITY_ERROR",
@@ -63,6 +82,7 @@ __all__ = [
     "load_baseline",
     "module_path_for",
     "parse_suppressions",
+    "project_rule",
     "render_json",
     "render_text",
     "rule",

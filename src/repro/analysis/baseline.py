@@ -98,8 +98,14 @@ def write_baseline(path: str, findings: Iterable[Finding]) -> int:
 
 def apply_baseline(
     findings: List[Finding], baseline: Counter
-) -> Tuple[List[Finding], int]:
-    """Subtract baselined findings; return (live findings, waived count)."""
+) -> Tuple[List[Finding], int, Counter]:
+    """Subtract baselined findings.
+
+    Returns ``(live findings, waived count, stale entries)`` — the third
+    element is the multiset of baseline entries no current finding
+    consumed, which the engine surfaces as ``BASELINE-STALE`` warnings
+    so a rotting baseline cannot hide silently.
+    """
     remaining = Counter(baseline)
     live: List[Finding] = []
     waived = 0
@@ -110,4 +116,5 @@ def apply_baseline(
             waived += 1
         else:
             live.append(finding)
-    return live, waived
+    stale = Counter({key: count for key, count in remaining.items() if count > 0})
+    return live, waived, stale

@@ -1,0 +1,272 @@
+"""Project index: modules, imports, functions, and best-effort call edges.
+
+Phase 2 of the engine hands every project checker one :class:`Project`
+wrapping all parsed modules.  The heavy artifacts — the import/name
+resolution tables and the function index built here, the taint fixpoint
+built in :mod:`repro.analysis.dataflow` — are cached on the project so a
+family of rules sharing an analysis computes it once.
+
+Name resolution is deliberately *best effort*: this is a linter, not a
+type checker.  We resolve what static Python lets us resolve —
+
+* intraproject imports, absolute (``repro.core.x``, ``core.x`` for
+  fixture trees scanned from their own root) and relative (``from
+  .helpers import f``), with aliases;
+* module-level functions called by bare name or through an imported
+  module/symbol;
+* ``self.method()`` / ``cls.method()`` against the enclosing class, and
+  ``ImportedClass.method()`` for imported class symbols —
+
+and treat everything else (instance attributes of unknown type, values
+returned by calls, subscripts) as opaque.  Unresolved calls simply
+contribute no interprocedural flow; they never crash the analysis.
+
+Everything iterates in deterministic order: modules sorted by path,
+functions in source order.  Two runs over the same tree must produce
+byte-identical findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.registry import call_name
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import ModuleUnderAnalysis
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method (or a module's top-level code)."""
+
+    module_path: str
+    name: str  # dotted within the module: "f", "Cls.m", "<module>"
+    node: ast.AST  # FunctionDef/AsyncFunctionDef, or Module for "<module>"
+    class_name: str = ""  # enclosing class, "" for module-level functions
+    params: Tuple[str, ...] = ()
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module_path}::{self.name}"
+
+
+# An import binding: ("module", module_path) for a name bound to an
+# intraproject module, ("symbol", module_path, original_name) for a name
+# imported out of one.
+Binding = Tuple[str, ...]
+
+MODULE_BODY = "<module>"
+
+
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return ()
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+class ProjectIndex:
+    """Import bindings, the function table, and call resolution."""
+
+    def __init__(self, modules: Dict[str, "ModuleUnderAnalysis"]) -> None:
+        self.modules = modules
+        # (module_path, dotted_name) -> FunctionInfo
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        # module_path -> {local name or dotted import path -> Binding}
+        self.bindings: Dict[str, Dict[str, Binding]] = {}
+        # module_path -> functions in source order (module body last so a
+        # fixpoint sees callee summaries before re-evaluating the driver)
+        self.by_module: Dict[str, List[FunctionInfo]] = {}
+        for path in sorted(modules):
+            self._index_module(modules[path])
+
+    # -- construction --------------------------------------------------
+
+    def _index_module(self, module: "ModuleUnderAnalysis") -> None:
+        path = module.module_path
+        self.bindings[path] = self._collect_bindings(module)
+        infos: List[FunctionInfo] = []
+
+        def collect(body: List[ast.stmt], prefix: str, class_name: str) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    dotted = f"{prefix}{stmt.name}"
+                    info = FunctionInfo(
+                        module_path=path,
+                        name=dotted,
+                        node=stmt,
+                        class_name=class_name,
+                        params=_param_names(stmt),
+                    )
+                    self.functions[(path, dotted)] = info
+                    infos.append(info)
+                    # Nested defs are indexed (closures can still be
+                    # called locally) but analyzed independently.
+                    collect(stmt.body, f"{dotted}.", class_name)
+                elif isinstance(stmt, ast.ClassDef):
+                    collect(stmt.body, f"{prefix}{stmt.name}.", stmt.name)
+
+        collect(module.tree.body, "", "")
+        body_info = FunctionInfo(
+            module_path=path, name=MODULE_BODY, node=module.tree
+        )
+        self.functions[(path, MODULE_BODY)] = body_info
+        infos.append(body_info)
+        self.by_module[path] = infos
+
+    def _collect_bindings(
+        self, module: "ModuleUnderAnalysis"
+    ) -> Dict[str, Binding]:
+        bindings: Dict[str, Binding] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self.resolve_module_name(alias.name)
+                    if target is None:
+                        continue
+                    bound = alias.asname or alias.name
+                    bindings[bound] = ("module", target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_from_base(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    as_module = self.resolve_module_name(
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+                    base_path = self.resolve_module_name(base)
+                    if base_path is not None:
+                        bindings[bound] = ("symbol", base_path, alias.name)
+                    elif as_module is not None:
+                        bindings[bound] = ("module", as_module)
+        return bindings
+
+    def _import_from_base(
+        self, module: "ModuleUnderAnalysis", node: ast.ImportFrom
+    ) -> Optional[str]:
+        """Dotted base the names are imported from, relative resolved."""
+        if not node.level:
+            return node.module or ""
+        # Relative import: climb from the importing module's package.
+        package = module.module_path.split("/")[:-1]
+        climb = node.level - 1
+        if climb > len(package):
+            return None
+        base_parts = package[: len(package) - climb] if climb else package
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts)
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_module_name(self, dotted: str) -> Optional[str]:
+        """Map a dotted module name onto a module path in this project.
+
+        Tries the name as spelled and, for absolute ``repro.*`` imports,
+        with the package root stripped (module paths are rooted below
+        the ``repro`` package).  Returns ``None`` for stdlib/external
+        modules — exactly the calls we cannot reason about.
+        """
+        if not dotted:
+            return None
+        candidates = [dotted.split(".")]
+        if candidates[0][0] == "repro":
+            stripped = candidates[0][1:]
+            if stripped:
+                candidates.insert(0, stripped)
+            else:
+                candidates.insert(0, ["__init__"])
+        for parts in candidates:
+            flat = "/".join(parts)
+            if f"{flat}.py" in self.modules:
+                return f"{flat}.py"
+            if f"{flat}/__init__.py" in self.modules:
+                return f"{flat}/__init__.py"
+        return None
+
+    def lookup_function(
+        self, module_path: str, dotted: str
+    ) -> Optional[FunctionInfo]:
+        info = self.functions.get((module_path, dotted))
+        if info is not None and info.name != MODULE_BODY:
+            return info
+        return None
+
+    def resolve_call(
+        self, caller: FunctionInfo, node: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """Resolve a call site to an intraproject function, best effort."""
+        name = call_name(node.func)
+        if not name:
+            return None
+        path = caller.module_path
+        head, _, rest = name.partition(".")
+        if head in ("self", "cls") and caller.class_name:
+            if rest and "." not in rest:
+                return self.lookup_function(
+                    path, f"{caller.class_name}.{rest}"
+                )
+            return None
+        bindings = self.bindings.get(path, {})
+        # Longest import binding that prefixes the dotted call name wins
+        # ("import repro.core.x" binds the full dotted path).
+        for bound in sorted(bindings, key=len, reverse=True):
+            if name == bound or name.startswith(f"{bound}."):
+                kind = bindings[bound]
+                remainder = name[len(bound) + 1 :]
+                if kind[0] == "module":
+                    if remainder:
+                        return self.lookup_function(kind[1], remainder)
+                    return None  # calling a module object: nonsense
+                target_path, symbol = kind[1], kind[2]
+                dotted = f"{symbol}.{remainder}" if remainder else symbol
+                found = self.lookup_function(target_path, dotted)
+                if found is not None:
+                    return found
+                # Imported name may itself re-export a module-level
+                # function under a different home; give up quietly.
+                return None
+        if "." not in name:
+            return self.lookup_function(path, name)
+        # "ClassDefinedHere.method(...)" within the same module.
+        return self.lookup_function(path, name)
+
+    def resolve_symbol_module(
+        self, module_path: str, name: str
+    ) -> Optional[Tuple[str, str]]:
+        """``(target_module_path, original_name)`` for an imported symbol."""
+        binding = self.bindings.get(module_path, {}).get(name)
+        if binding and binding[0] == "symbol":
+            return binding[1], binding[2]
+        return None
+
+
+class Project:
+    """All parsed modules plus caches shared across project checkers."""
+
+    def __init__(self, modules: List["ModuleUnderAnalysis"]) -> None:
+        self.modules: Dict[str, "ModuleUnderAnalysis"] = {
+            m.module_path: m for m in modules
+        }
+        self._cache: Dict[str, object] = {}
+
+    @property
+    def index(self) -> ProjectIndex:
+        return self.analysis("index", lambda: ProjectIndex(self.modules))
+
+    def analysis(self, key: str, factory: Callable[[], object]):
+        if key not in self._cache:
+            self._cache[key] = factory()
+        return self._cache[key]

@@ -1,0 +1,749 @@
+"""Summary-based taint flow from nondeterminism sources to identity sinks.
+
+The per-module DET rules (:mod:`repro.analysis.rules_det`) catch the
+pattern *at the site where it is written*: a set iterated here, a clock
+read there.  The historical bugs this repo exists to prevent were not
+written at one site — a helper returns a set, a distant caller freezes
+it with ``list()`` and feeds it into ``canonical_cone_signature``, and
+every module involved looks locally innocent.  This module sees the
+whole chain.
+
+**Model.**  A taint is ``(kind, source)`` where *kind* is one of
+
+======== =============================================================
+set      the value *is* an unordered container (iteration order varies)
+set-order the value carries a frozen-but-arbitrary order (``list(s)``)
+wallclock derived from a wall-clock read
+rng      derived from an unseeded entropy source
+id       derived from ``id()`` (an allocation address)
+param    symbolic: "whatever the caller passes as parameter *i*"
+======== =============================================================
+
+and *source* is a stable human-readable origin ("set built in
+core/helpers.py").  Expressions are evaluated abstractly: unions for
+arithmetic and container displays, laundering for ``sorted()`` (order
+kinds die, value kinds survive — a sorted list of timestamps is ordered
+but still machine-dependent), freezing for ``list()``/``tuple()`` of a
+set (``set`` becomes ``set-order``: the arbitrary order is now
+load-bearing).
+
+**Summaries.**  Each function gets ``(returns, sink_params)``:  the
+taints of its return value (symbolic ``param`` taints let argument
+taint flow through helpers) and which parameters reach a sink inside it
+(transitively).  Summaries are iterated to a fixpoint over the call
+graph — all transfer ops are unions and filters, so the sequence is
+monotone and converges; recursion costs extra rounds, not correctness.
+Findings are collected in a final reporting pass after convergence and
+attach to the *sink call site*, the one line where the chain becomes a
+reproducibility bug.
+
+Unresolved calls propagate only value kinds (``wallclock``/``rng``/
+``id``): claiming order flow through unknown code would drown the
+signal in noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    MODULE_BODY,
+    FunctionInfo,
+    Project,
+    ProjectIndex,
+)
+from repro.analysis.findings import SEVERITY_ERROR
+from repro.analysis.registry import ProjectChecker, call_name, project_rule
+
+# Findings are emitted only for these tiers; the analysis itself reads
+# every module (utils/ helpers still propagate taint into core/).
+FLOW_SCOPE = ("aig/", "core/", "service/", "api/")
+
+_ORDER_KINDS = ("set", "set-order")
+_VALUE_KINDS = ("wallclock", "rng", "id")
+
+# kind -> rule id that fires when it reaches a sink.
+_KIND_RULES = {
+    "set": "DET-FLOW-ORDER",
+    "set-order": "DET-FLOW-ORDER",
+    "wallclock": "DET-FLOW-TIME",
+    "rng": "DET-FLOW-RNG",
+    "id": "DET-FLOW-ID",
+}
+
+_KIND_LABELS = {
+    "set": "unordered set",
+    "set-order": "set-derived ordering",
+    "wallclock": "wall-clock value",
+    "rng": "entropy-derived value",
+    "id": "id()-derived value",
+}
+
+_WALLCLOCK_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+_RNG_NAMES = {"os.urandom", "uuid.uuid4", "uuid.uuid1"}
+# Filesystem enumeration: element *set* is stable, order is not.
+_FS_ORDER_FUNCS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+
+# Last call-name segment -> sink category.  The four families protect
+# the identity surfaces from docs/architecture.md: cone fingerprints,
+# wire frames, hash digests, serialized snapshots / cache keys.
+SINKS = {
+    "canonical_cone_signature": "fingerprint",
+    "cone_signature": "fingerprint",
+    "search_fingerprint": "fingerprint",
+    "encode_frame": "wire",
+    "encode_request": "wire",
+    "encode_report": "wire",
+    "encode_circuit": "wire",
+    "blake2b": "hash",
+    "sha256": "hash",
+    "sha1": "hash",
+    "md5": "hash",
+    "dumps": "snapshot",
+}
+
+_ORDER_INSENSITIVE = {"min", "max", "len", "sum", "any", "all"}
+_TRANSPARENT_BUILTINS = {
+    "str",
+    "repr",
+    "format",
+    "int",
+    "float",
+    "bool",
+    "abs",
+    "round",
+    "bytes",
+    "hash",
+    "dict",
+    "reversed",
+    "enumerate",
+    "zip",
+    "iter",
+    "next",
+}
+_PRESERVING_METHODS = {
+    "keys",
+    "values",
+    "items",
+    "copy",
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+}
+_ACCUMULATORS = {"append", "extend", "insert", "add", "update"}
+
+
+@dataclass(frozen=True, order=True)
+class Taint:
+    kind: str
+    source: str
+
+
+@dataclass(frozen=True)
+class Summary:
+    returns: frozenset = frozenset()
+    sink_params: Tuple[Tuple[int, str], ...] = ()
+
+
+class RawFinding(NamedTuple):
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def _union(*taint_sets: Set[Taint]) -> Set[Taint]:
+    out: Set[Taint] = set()
+    for taints in taint_sets:
+        out |= taints
+    return out
+
+
+def _strip(taints: Set[Taint], kinds: Tuple[str, ...]) -> Set[Taint]:
+    return {t for t in taints if t.kind not in kinds}
+
+
+def _element_taint(taints: Set[Taint]) -> Set[Taint]:
+    """Taint of one element drawn by iterating a tainted value.
+
+    Drawing from a ``set`` yields values in arbitrary order, so the
+    element position (and anything accumulated from it) is order
+    tainted; all other kinds ride along unchanged.
+    """
+    out: Set[Taint] = set()
+    for t in taints:
+        if t.kind == "set":
+            out.add(Taint("set-order", t.source))
+        else:
+            out.add(t)
+    return out
+
+
+class _FunctionAnalyzer:
+    """One abstract-interpretation pass over one function body."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        info: FunctionInfo,
+        summaries: Dict[str, Summary],
+        module_envs: Dict[str, Dict[str, frozenset]],
+        collector: Optional[Dict[Tuple[str, str, int, int], RawFinding]] = None,
+    ) -> None:
+        self.index = index
+        self.info = info
+        self.summaries = summaries
+        self.module_envs = module_envs
+        self.collector = collector
+        self.env: Dict[str, Set[Taint]] = {}
+        self.returns: Set[Taint] = set()
+        self.sink_params: Dict[int, str] = {}
+        self._order_depth = 0
+        self._order_source = ""
+        for i, name in enumerate(info.params):
+            self.env[name] = {Taint("param", str(i))}
+
+    # -- driver --------------------------------------------------------
+
+    def run(self) -> Summary:
+        if self.info.name == MODULE_BODY:
+            body = [
+                s
+                for s in self.info.node.body
+                if not isinstance(
+                    s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        else:
+            body = self.info.node.body
+        self._do_body(body)
+        return Summary(
+            returns=frozenset(self.returns),
+            sink_params=tuple(sorted(self.sink_params.items())),
+        )
+
+    def export_module_env(self) -> Dict[str, frozenset]:
+        return {
+            name: frozenset(taints)
+            for name, taints in self.env.items()
+            if taints and "." not in name
+        }
+
+    # -- statements ----------------------------------------------------
+
+    def _do_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._do_stmt(stmt)
+
+    def _do_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # analyzed as their own functions
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, set())
+                self.env[stmt.target.id] = _union(current, taints)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns |= self._eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._do_for(stmt)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._do_body(stmt.body)
+            self._do_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._do_body(stmt.body)
+            self._do_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints)
+            self._do_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._do_body(stmt.body)
+            for handler in stmt.handlers:
+                self._do_body(handler.body)
+            self._do_body(stmt.orelse)
+            self._do_body(stmt.finalbody)
+        else:
+            # Raise, Assert, Delete, ... — evaluate embedded expressions
+            # so sink calls inside them are still seen.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+
+    def _do_for(self, stmt) -> None:
+        iter_taints = self._eval(stmt.iter)
+        self._bind(stmt.target, _element_taint(iter_taints))
+        ordered = [t for t in iter_taints if t.kind in _ORDER_KINDS]
+        if ordered:
+            self._order_depth += 1
+            previous = self._order_source
+            self._order_source = min(ordered).source
+        self._do_body(stmt.body)
+        self._do_body(stmt.orelse)
+        if ordered:
+            self._order_depth -= 1
+            self._order_source = previous
+
+    def _bind(self, target: ast.expr, taints: Set[Taint]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(taints)
+        elif isinstance(target, ast.Attribute):
+            dotted = call_name(target)
+            if dotted.startswith("self."):
+                self.env[dotted] = set(taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taints)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taints)
+        elif isinstance(target, ast.Subscript):
+            # Writing into a container taints the container.
+            self._eval(target.slice)
+            if isinstance(target.value, ast.Name):
+                current = self.env.get(target.value.id, set())
+                self.env[target.value.id] = _union(current, taints)
+
+    # -- expressions ---------------------------------------------------
+
+    def _lookup(self, dotted: str) -> Set[Taint]:
+        if dotted in self.env:
+            return self.env[dotted]
+        if "." in dotted:
+            # Module-level variable of an imported module/symbol.
+            bindings = self.index.bindings.get(self.info.module_path, {})
+            for bound in sorted(bindings, key=len, reverse=True):
+                if dotted == bound or dotted.startswith(f"{bound}."):
+                    binding = bindings[bound]
+                    rest = dotted[len(bound) + 1 :]
+                    if binding[0] == "module" and rest and "." not in rest:
+                        env = self.module_envs.get(binding[1], {})
+                        return set(env.get(rest, frozenset()))
+                    return set()
+            return set()
+        symbol = self.index.resolve_symbol_module(
+            self.info.module_path, dotted
+        )
+        if symbol is not None:
+            env = self.module_envs.get(symbol[0], {})
+            return set(env.get(symbol[1], frozenset()))
+        # Module-level fallback for functions reading module globals.
+        env = self.module_envs.get(self.info.module_path, {})
+        return set(env.get(dotted, frozenset()))
+
+    def _eval(self, node: ast.expr) -> Set[Taint]:
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = call_name(node)
+            if dotted:
+                return self._lookup(dotted)
+            self._eval(node.value)
+            return set()
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return _union(self._eval(node.left), self._eval(node.right))
+        if isinstance(node, ast.BoolOp):
+            return _union(*[self._eval(v) for v in node.values])
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return set()  # booleans do not carry order/value identity
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return _union(self._eval(node.body), self._eval(node.orelse))
+        if isinstance(node, ast.Dict):
+            parts = [self._eval(k) for k in node.keys if k is not None]
+            parts += [self._eval(v) for v in node.values]
+            return _union(*parts) if parts else set()
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return _union(*[self._eval(e) for e in node.elts]) if node.elts else set()
+        if isinstance(node, ast.Set):
+            inner = _union(*[self._eval(e) for e in node.elts]) if node.elts else set()
+            return _strip(inner, _ORDER_KINDS) | {self._set_taint()}
+        if isinstance(node, ast.SetComp):
+            inner = self._eval_comprehension(node, [node.elt])
+            return _strip(inner, _ORDER_KINDS) | {self._set_taint()}
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, [node.elt])
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(node, [node.key, node.value])
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, ast.JoinedStr):
+            return _union(*[self._eval(v) for v in node.values]) if node.values else set()
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)
+            return self._eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return set()
+        if isinstance(node, ast.NamedExpr):
+            taints = self._eval(node.value)
+            self._bind(node.target, taints)
+            return taints
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self.returns |= self._eval(node.value)
+            return set()
+        parts = [
+            self._eval(child)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.expr)
+        ]
+        return _union(*parts) if parts else set()
+
+    def _eval_comprehension(self, node, result_exprs) -> Set[Taint]:
+        order: Set[Taint] = set()
+        for gen in node.generators:
+            iter_taints = self._eval(gen.iter)
+            self._bind(gen.target, _element_taint(iter_taints))
+            for condition in gen.ifs:
+                self._eval(condition)
+            for t in iter_taints:
+                if t.kind in _ORDER_KINDS:
+                    order.add(Taint("set-order", t.source))
+        result = _union(*[self._eval(e) for e in result_exprs])
+        return result | order
+
+    def _set_taint(self) -> Taint:
+        return Taint("set", f"set built in {self.info.module_path}")
+
+    # -- calls ---------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> Set[Taint]:
+        name = call_name(node.func)
+        last = name.rsplit(".", 1)[-1]
+        arg_taints = [self._eval(a) for a in node.args]
+        kw_taints = [(kw.arg, self._eval(kw.value)) for kw in node.keywords]
+        everything = _union(*arg_taints, *[t for _, t in kw_taints])
+
+        source = self._match_source(node, name, last)
+        if source is not None:
+            return {source}
+
+        if last in SINKS:
+            label = f"{SINKS[last]} sink {last}()"
+            self._sink_hit(node, everything, label)
+            return set()
+
+        if name == "sorted":
+            # The sanctioned laundering step: order dies, values do not.
+            # Symbolic param taints are dropped too — the order channel
+            # is the one sorted() is used for (documented approximation).
+            return _strip(everything, _ORDER_KINDS + ("param",))
+        if name in ("list", "tuple"):
+            frozen = {
+                Taint("set-order", t.source) if t.kind == "set" else t
+                for t in everything
+            }
+            return frozen
+        if name in ("set", "frozenset"):
+            return _strip(everything, _ORDER_KINDS) | {self._set_taint()}
+        if name in _ORDER_INSENSITIVE:
+            return _strip(everything, _ORDER_KINDS)
+        if name in _TRANSPARENT_BUILTINS:
+            return everything
+
+        if isinstance(node.func, ast.Attribute):
+            handled = self._eval_method(node, last, everything)
+            if handled is not None:
+                return handled
+
+        resolved = self.index.resolve_call(self.info, node)
+        if resolved is not None:
+            return self._apply_summary(node, resolved, arg_taints, kw_taints)
+
+        if isinstance(node.func, ast.Attribute):
+            # An unrecognized method is a transform of its receiver
+            # (``.encode()``, ``.strip()``, …): the receiver's taints
+            # survive; argument taints get the unknown-callable rule.
+            receiver_taints = self._eval(node.func.value)
+            return _union(
+                receiver_taints,
+                {t for t in everything if t.kind in _VALUE_KINDS},
+            )
+
+        # Unknown callable: only value kinds survive — pretending order
+        # flows through arbitrary code would bury real findings.
+        return {t for t in everything if t.kind in _VALUE_KINDS}
+
+    def _match_source(
+        self, node: ast.Call, name: str, last: str
+    ) -> Optional[Taint]:
+        path = self.info.module_path
+        head = name.rpartition(".")[0].split(".")[-1]
+        if head == "time" and last in _WALLCLOCK_FUNCS:
+            return Taint("wallclock", f"{name}() in {path}")
+        if head in ("datetime", "date") and last in _DATETIME_FUNCS:
+            return Taint("wallclock", f"{name}() in {path}")
+        if head in ("random", "secrets") or name in _RNG_NAMES:
+            return Taint("rng", f"{name}() in {path}")
+        if name == "id" and len(node.args) == 1:
+            return Taint("id", f"id() in {path}")
+        if name in _FS_ORDER_FUNCS or last == "iterdir":
+            return Taint("set-order", f"{name}() in {path}")
+        return None
+
+    def _eval_method(
+        self, node: ast.Call, attr: str, everything: Set[Taint]
+    ) -> Optional[Set[Taint]]:
+        receiver = node.func.value
+        receiver_taints = self._eval(receiver)
+        if attr in _PRESERVING_METHODS:
+            return _union(receiver_taints, everything)
+        if attr == "sort" and isinstance(receiver, ast.Name):
+            self.env[receiver.id] = _strip(
+                self.env.get(receiver.id, set()), _ORDER_KINDS + ("param",)
+            )
+            return set()
+        if attr == "pop" and any(t.kind == "set" for t in receiver_taints):
+            # set.pop() removes an *arbitrary* element.
+            return _element_taint(receiver_taints)
+        if attr == "join":
+            return _union(receiver_taints, everything)
+        if attr == "get":
+            return _union(receiver_taints, everything)
+        if attr in _ACCUMULATORS:
+            added = set(everything)
+            if (
+                self._order_depth
+                and attr != "add"
+                and not any(t.kind == "set" for t in receiver_taints)
+            ):
+                # Appending inside iteration over an unordered source
+                # bakes the arbitrary visit order into the accumulator.
+                added.add(Taint("set-order", self._order_source))
+            target = call_name(receiver)
+            if target and (target in self.env or "." not in target):
+                self.env[target] = _union(
+                    self.env.get(target, set()), added
+                )
+            return set()
+        return None
+
+    def _apply_summary(
+        self,
+        node: ast.Call,
+        callee: FunctionInfo,
+        arg_taints: List[Set[Taint]],
+        kw_taints: List[Tuple[Optional[str], Set[Taint]]],
+    ) -> Set[Taint]:
+        summary = self.summaries.get(callee.qualname, Summary())
+        offset = (
+            1
+            if callee.class_name and callee.params[:1] in (("self",), ("cls",))
+            else 0
+        )
+
+        def taints_for_param(index: int) -> Optional[Set[Taint]]:
+            position = index - offset
+            if 0 <= position < len(arg_taints):
+                return arg_taints[position]
+            if 0 <= index < len(callee.params):
+                wanted = callee.params[index]
+                for kw_name, taints in kw_taints:
+                    if kw_name == wanted:
+                        return taints
+            return None
+
+        result: Set[Taint] = set()
+        for t in summary.returns:
+            if t.kind == "param":
+                passed = taints_for_param(int(t.source))
+                if passed:
+                    result |= passed
+            else:
+                result.add(t)
+        short = callee.name.rsplit(".", 1)[-1]
+        for index, label in summary.sink_params:
+            passed = taints_for_param(index)
+            if passed:
+                self._sink_hit(node, passed, f"{label} via {short}()")
+        return result
+
+    def _sink_hit(
+        self, node: ast.Call, taints: Set[Taint], label: str
+    ) -> None:
+        for t in sorted(taints):
+            if t.kind == "param":
+                self.sink_params.setdefault(int(t.source), label)
+            elif t.kind in _KIND_RULES and self.collector is not None:
+                rule_id = _KIND_RULES[t.kind]
+                key = (
+                    rule_id,
+                    self.info.module_path,
+                    node.lineno,
+                    node.col_offset + 1,
+                )
+                if key not in self.collector:
+                    self.collector[key] = RawFinding(
+                        rule=rule_id,
+                        path=self.info.module_path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        message=(
+                            f"{_KIND_LABELS[t.kind]} ({t.source}) reaches "
+                            f"{label}; make it deterministic before it "
+                            f"enters the identity surface"
+                        ),
+                    )
+
+
+_MAX_ROUNDS = 20
+
+
+def _compute_flow(project: Project) -> List[RawFinding]:
+    index = project.index
+    summaries: Dict[str, Summary] = {}
+    module_envs: Dict[str, Dict[str, frozenset]] = {
+        path: {} for path in index.by_module
+    }
+    ordered = [
+        info
+        for path in sorted(index.by_module)
+        for info in index.by_module[path]
+    ]
+    for info in ordered:
+        summaries[info.qualname] = Summary()
+
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for info in ordered:
+            analyzer = _FunctionAnalyzer(index, info, summaries, module_envs)
+            summary = analyzer.run()
+            if summary != summaries[info.qualname]:
+                summaries[info.qualname] = summary
+                changed = True
+            if info.name == MODULE_BODY:
+                env = analyzer.export_module_env()
+                if env != module_envs[info.module_path]:
+                    module_envs[info.module_path] = env
+                    changed = True
+        if not changed:
+            break
+
+    collector: Dict[Tuple[str, str, int, int], RawFinding] = {}
+    for info in ordered:
+        _FunctionAnalyzer(
+            index, info, summaries, module_envs, collector=collector
+        ).run()
+    return sorted(
+        collector.values(), key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+
+
+def flow_findings(project: Project) -> List[RawFinding]:
+    """All DET-FLOW findings for a project, computed once and cached."""
+    return project.analysis("taint-flow", lambda: _compute_flow(project))
+
+
+class _FlowRule(ProjectChecker):
+    """Each DET-FLOW rule filters its id out of the shared taint run."""
+
+    def check(self, project: Project) -> None:
+        for raw in flow_findings(project):
+            if raw.rule == self.spec.id:
+                self.report(raw.path, raw.line, raw.col, raw.message)
+
+
+@project_rule(
+    "DET-FLOW-ORDER",
+    title="set-derived ordering reaches a fingerprint/cache/wire sink",
+    severity=SEVERITY_ERROR,
+    category="DET-FLOW",
+    scope=FLOW_SCOPE,
+    rationale=(
+        "A set's iteration order — even frozen through list()/tuple() or "
+        "laundered across module boundaries — must never reach a cone "
+        "fingerprint, hash digest, cache snapshot or wire frame. The "
+        "chain is tracked through the call graph; sorted(...) at any hop "
+        "kills the taint."
+    ),
+)
+class OrderFlowRule(_FlowRule):
+    pass
+
+
+@project_rule(
+    "DET-FLOW-TIME",
+    title="wall-clock value reaches a fingerprint/cache/wire sink",
+    severity=SEVERITY_ERROR,
+    category="DET-FLOW",
+    scope=FLOW_SCOPE,
+    rationale=(
+        "Timing is measurement metadata, never identity: a clock reading "
+        "folded into a fingerprint, cache key or encoded frame makes "
+        "identical runs produce different artifacts."
+    ),
+)
+class TimeFlowRule(_FlowRule):
+    pass
+
+
+@project_rule(
+    "DET-FLOW-RNG",
+    title="entropy-derived value reaches a fingerprint/cache/wire sink",
+    severity=SEVERITY_ERROR,
+    category="DET-FLOW",
+    scope=FLOW_SCOPE,
+    rationale=(
+        "Unseeded entropy (random, os.urandom, uuid4, secrets) flowing "
+        "into an identity surface breaks run-to-run reproducibility even "
+        "when every individual module passes DET-RNG locally."
+    ),
+)
+class RngFlowRule(_FlowRule):
+    pass
+
+
+@project_rule(
+    "DET-FLOW-ID",
+    title="id()-derived value reaches a fingerprint/cache/wire sink",
+    severity=SEVERITY_ERROR,
+    category="DET-FLOW",
+    scope=FLOW_SCOPE,
+    rationale=(
+        "id() values are allocation addresses; any fingerprint, key or "
+        "frame derived from one is unreproducible by construction, no "
+        "matter how many helpers it passed through on the way."
+    ),
+)
+class IdFlowRule(_FlowRule):
+    pass

@@ -1,4 +1,4 @@
-"""The analysis engine: discovery, parsing, one walk, filtering, output.
+"""The analysis engine: discovery, parsing, two phases, filtering, output.
 
 ``analyze_paths`` is the whole pipeline the CLI and tests drive:
 
@@ -6,9 +6,16 @@
    and therefore the output, is reproducible);
 2. parse each into a :class:`ModuleUnderAnalysis` (AST + parent links +
    comment-derived suppressions);
-3. run every in-scope rule's checker over ONE walk of the AST;
-4. apply inline suppressions, then the baseline;
-5. append the suppression-hygiene findings (missing reason, unused).
+3. **phase 1** — run every in-scope module rule's checker over ONE walk
+   of each AST;
+4. **phase 2** — hand all parsed modules at once to the project
+   checkers (call-graph taint flow, protocol conformance); their
+   findings join the owning module's so inline suppressions work
+   identically for both phases;
+5. apply inline suppressions, then the baseline (unconsumed baseline
+   entries surface as ``BASELINE-STALE`` warnings);
+6. append the suppression-hygiene findings (missing reason, unused) and
+   apply the optional severity filter.
 
 Findings come back in canonical (path, line, col, rule) order inside an
 :class:`AnalysisReport`; ``render_text``/``render_json`` turn it into
@@ -38,16 +45,21 @@ from repro.analysis.suppressions import (
 )
 from repro.errors import ReproError
 
-# Importing the rule modules populates the registry.
+# Importing the rule modules populates the registry (dataflow and
+# protocol_model register the phase-2 project rules).
 from repro.analysis import rules_async  # noqa: F401
 from repro.analysis import rules_det  # noqa: F401
 from repro.analysis import rules_err  # noqa: F401
+from repro.analysis import dataflow  # noqa: F401
+from repro.analysis import protocol_model  # noqa: F401
+from repro.analysis.callgraph import Project
 
 # Meta-findings the engine itself emits (they are rules in the catalog
 # sense — documented, baselineable — but need no checker class).
 RULE_PARSE = "PARSE"
 RULE_SUP_REASON = "SUP-REASON"
 RULE_SUP_UNUSED = "SUP-UNUSED"
+RULE_BASELINE_STALE = "BASELINE-STALE"
 
 
 class ModuleUnderAnalysis:
@@ -171,7 +183,9 @@ def _apply_suppressions(
     return live, suppressed
 
 
-def _suppression_hygiene(module: ModuleUnderAnalysis) -> List[Finding]:
+def _suppression_hygiene(
+    module: ModuleUnderAnalysis, *, check_unused: bool = True
+) -> List[Finding]:
     findings: List[Finding] = []
     for suppression in module.suppressions:
         if not suppression.reason:
@@ -189,7 +203,7 @@ def _suppression_hygiene(module: ModuleUnderAnalysis) -> List[Finding]:
                     ),
                 )
             )
-        if not suppression.used:
+        if check_unused and not suppression.used:
             findings.append(
                 Finding(
                     rule=RULE_SUP_UNUSED,
@@ -212,11 +226,27 @@ def analyze_paths(
     *,
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Counter] = None,
+    project: bool = True,
+    severity: Optional[str] = None,
 ) -> AnalysisReport:
-    """Run the analyzer over ``paths`` and return the filtered report."""
+    """Run the analyzer over ``paths`` and return the filtered report.
+
+    ``rules`` restricts the run to the given rule ids (``--select``);
+    ``project=False`` skips the phase-2 whole-program checkers;
+    ``severity`` keeps only findings of that severity in the report.
+    With an active rule selection the run is partial by construction,
+    so the soundness-dependent meta findings (``SUP-UNUSED``,
+    ``BASELINE-STALE``) are withheld — a suppression or baseline entry
+    for a deselected rule is not stale, it is merely out of view.
+    """
     specs = _select_rules(rules)
+    module_specs = [spec for spec in specs if not spec.project]
+    project_specs = [spec for spec in specs if spec.project]
+    full_run = rules is None
     report = AnalysisReport()
     all_findings: List[Finding] = []
+    modules: List[ModuleUnderAnalysis] = []
+    raw_by_module: Dict[int, List[Finding]] = {}
     for file_path, scan_root in discover_files(paths):
         module_path = module_path_for(file_path, scan_root)
         try:
@@ -240,15 +270,67 @@ def analyze_paths(
             report.files_scanned += 1
             continue
         report.files_scanned += 1
-        in_scope = [spec for spec in specs if spec.applies_to(module_path)]
-        raw = _run_checkers(module, in_scope)
-        live, suppressed = _apply_suppressions(module, raw)
+        modules.append(module)
+        in_scope = [
+            spec for spec in module_specs if spec.applies_to(module_path)
+        ]
+        raw_by_module[len(modules) - 1] = _run_checkers(module, in_scope)
+
+    if project and modules and project_specs:
+        whole_program = Project(modules)
+        by_path = {
+            module.module_path: position
+            for position, module in enumerate(modules)
+        }
+        for spec in project_specs:
+            checker = spec.checker()
+            checker.check(whole_program)
+            for finding in checker.findings:
+                if not spec.applies_to(finding.path):
+                    continue
+                position = by_path.get(finding.path)
+                if position is None:
+                    all_findings.append(finding)
+                else:
+                    raw_by_module[position].append(finding)
+
+    for position, module in enumerate(modules):
+        live, suppressed = _apply_suppressions(
+            module, raw_by_module[position]
+        )
         report.suppressed += suppressed
         all_findings.extend(live)
-        all_findings.extend(_suppression_hygiene(module))
+        # A partial run (rule selection or skipped phase 2) cannot judge
+        # whether a suppression is unused.
+        all_findings.extend(
+            _suppression_hygiene(module, check_unused=full_run and project)
+        )
+
     if baseline:
-        all_findings, waived = apply_baseline(all_findings, baseline)
+        all_findings, waived, stale = apply_baseline(all_findings, baseline)
         report.baselined = waived
+        if full_run and project:
+            for (rule_id, path, message), count in sorted(stale.items()):
+                snippet = (
+                    message if len(message) <= 60 else message[:57] + "..."
+                )
+                multiplicity = f" ({count}x)" if count > 1 else ""
+                all_findings.append(
+                    Finding(
+                        rule=RULE_BASELINE_STALE,
+                        severity=SEVERITY_WARNING,
+                        path=path,
+                        line=1,
+                        col=1,
+                        message=(
+                            f"baseline entry for {rule_id}{multiplicity} "
+                            f"no longer matches any finding "
+                            f"({snippet!r}); refresh with --write-baseline"
+                        ),
+                    )
+                )
+    if severity is not None:
+        all_findings = [f for f in all_findings if f.severity == severity]
     report.findings = sorted(all_findings, key=Finding.sort_key)
     return report
 

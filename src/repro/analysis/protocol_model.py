@@ -1,0 +1,605 @@
+"""Wire-protocol conformance: frame schemas checked against the code.
+
+PR 6 made the JSON-lines frame contract three-party — client, router,
+shard daemon — with the router translating ids and re-tagging replies
+in both directions.  Nothing but convention keeps the three from
+drifting: a frame type misspelled in one of them, a required field
+dropped, a dispatch chain that silently ignores a frame type the
+protocol module advertises.  This checker turns the convention into a
+model and the model into PROTO-* findings.
+
+The model's ground truth is :mod:`repro.service.protocol` itself:
+``PROTOCOL_VERSION`` and ``CLIENT_FRAME_TYPES`` are read out of the
+analyzed tree's own ``service/protocol.py`` when present (so the lint
+follows the code, not a copy of it), falling back to the built-in
+schemas below.  Frame *shapes* — required and optional fields per type,
+and the tag discipline (``_tagged`` adds ``tag``, the client's
+``_call`` adds ``v`` and ``tag``, a shard link's ``call`` adds ``tag``)
+— are maintained here, next to the rules that enforce them.
+
+Five rules, all scoped to ``service/``:
+
+* ``PROTO-UNKNOWN-TYPE`` — a frame literal's ``"type"`` or a dispatch
+  comparison names a type no schema defines.
+* ``PROTO-MISSING-FIELD`` — a frame literal (after crediting subscript
+  assignments and tag-discipline helpers) lacks required fields.
+* ``PROTO-VERSION-DRIFT`` — ``"v"`` spelled as a numeric literal
+  instead of a ``PROTOCOL_VERSION`` reference.
+* ``PROTO-UNKNOWN-FIELD`` — code consumes a frame field no schema
+  produces (the classic silent typo: ``frame.get("requets")``).
+* ``PROTO-DISPATCH`` — an if/elif chain over ``check_client_frame``'s
+  result covers only some client frame types and has no ``else``.
+
+Reads are only checked on *frame-shaped* receivers (parameters or
+locals named ``frame``/``reply``/``hello``/``result``, or assigned from
+``decode_frame``), so ordinary dicts that happen to carry a ``"type"``
+key — session event records, option payloads — are never confused with
+wire frames.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import Project
+from repro.analysis.dataflow import RawFinding
+from repro.analysis.findings import SEVERITY_ERROR
+from repro.analysis.registry import ProjectChecker, call_name, project_rule
+
+PROTO_SCOPE = ("service/",)
+
+_DEFAULT_VERSION = 1
+_DEFAULT_CLIENT_TYPES = ("submit", "cancel", "stats", "ping")
+
+
+@dataclass(frozen=True)
+class FrameSchema:
+    """One frame shape: who sends it and which fields it must carry."""
+
+    frame_type: str
+    role: str  # "client" or "server"
+    required: frozenset
+    optional: frozenset
+
+
+def _schema(frame_type, role, required, optional=()):
+    return FrameSchema(
+        frame_type=frame_type,
+        role=role,
+        required=frozenset(required),
+        optional=frozenset(optional),
+    )
+
+
+# "stats" is both a client request and a server reply; a construction
+# site conforms if it satisfies at least one schema for its type.
+_BUILTIN_SCHEMAS = (
+    _schema("submit", "client", ("type", "v", "request"), ("tag", "name")),
+    _schema("cancel", "client", ("type", "v", "id"), ("tag",)),
+    _schema("stats", "client", ("type", "v"), ("tag",)),
+    _schema("ping", "client", ("type", "v"), ("tag",)),
+    _schema("hello", "server", ("type", "v", "server")),
+    _schema("pong", "server", ("type", "v"), ("tag",)),
+    _schema("error", "server", ("type", "v", "error"), ("tag",)),
+    _schema(
+        "event",
+        "server",
+        ("type", "v", "id", "state"),
+        ("tag", "name", "output", "cancelled"),
+    ),
+    _schema(
+        "result",
+        "server",
+        ("type", "v", "id", "state"),
+        ("tag", "report", "error"),
+    ),
+    _schema("stats", "server", ("type", "v", "stats"), ("tag",)),
+)
+
+# Helper-call discipline: a dict passed (directly or by name) through
+# one of these gains the listed fields before hitting the wire.
+_AUGMENTERS = {
+    "_tagged": frozenset(["tag"]),
+    "_call": frozenset(["tag", "v"]),
+    "call": frozenset(["tag"]),
+}
+
+# Receiver names treated as wire frames for read/dispatch checks.
+_FRAME_NAMES = ("frame", "reply", "hello", "result")
+
+
+class ProtocolModel:
+    """Schemas plus the constants extracted from service/protocol.py."""
+
+    def __init__(
+        self,
+        version: int = _DEFAULT_VERSION,
+        client_types: Tuple[str, ...] = _DEFAULT_CLIENT_TYPES,
+    ) -> None:
+        self.version = version
+        self.client_types = client_types
+        self.schemas: Dict[str, List[FrameSchema]] = {}
+        for schema in _BUILTIN_SCHEMAS:
+            self.schemas.setdefault(schema.frame_type, []).append(schema)
+        self.all_types = frozenset(self.schemas) | frozenset(client_types)
+        self.field_universe = frozenset(
+            field
+            for schema in _BUILTIN_SCHEMAS
+            for field in schema.required | schema.optional
+        )
+
+    @classmethod
+    def from_project(cls, project: Project) -> "ProtocolModel":
+        version = _DEFAULT_VERSION
+        client_types = _DEFAULT_CLIENT_TYPES
+        for path in sorted(project.modules):
+            if not path.endswith("service/protocol.py") and path != (
+                "service/protocol.py"
+            ):
+                continue
+            for node in ast.walk(project.modules[path].tree):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "PROTOCOL_VERSION" and isinstance(
+                    node.value, ast.Constant
+                ):
+                    if isinstance(node.value.value, int):
+                        version = node.value.value
+                elif target.id == "CLIENT_FRAME_TYPES" and isinstance(
+                    node.value, (ast.Tuple, ast.List)
+                ):
+                    names = [
+                        elt.value
+                        for elt in node.value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    ]
+                    if names:
+                        client_types = tuple(names)
+        return cls(version=version, client_types=client_types)
+
+    def missing_fields(self, frame_type: str, produced: Set[str]) -> List[str]:
+        """Fields still required after the closest schema match."""
+        best: Optional[List[str]] = None
+        for schema in self.schemas.get(frame_type, []):
+            missing = sorted(schema.required - produced)
+            if not missing:
+                return []
+            if best is None or len(missing) < len(best):
+                best = missing
+        return best or []
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _constant_key(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _frame_read(node: ast.AST) -> Optional[Tuple[str, str, ast.AST]]:
+    """``(receiver, field, where)`` for ``X.get("f")`` / ``X["f"]``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and isinstance(node.func.value, ast.Name)
+        and node.args
+    ):
+        field = _constant_key(node.args[0])
+        if field is not None:
+            return node.func.value.id, field, node
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and isinstance(node.ctx, ast.Load)
+    ):
+        field = _constant_key(node.slice)
+        if field is not None:
+            return node.value.id, field, node
+    return None
+
+
+class _FunctionScan:
+    """Per-function facts the frame checks need: who is a frame, what
+    fields each dict-by-name gains after construction."""
+
+    def __init__(self, root: ast.AST, params: Set[str]) -> None:
+        self.frame_names: Set[str] = set(_FRAME_NAMES) | params
+        self.type_aliases: Set[str] = set()
+        self.dispatch_vars: Set[str] = set()
+        self.subscript_writes: Dict[str, Set[str]] = {}
+        self.credits: Dict[str, Set[str]] = {}
+        for node in _own_nodes(root):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    self._learn_assignment(target.id, node.value)
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    field = _constant_key(target.slice)
+                    if field is not None:
+                        self.subscript_writes.setdefault(
+                            target.value.id, set()
+                        ).add(field)
+            elif isinstance(node, ast.Call):
+                helper = call_name(node.func).rsplit(".", 1)[-1]
+                credit = _AUGMENTERS.get(helper)
+                if credit and node.args and isinstance(node.args[0], ast.Name):
+                    self.credits.setdefault(node.args[0].id, set()).update(
+                        credit
+                    )
+
+    def _learn_assignment(self, name: str, value: ast.AST) -> None:
+        helper = (
+            call_name(value.func).rsplit(".", 1)[-1]
+            if isinstance(value, ast.Call)
+            else ""
+        )
+        if helper == "decode_frame":
+            self.frame_names.add(name)
+        elif helper == "check_client_frame":
+            self.dispatch_vars.add(name)
+        else:
+            read = _frame_read(value)
+            if (
+                read is not None
+                and read[0] in self.frame_names
+                and read[1] == "type"
+            ):
+                self.type_aliases.add(name)
+
+    def produced_fields(self, name: str) -> Set[str]:
+        produced = set(self.subscript_writes.get(name, ()))
+        produced |= self.credits.get(name, set())
+        return produced
+
+
+def _compute_proto(project: Project) -> List[RawFinding]:
+    model = ProtocolModel.from_project(project)
+    out: Dict[Tuple[str, str, int, int], RawFinding] = {}
+
+    def emit(rule: str, path: str, node: ast.AST, message: str) -> None:
+        key = (rule, path, node.lineno, node.col_offset + 1)
+        if key not in out:
+            out[key] = RawFinding(
+                rule=rule,
+                path=path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=message,
+            )
+
+    index = project.index
+    for path in sorted(project.modules):
+        if not path.startswith(PROTO_SCOPE):
+            continue
+        module = project.modules[path]
+        for info in index.by_module[path]:
+            params = {p for p in info.params if p in _FRAME_NAMES}
+            scan = _FunctionScan(info.node, params)
+            for node in _own_nodes(info.node):
+                _check_node(model, module, scan, node, path, emit)
+    return sorted(
+        out.values(), key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+
+
+def _check_node(model, module, scan, node, path, emit) -> None:
+    if isinstance(node, ast.Dict):
+        _check_frame_literal(model, module, scan, node, path, emit)
+    elif isinstance(node, ast.Compare):
+        _check_type_comparison(model, scan, node, path, emit)
+        _check_dispatch_unknowns(model, scan, node, path, emit)
+    elif isinstance(node, ast.If):
+        _check_dispatch_chain(model, module, scan, node, path, emit)
+    else:
+        read = _frame_read(node)
+        if read is not None and read[0] in scan.frame_names:
+            field = read[1]
+            if field not in model.field_universe:
+                emit(
+                    "PROTO-UNKNOWN-FIELD",
+                    path,
+                    node,
+                    f"frame field {field!r} is consumed but no frame "
+                    f"schema produces it; known fields: "
+                    + ", ".join(sorted(model.field_universe)),
+                )
+
+
+def _check_frame_literal(model, module, scan, node, path, emit) -> None:
+    frame_type = None
+    produced: Set[str] = set()
+    open_ended = False
+    version_value: Optional[ast.AST] = None
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # ``**spread``: field set unknowable
+            open_ended = True
+            continue
+        field = _constant_key(key)
+        if field is None:
+            open_ended = True
+            continue
+        produced.add(field)
+        if field == "type":
+            frame_type = value.value if isinstance(value, ast.Constant) else None
+        elif field == "v":
+            version_value = value
+    if "type" not in produced or frame_type is None:
+        return  # not a frame construction
+    if frame_type not in model.all_types:
+        emit(
+            "PROTO-UNKNOWN-TYPE",
+            path,
+            node,
+            f"frame type {frame_type!r} is not part of the protocol; "
+            f"known types: " + ", ".join(sorted(model.all_types)),
+        )
+        return
+    if version_value is not None and isinstance(version_value, ast.Constant):
+        emit(
+            "PROTO-VERSION-DRIFT",
+            path,
+            version_value,
+            f'frame pins "v" to the literal {version_value.value!r}; '
+            f"reference PROTOCOL_VERSION so version bumps cannot drift",
+        )
+    elif version_value is not None:
+        name = call_name(version_value)
+        if name and name.rsplit(".", 1)[-1] != "PROTOCOL_VERSION":
+            emit(
+                "PROTO-VERSION-DRIFT",
+                path,
+                version_value,
+                f'frame sets "v" from {name!r}; reference '
+                f"PROTOCOL_VERSION so version bumps cannot drift",
+            )
+    if open_ended:
+        return
+    produced |= _context_credits(module, scan, node)
+    missing = model.missing_fields(frame_type, produced)
+    if missing:
+        emit(
+            "PROTO-MISSING-FIELD",
+            path,
+            node,
+            f"{frame_type!r} frame is missing required field"
+            + ("s " if len(missing) > 1 else " ")
+            + ", ".join(missing),
+        )
+
+
+def _context_credits(module, scan, node: ast.Dict) -> Set[str]:
+    """Fields the literal gains from where it flows after construction."""
+    parent = module.parent(node)
+    if isinstance(parent, ast.Call):
+        helper = call_name(parent.func).rsplit(".", 1)[-1]
+        credit = _AUGMENTERS.get(helper)
+        if credit and parent.args and parent.args[0] is node:
+            return set(credit)
+    if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+        targets = (
+            parent.targets
+            if isinstance(parent, ast.Assign)
+            else [parent.target]
+        )
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            return scan.produced_fields(targets[0].id)
+    return set()
+
+
+def _type_expr_matches(scan, node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in scan.type_aliases
+    read = _frame_read(node)
+    return (
+        read is not None and read[0] in scan.frame_names and read[1] == "type"
+    )
+
+
+def _comparison_constants(node: ast.Compare) -> List[Tuple[str, ast.AST]]:
+    found = []
+    for comparator in [node.left] + node.comparators:
+        if isinstance(comparator, ast.Constant) and isinstance(
+            comparator.value, str
+        ):
+            found.append((comparator.value, comparator))
+        elif isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+            for elt in comparator.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                    elt.value, str
+                ):
+                    found.append((elt.value, elt))
+    return found
+
+
+def _check_type_comparison(model, scan, node: ast.Compare, path, emit) -> None:
+    sides = [node.left] + node.comparators
+    if not any(_type_expr_matches(scan, side) for side in sides):
+        return
+    for value, where in _comparison_constants(node):
+        if value not in model.all_types:
+            emit(
+                "PROTO-UNKNOWN-TYPE",
+                path,
+                where,
+                f"comparison against frame type {value!r}, which is not "
+                f"part of the protocol; known types: "
+                + ", ".join(sorted(model.all_types)),
+            )
+
+
+def _check_dispatch_unknowns(model, scan, node: ast.Compare, path, emit):
+    sides = [node.left] + node.comparators
+    if not any(
+        isinstance(s, ast.Name) and s.id in scan.dispatch_vars for s in sides
+    ):
+        return
+    for value, where in _comparison_constants(node):
+        if value not in model.client_types:
+            emit(
+                "PROTO-UNKNOWN-TYPE",
+                path,
+                where,
+                f"dispatch on client frame type {value!r}, which "
+                f"check_client_frame never returns; client types: "
+                + ", ".join(model.client_types),
+            )
+
+
+def _dispatch_test_types(scan, test: ast.AST) -> Optional[Set[str]]:
+    """Types one chain link handles, or None if not a dispatch test."""
+    if not isinstance(test, ast.Compare):
+        return None
+    sides = [test.left] + test.comparators
+    if not any(
+        isinstance(s, ast.Name) and s.id in scan.dispatch_vars for s in sides
+    ):
+        return None
+    if len(test.ops) == 1 and isinstance(test.ops[0], (ast.Eq, ast.In)):
+        return {value for value, _ in _comparison_constants(test)}
+    return None
+
+
+def _check_dispatch_chain(model, module, scan, node: ast.If, path, emit):
+    covered = _dispatch_test_types(scan, node.test)
+    if covered is None:
+        return
+    parent = module.parent(node)
+    if isinstance(parent, ast.If) and parent.orelse == [node]:
+        return  # interior elif; the chain is judged from its head
+    current = node
+    while True:
+        orelse = current.orelse
+        if not orelse:
+            missing = sorted(set(model.client_types) - covered)
+            if missing:
+                emit(
+                    "PROTO-DISPATCH",
+                    path,
+                    node,
+                    "client-frame dispatch handles only "
+                    + ", ".join(sorted(covered))
+                    + " and has no else branch; unhandled client types: "
+                    + ", ".join(missing),
+                )
+            return
+        if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+            more = _dispatch_test_types(scan, orelse[0].test)
+            if more is None:
+                return  # mixed condition: cannot judge exhaustiveness
+            covered |= more
+            current = orelse[0]
+            continue
+        return  # a real else branch: exhaustive by construction
+
+
+def proto_findings(project: Project) -> List[RawFinding]:
+    """All PROTO findings for a project, computed once and cached."""
+    return project.analysis("proto", lambda: _compute_proto(project))
+
+
+class _ProtoRule(ProjectChecker):
+    def check(self, project: Project) -> None:
+        for raw in proto_findings(project):
+            if raw.rule == self.spec.id:
+                self.report(raw.path, raw.line, raw.col, raw.message)
+
+
+@project_rule(
+    "PROTO-UNKNOWN-TYPE",
+    title="frame type absent from the protocol schema",
+    severity=SEVERITY_ERROR,
+    category="PROTO",
+    scope=PROTO_SCOPE,
+    rationale=(
+        "Every frame type on the wire must exist in the schema derived "
+        "from service/protocol.py; a constructed or dispatched type "
+        "outside it is a silent three-party drift between client, "
+        "router and daemon."
+    ),
+)
+class UnknownTypeRule(_ProtoRule):
+    pass
+
+
+@project_rule(
+    "PROTO-MISSING-FIELD",
+    title="frame constructed without its required fields",
+    severity=SEVERITY_ERROR,
+    category="PROTO",
+    scope=PROTO_SCOPE,
+    rationale=(
+        "Required fields per frame type are part of the contract; the "
+        "check credits the tag discipline (_tagged/_call/call add tag "
+        "and v) and later subscript assignments, so only genuinely "
+        "absent fields fire."
+    ),
+)
+class MissingFieldRule(_ProtoRule):
+    pass
+
+
+@project_rule(
+    "PROTO-VERSION-DRIFT",
+    title='frame "v" not referencing PROTOCOL_VERSION',
+    severity=SEVERITY_ERROR,
+    category="PROTO",
+    scope=PROTO_SCOPE,
+    rationale=(
+        "A hard-coded protocol version keeps working until the first "
+        "real version bump, then fails only across mixed fleets; "
+        "referencing PROTOCOL_VERSION makes the bump atomic."
+    ),
+)
+class VersionDriftRule(_ProtoRule):
+    pass
+
+
+@project_rule(
+    "PROTO-UNKNOWN-FIELD",
+    title="frame field consumed that no schema produces",
+    severity=SEVERITY_ERROR,
+    category="PROTO",
+    scope=PROTO_SCOPE,
+    rationale=(
+        'frame.get("requets") returns None forever and no test notices; '
+        "checking consumed fields against the produced universe catches "
+        "the typo at lint time."
+    ),
+)
+class UnknownFieldRule(_ProtoRule):
+    pass
+
+
+@project_rule(
+    "PROTO-DISPATCH",
+    title="non-exhaustive client-frame dispatch",
+    severity=SEVERITY_ERROR,
+    category="PROTO",
+    scope=PROTO_SCOPE,
+    rationale=(
+        "check_client_frame validates against CLIENT_FRAME_TYPES; an "
+        "if/elif chain over its result that covers fewer types with no "
+        "else drops valid frames on the floor when the protocol grows."
+    ),
+)
+class DispatchRule(_ProtoRule):
+    pass

@@ -1,16 +1,28 @@
-"""The rule framework: specs, the registry, and the checker base class.
+"""The rule framework: specs, the registry, and the checker base classes.
 
 A *rule* is an id, a severity, a scope (which module paths it applies
 to) and a checker class; the :func:`rule` decorator registers all of it
 in one place so the engine, the CLI's ``--list-rules`` table and the
 docs catalog all read from the same source of truth.
 
-Checkers are AST visitors in the classic ``visit_<NodeType>`` style, but
-dispatch is driven by the engine's single walk over each module: one
-parse, one traversal, every in-scope rule — adding a rule never adds a
-pass.  A checker is instantiated once per (rule, module) pair, so per-
-module state (import maps, set-typed name inference) lives naturally on
-the instance; ``begin()`` runs before the walk, ``finish()`` after.
+Two kinds of checkers exist, matching the engine's two phases:
+
+* **Module checkers** (:class:`Checker`, registered with :func:`rule`)
+  are AST visitors in the classic ``visit_<NodeType>`` style, but
+  dispatch is driven by the engine's single walk over each module: one
+  parse, one traversal, every in-scope rule — adding a rule never adds
+  a pass.  A checker is instantiated once per (rule, module) pair, so
+  per-module state (import maps, set-typed name inference) lives
+  naturally on the instance; ``begin()`` runs before the walk,
+  ``finish()`` after.
+
+* **Project checkers** (:class:`ProjectChecker`, registered with
+  :func:`project_rule`) run in phase 2, once per *run*, over every
+  parsed module at once — that is where the whole-program analyses
+  (call-graph taint flow, wire-protocol conformance) live.  Expensive
+  shared artifacts (the call graph, the taint fixpoint) are cached on
+  the :class:`repro.analysis.callgraph.Project` each checker receives,
+  so a family of rules sharing one analysis still computes it once.
 """
 
 from __future__ import annotations
@@ -36,7 +48,8 @@ class RuleSpec:
     scope: Tuple[str, ...]  # module-path prefixes; empty = whole tree
     exclude: Tuple[str, ...]  # module-path prefixes exempted from the scope
     rationale: str
-    checker: Type["Checker"]
+    checker: type
+    project: bool = False  # True: phase-2 whole-program checker
 
     def applies_to(self, module_path: str) -> bool:
         if any(module_path.startswith(prefix) for prefix in self.exclude):
@@ -113,6 +126,79 @@ class Checker:
                 path=self.module.module_path,
                 line=getattr(node, "lineno", 1),
                 col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+
+def project_rule(
+    rule_id: str,
+    *,
+    title: str,
+    severity: str,
+    category: str,
+    scope: Tuple[str, ...] = (),
+    exclude: Tuple[str, ...] = (),
+    rationale: str = "",
+):
+    """Class decorator registering a :class:`ProjectChecker`.
+
+    Project rules live in the same ``RULES`` table as module rules —
+    ``--list-rules``, ``--select``, inline suppressions and the baseline
+    treat both kinds uniformly — but the engine runs them in phase 2,
+    once per run, with the whole :class:`~repro.analysis.callgraph.Project`
+    in hand.  ``scope``/``exclude`` filter the *paths of the findings*
+    they emit, not which modules they may look at: a whole-program
+    checker must see everything to reason about anything.
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r} for rule {rule_id}")
+
+    def register(checker: Type["ProjectChecker"]) -> Type["ProjectChecker"]:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        spec = RuleSpec(
+            id=rule_id,
+            title=title,
+            severity=severity,
+            category=category,
+            scope=tuple(scope),
+            exclude=tuple(exclude),
+            rationale=rationale,
+            checker=checker,
+            project=True,
+        )
+        RULES[rule_id] = spec
+        checker.spec = spec
+        return checker
+
+    return register
+
+
+class ProjectChecker:
+    """Base class of phase-2 whole-program checkers.
+
+    Subclasses implement ``check(project)`` and call ``self.report``
+    with an explicit path/line/col — unlike module checkers they are
+    not bound to a single file, so location is spelled out per finding.
+    """
+
+    spec: RuleSpec  # installed by @project_rule
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+
+    def check(self, project) -> None:
+        raise NotImplementedError
+
+    def report(self, path: str, line: int, col: int, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=self.spec.id,
+                severity=self.spec.severity,
+                path=path,
+                line=line,
+                col=col,
                 message=message,
             )
         )

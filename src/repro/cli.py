@@ -326,8 +326,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule_id in sorted(RULES):
             spec = RULES[rule_id]
             scope = ", ".join(spec.scope) if spec.scope else "whole tree"
-            print(f"{rule_id:>18} [{spec.severity}] {spec.title} (scope: {scope})")
+            phase = "project, " if spec.project else ""
+            print(
+                f"{rule_id:>18} [{spec.severity}] {spec.title} "
+                f"({phase}scope: {scope})"
+            )
         return 0
+    selected = None
+    if args.select:
+        selected = [
+            rule_id.strip()
+            for chunk in args.select
+            for rule_id in chunk.split(",")
+            if rule_id.strip()
+        ]
+        if not selected:
+            raise UsageError("--select needs at least one rule id")
+        unknown = sorted(set(selected) - set(RULES))
+        if unknown:
+            raise UsageError(
+                "unknown rule id(s): "
+                + ", ".join(unknown)
+                + "; see `step lint --list-rules`"
+            )
+    if args.write_baseline and (
+        selected is not None or args.severity or args.no_project
+    ):
+        # A baseline is a snapshot of the *full* run; writing one from a
+        # filtered view would silently un-waive everything filtered out.
+        raise UsageError(
+            "--write-baseline records a full run; it cannot combine with "
+            "--select, --severity or --no-project"
+        )
     paths = args.paths or ["src/repro"]
     for path in paths:
         if not os.path.exists(path):
@@ -358,7 +388,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     if baseline_path is not None:
         baseline = load_baseline(baseline_path)
-    report = analyze_paths(paths, baseline=baseline)
+    report = analyze_paths(
+        paths,
+        rules=selected,
+        baseline=baseline,
+        project=not args.no_project,
+        severity=args.severity,
+    )
     print(render_json(report) if args.format == "json" else render_text(report))
     return 1 if report.blocking else 0
 
@@ -599,6 +635,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULE-ID[,RULE-ID...]",
+        help="run only the listed rules (comma-separated, repeatable)",
+        action="append",
+    )
+    lint.add_argument(
+        "--severity",
+        choices=["error", "warning"],
+        default=None,
+        help="report only findings of this severity",
+    )
+    lint.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the phase-2 whole-program analyses (DET-FLOW, PROTO)",
     )
     lint.set_defaults(handler=_cmd_lint)
 

@@ -491,8 +491,10 @@ class TestErrRules:
             tmp_path,
             "service/x.py",
             """
+            PROTOCOL_VERSION = 1
+
             async def reply(send, exc):
-                await send({"type": "error", "v": 1, "error": str(exc)})
+                await send({"type": "error", "v": PROTOCOL_VERSION, "error": str(exc)})
             """,
         )
         assert fired == ["ERR-UNTAGGED-REPLY"]
@@ -502,9 +504,23 @@ class TestErrRules:
             tmp_path,
             "service/x.py",
             """
+            PROTOCOL_VERSION = 1
+
             async def reply(self, send, exc, tag):
-                await send(self._tagged({"type": "error", "error": str(exc)}, tag))
-                await send({"type": "error", "error": str(exc), "tag": tag})
+                await send(
+                    self._tagged(
+                        {"type": "error", "v": PROTOCOL_VERSION, "error": str(exc)},
+                        tag,
+                    )
+                )
+                await send(
+                    {
+                        "type": "error",
+                        "v": PROTOCOL_VERSION,
+                        "error": str(exc),
+                        "tag": tag,
+                    }
+                )
             """,
         )
         assert fired == []

@@ -1,0 +1,852 @@
+"""Tests for the project phase of ``step lint``.
+
+Covers the whole-program tier added on top of the per-module rule
+engine: call-graph construction (``analysis/callgraph.py``), the
+summary-based determinism taint flow (``DET-FLOW-*``), wire-protocol
+conformance (``PROTO-*``), and the CLI surface that exposes them
+(``--select`` / ``--severity`` / ``--no-project`` / ``BASELINE-STALE``).
+
+Fixture packages mirror the real layout (``core/``, ``aig/``,
+``service/`` …) because both rule families scope by module path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+from repro.analysis import (
+    Project,
+    ProtocolModel,
+    analyze_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import ModuleUnderAnalysis
+from repro.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_module(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def fired(tmp_path, modules, **kwargs):
+    """Write ``{relpath: source}`` and return the fired rule ids."""
+    for relpath, source in modules.items():
+        write_module(tmp_path, relpath, source)
+    report = analyze_paths([str(tmp_path)], **kwargs)
+    return [finding.rule for finding in report.findings]
+
+
+def build_project(modules):
+    """An in-memory Project from ``{module_path: source}``."""
+    return Project(
+        [
+            ModuleUnderAnalysis(path, path, textwrap.dedent(source))
+            for path, source in modules.items()
+        ]
+    )
+
+
+class TestCallGraph:
+    def test_local_and_imported_resolution(self):
+        project = build_project(
+            {
+                "core/helpers.py": """
+                def make():
+                    return 1
+                """,
+                "core/user.py": """
+                from core.helpers import make
+
+                def local():
+                    return 2
+
+                def run():
+                    return make() + local()
+                """,
+            }
+        )
+        index = project.index
+        caller = index.functions[("core/user.py", "run")]
+        import ast
+
+        calls = [
+            node
+            for node in ast.walk(caller.node)
+            if isinstance(node, ast.Call)
+        ]
+        resolved = {
+            index.resolve_call(caller, node).qualname
+            for node in calls
+            if index.resolve_call(caller, node) is not None
+        }
+        assert resolved == {
+            "core/helpers.py::make",
+            "core/user.py::local",
+        }
+
+    def test_module_import_and_self_method(self):
+        project = build_project(
+            {
+                "core/helpers.py": """
+                def make():
+                    return 1
+                """,
+                "core/user.py": """
+                import core.helpers
+
+                class Engine:
+                    def step(self):
+                        return self.step_once() + core.helpers.make()
+
+                    def step_once(self):
+                        return 0
+                """,
+            }
+        )
+        index = project.index
+        caller = index.functions[("core/user.py", "Engine.step")]
+        import ast
+
+        resolved = set()
+        for node in ast.walk(caller.node):
+            if isinstance(node, ast.Call):
+                info = index.resolve_call(caller, node)
+                if info is not None:
+                    resolved.add(info.qualname)
+        assert resolved == {
+            "core/user.py::Engine.step_once",
+            "core/helpers.py::make",
+        }
+
+    def test_external_calls_resolve_to_none(self):
+        project = build_project(
+            {
+                "core/user.py": """
+                import os
+
+                def run():
+                    return os.getpid()
+                """,
+            }
+        )
+        index = project.index
+        caller = index.functions[("core/user.py", "run")]
+        import ast
+
+        call = next(
+            node
+            for node in ast.walk(caller.node)
+            if isinstance(node, ast.Call)
+        )
+        assert index.resolve_call(caller, call) is None
+
+
+class TestTaintFlowFires:
+    def test_direct_set_into_fingerprint(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "aig/fp.py": """
+                from aig.sig import canonical_cone_signature
+
+                def fingerprint(nodes):
+                    pending = {n for n in nodes}
+                    return canonical_cone_signature(list(pending))
+                """,
+            },
+        )
+        assert "DET-FLOW-ORDER" in rules
+
+    def test_multi_hop_cross_module_chain(self, tmp_path):
+        # The flagship case: no single module sees both source and sink.
+        rules = fired(
+            tmp_path,
+            {
+                "core/helpers.py": """
+                def support(nodes):
+                    return {n for n in nodes}
+                """,
+                "core/mid.py": """
+                from core.helpers import support
+
+                def freeze(nodes):
+                    return list(support(nodes))
+                """,
+                "aig/fp.py": """
+                from core.mid import freeze
+                from aig.sig import canonical_cone_signature
+
+                def fingerprint(nodes):
+                    return canonical_cone_signature(freeze(nodes))
+                """,
+            },
+        )
+        assert "DET-FLOW-ORDER" in rules
+
+    def test_cross_module_set_return(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "core/helpers.py": """
+                def support():
+                    return {1, 2, 3}
+                """,
+                "core/fp.py": """
+                import hashlib
+
+                from core.helpers import support
+
+                def digest():
+                    return hashlib.sha256(str(list(support())).encode())
+                """,
+            },
+        )
+        assert "DET-FLOW-ORDER" in rules
+
+    def test_recursion_reaches_fixpoint(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "core/rec.py": """
+                import json
+
+                def walk(frontier, depth):
+                    if depth == 0:
+                        return json.dumps(list(frontier))
+                    return walk(set(frontier), depth - 1)
+
+                def top():
+                    return walk({1, 2}, 3)
+                """,
+            },
+        )
+        assert "DET-FLOW-ORDER" in rules
+
+    def test_wallclock_into_wire_frame(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "service/x.py": """
+                import time
+
+                from service.protocol import encode_frame
+
+                def stamp():
+                    started = time.time()
+                    return encode_frame({"started": started})
+                """,
+            },
+        )
+        assert "DET-FLOW-TIME" in rules
+
+    def test_rng_into_hash(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "core/x.py": """
+                import hashlib
+                import random
+
+                def digest():
+                    salt = random.random()
+                    return hashlib.sha256(str(salt).encode())
+                """,
+            },
+        )
+        assert "DET-FLOW-RNG" in rules
+
+    def test_id_into_snapshot(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "core/x.py": """
+                import json
+
+                def snapshot(obj):
+                    key = id(obj)
+                    return json.dumps({"key": key})
+                """,
+            },
+        )
+        assert "DET-FLOW-ID" in rules
+
+    def test_listdir_order_into_fingerprint(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "core/x.py": """
+                import json
+                import os
+
+                def manifest(root):
+                    names = os.listdir(root)
+                    return json.dumps(names)
+                """,
+            },
+        )
+        assert "DET-FLOW-ORDER" in rules
+
+
+class TestTaintFlowClean:
+    def assert_no_flow(self, rules):
+        assert not [r for r in rules if r.startswith("DET-FLOW-")]
+
+    def test_sorted_launders_set_order(self, tmp_path):
+        self.assert_no_flow(
+            fired(
+                tmp_path,
+                {
+                    "core/helpers.py": """
+                    def support(nodes):
+                        return {n for n in nodes}
+                    """,
+                    "aig/fp.py": """
+                    from core.helpers import support
+                    from aig.sig import canonical_cone_signature
+
+                    def fingerprint(nodes):
+                        return canonical_cone_signature(sorted(support(nodes)))
+                    """,
+                },
+            )
+        )
+
+    def test_order_insensitive_reductions_are_clean(self, tmp_path):
+        self.assert_no_flow(
+            fired(
+                tmp_path,
+                {
+                    "core/x.py": """
+                    import json
+
+                    def summary(nodes):
+                        pending = {n for n in nodes}
+                        return json.dumps([len(pending), min(pending)])
+                    """,
+                },
+            )
+        )
+
+    def test_deterministic_data_is_clean(self, tmp_path):
+        self.assert_no_flow(
+            fired(
+                tmp_path,
+                {
+                    "aig/fp.py": """
+                    from aig.sig import canonical_cone_signature
+
+                    def fingerprint(nodes):
+                        return canonical_cone_signature(sorted(nodes))
+                    """,
+                },
+            )
+        )
+
+    def test_out_of_scope_modules_are_not_reported(self, tmp_path):
+        # sat/ is outside FLOW_SCOPE: analyzed (its summaries feed
+        # in-scope callers) but never reported on directly.
+        self.assert_no_flow(
+            fired(
+                tmp_path,
+                {
+                    "sat/x.py": """
+                    import json
+
+                    def snapshot():
+                        return json.dumps(list({1, 2, 3}))
+                    """,
+                },
+            )
+        )
+
+
+class TestProtoRules:
+    def test_unknown_frame_type_fires(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "service/x.py": """
+                PROTOCOL_VERSION = 1
+
+                def build():
+                    frame = {"type": "results", "v": PROTOCOL_VERSION}
+                    return frame
+                """,
+            },
+        )
+        assert "PROTO-UNKNOWN-TYPE" in rules
+
+    def test_missing_field_fires_and_credits_subscripts(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "service/bad.py": """
+                PROTOCOL_VERSION = 1
+
+                def build(rid):
+                    frame = {"type": "result", "v": PROTOCOL_VERSION}
+                    return frame
+                """,
+                "service/good.py": """
+                PROTOCOL_VERSION = 1
+
+                def build(rid):
+                    frame = {"type": "result", "v": PROTOCOL_VERSION}
+                    frame["id"] = rid
+                    frame["state"] = "done"
+                    return frame
+                """,
+            },
+        )
+        missing = [r for r in rules if r == "PROTO-MISSING-FIELD"]
+        assert missing == ["PROTO-MISSING-FIELD"]  # bad.py only
+
+    def test_tag_helpers_credit_their_fields(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "service/x.py": """
+                PROTOCOL_VERSION = 1
+
+                class Client:
+                    async def submit(self, req):
+                        return await self._call({"type": "submit", "request": req})
+
+                class Daemon:
+                    async def reply(self, send, exc, tag):
+                        await send(
+                            self._tagged(
+                                {
+                                    "type": "error",
+                                    "v": PROTOCOL_VERSION,
+                                    "error": str(exc),
+                                },
+                                tag,
+                            )
+                        )
+                """,
+            },
+        )
+        assert "PROTO-MISSING-FIELD" not in rules
+
+    def test_version_literal_fires_and_constant_is_clean(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "service/bad.py": """
+                def build():
+                    frame = {"type": "ping", "v": 1}
+                    return frame
+                """,
+                "service/good.py": """
+                from service.protocol import PROTOCOL_VERSION
+
+                def build():
+                    frame = {"type": "ping", "v": PROTOCOL_VERSION}
+                    return frame
+                """,
+            },
+        )
+        drift = [r for r in rules if r == "PROTO-VERSION-DRIFT"]
+        assert drift == ["PROTO-VERSION-DRIFT"]  # bad.py only
+
+    def test_unknown_field_read_fires_on_frames_only(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "service/x.py": """
+                def handle(frame, event):
+                    bad = frame.get("requets")
+                    fine = event.get("requets")
+                    return bad, fine
+                """,
+            },
+        )
+        assert rules.count("PROTO-UNKNOWN-FIELD") == 1
+
+    def test_incomplete_dispatch_fires_else_is_clean(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "service/bad.py": """
+                from service.protocol import check_client_frame
+
+                def handle(frame):
+                    kind = check_client_frame(frame)
+                    if kind == "ping":
+                        return "pong"
+                    elif kind == "stats":
+                        return "stats"
+                """,
+                "service/good.py": """
+                from service.protocol import check_client_frame
+
+                def handle(frame):
+                    kind = check_client_frame(frame)
+                    if kind == "ping":
+                        return "pong"
+                    else:
+                        return "unsupported"
+                """,
+            },
+        )
+        dispatch = [r for r in rules if r == "PROTO-DISPATCH"]
+        assert dispatch == ["PROTO-DISPATCH"]  # bad.py only
+
+    def test_model_constants_follow_the_analyzed_tree(self):
+        project = build_project(
+            {
+                "service/protocol.py": """
+                PROTOCOL_VERSION = 7
+                CLIENT_FRAME_TYPES = ("submit", "cancel", "stats", "ping", "flush")
+                """,
+            }
+        )
+        model = ProtocolModel.from_project(project)
+        assert model.version == 7
+        assert "flush" in model.client_types
+        assert "flush" in model.all_types
+
+    def test_proto_rules_are_scoped_to_service(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "core/x.py": """
+                def build():
+                    frame = {"type": "results", "v": 1}
+                    return frame
+                """,
+            },
+        )
+        assert not [r for r in rules if r.startswith("PROTO-")]
+
+
+class TestEngineIntegration:
+    FLOW_FIXTURE = {
+        "core/helpers.py": """
+        def support():
+            return {1, 2, 3}
+        """,
+        "core/fp.py": """
+        import json
+
+        from core.helpers import support
+
+        def snapshot():
+            return json.dumps(list(support()))
+        """,
+    }
+
+    def test_no_project_drops_project_findings(self, tmp_path):
+        assert "DET-FLOW-ORDER" in fired(tmp_path, self.FLOW_FIXTURE)
+        assert (
+            fired(tmp_path, self.FLOW_FIXTURE, project=False) == []
+        )
+
+    def test_select_runs_only_named_rules(self, tmp_path):
+        rules = fired(
+            tmp_path, self.FLOW_FIXTURE, rules=["DET-WALLCLOCK"]
+        )
+        assert rules == []
+        rules = fired(
+            tmp_path, self.FLOW_FIXTURE, rules=["DET-FLOW-ORDER"]
+        )
+        assert rules == ["DET-FLOW-ORDER"]
+
+    def test_severity_filter(self, tmp_path):
+        assert (
+            fired(tmp_path, self.FLOW_FIXTURE, severity="warning") == []
+        )
+        assert "DET-FLOW-ORDER" in fired(
+            tmp_path, self.FLOW_FIXTURE, severity="error"
+        )
+
+    def test_inline_suppression_waives_project_finding(self, tmp_path):
+        rules = fired(
+            tmp_path,
+            {
+                "core/helpers.py": """
+                def support():
+                    return {1, 2, 3}
+                """,
+                "core/fp.py": """
+                import json
+
+                from core.helpers import support
+
+                def snapshot():
+                    return json.dumps(list(support()))  # repro: allow[DET-FLOW-ORDER] membership snapshot; consumer sorts before comparing
+                """,
+            },
+        )
+        assert "DET-FLOW-ORDER" not in rules
+
+    def test_baseline_covers_project_finding(self, tmp_path):
+        for relpath, source in self.FLOW_FIXTURE.items():
+            write_module(tmp_path, relpath, source)
+        report = analyze_paths([str(tmp_path)])
+        flow = [f for f in report.findings if f.rule == "DET-FLOW-ORDER"]
+        assert flow
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report.findings)
+        clean = analyze_paths(
+            [str(tmp_path)], baseline=load_baseline(str(baseline_path))
+        )
+        assert clean.findings == []
+
+    def test_stale_baseline_entry_warns(self, tmp_path):
+        write_module(tmp_path, "core/x.py", "x = 1\n")
+        dirty = tmp_path / "dirty"
+        write_module(
+            dirty,
+            "core/x.py",
+            """
+            for item in {1}:
+                print(item)
+            """,
+        )
+        baseline_path = tmp_path / "baseline.json"
+        report = analyze_paths([str(dirty)])
+        write_baseline(str(baseline_path), report.findings)
+        stale = analyze_paths(
+            [str(tmp_path / "core")],
+            baseline=load_baseline(str(baseline_path)),
+        )
+        assert [f.rule for f in stale.findings] == ["BASELINE-STALE"]
+        assert stale.findings[0].severity == "warning"
+        assert not stale.blocking
+
+    def test_stale_warning_suppressed_on_partial_runs(self, tmp_path):
+        write_module(tmp_path, "core/x.py", "x = 1\n")
+        dirty = tmp_path / "dirty"
+        write_module(
+            dirty,
+            "core/x.py",
+            """
+            for item in {1}:
+                print(item)
+            """,
+        )
+        baseline_path = tmp_path / "baseline.json"
+        report = analyze_paths([str(dirty)])
+        write_baseline(str(baseline_path), report.findings)
+        baseline = load_baseline(str(baseline_path))
+        # A --select or --no-project run cannot judge staleness.
+        assert (
+            fired(
+                tmp_path,
+                {},
+                baseline=baseline,
+                rules=["DET-SET-ITER"],
+            )
+            == []
+        )
+        assert (
+            fired(tmp_path, {}, baseline=baseline, project=False) == []
+        )
+
+
+class TestCliFilters:
+    FIXTURE = """
+    for item in {1, 2}:
+        print(item)
+    """
+
+    def test_select_filters_findings(self, tmp_path, capsys):
+        write_module(tmp_path, "core/x.py", self.FIXTURE)
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--no-baseline",
+                    "--select",
+                    "DET-SET-ITER",
+                ]
+            )
+            == 1
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--no-baseline",
+                    "--select",
+                    "DET-WALLCLOCK,DET-RNG",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_unknown_select_is_a_usage_error(self, tmp_path, capsys):
+        write_module(tmp_path, "core/x.py", self.FIXTURE)
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--no-baseline",
+                    "--select",
+                    "DET-NOPE",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "DET-NOPE" in err and "--list-rules" in err
+
+    def test_severity_filter_cli(self, tmp_path, capsys):
+        write_module(tmp_path, "core/x.py", self.FIXTURE)
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--no-baseline",
+                    "--severity",
+                    "warning",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--no-baseline",
+                    "--severity",
+                    "error",
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_write_baseline_rejects_filters(self, tmp_path, capsys):
+        write_module(tmp_path, "core/x.py", self.FIXTURE)
+        for flags in (
+            ["--select", "DET-SET-ITER"],
+            ["--severity", "error"],
+            ["--no-project"],
+        ):
+            assert (
+                main(
+                    [
+                        "lint",
+                        str(tmp_path),
+                        "--write-baseline",
+                        "--baseline",
+                        str(tmp_path / "baseline.json"),
+                    ]
+                    + flags
+                )
+                == 2
+            )
+        capsys.readouterr()
+
+    def test_write_baseline_drops_stale_entries(self, tmp_path, capsys):
+        write_module(tmp_path, "core/x.py", self.FIXTURE)
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--write-baseline",
+                    "--baseline",
+                    str(baseline_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # The finding goes away; its baseline entry is now stale.
+        write_module(tmp_path, "core/x.py", "x = 1\n")
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--baseline",
+                    str(baseline_path),
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in payload["findings"]] == [
+            "BASELINE-STALE"
+        ]
+        # Rewriting the baseline drops the dead entry.
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--write-baseline",
+                    "--baseline",
+                    str(baseline_path),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(baseline_path.read_text())["findings"] == []
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--baseline",
+                    str(baseline_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+
+class TestSelfCheck:
+    def test_benchmarks_and_examples_are_clean(self, capsys):
+        paths = [
+            os.path.join(REPO_ROOT, "benchmarks"),
+            os.path.join(REPO_ROOT, "examples"),
+        ]
+        assert main(["lint", *paths, "--no-baseline"]) == 0
+        capsys.readouterr()
+
+    def test_multi_hop_canary_fails_the_build(self, tmp_path, capsys):
+        # The CI canary contract: a seeded cross-module chain must exit 1.
+        write_module(
+            tmp_path,
+            "core/helpers.py",
+            """
+            def support(nodes):
+                return {n for n in nodes}
+            """,
+        )
+        write_module(
+            tmp_path,
+            "aig/fp.py",
+            """
+            from core.helpers import support
+            from aig.sig import canonical_cone_signature
+
+            def fingerprint(nodes):
+                return canonical_cone_signature(list(support(nodes)))
+            """,
+        )
+        assert main(["lint", str(tmp_path), "--no-baseline"]) == 1
+        capsys.readouterr()
