@@ -22,10 +22,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import time
 from typing import List, Tuple
 
-from repro.sat.solver import Solver
+from repro.sat.solver import (
+    Solver,
+    active_kernel_name,
+    kernel_available,
+    kernel_forced_pure,
+    solver_work_snapshot,
+)
 from repro.utils.rng import deterministic_rng
 
 
@@ -53,6 +60,24 @@ def solve_instances(num_vars: int, instances: int, seed_prefix: str) -> Tuple[in
         elif result.status is False:
             unsat += 1
     return sat, unsat
+
+
+def calibration_seconds() -> float:
+    """Time a fixed pure-Python busy loop on this machine.
+
+    The loop never touches the solver, so its duration tracks only the
+    host's single-thread Python speed.  ``compare_bench.py`` divides two
+    snapshots' workload times by the ratio of their calibrations, which
+    lets a committed baseline from one machine gate regressions measured
+    on another without pinning hardware.
+    """
+    start = time.perf_counter()  # repro: allow[DET-WALLCLOCK] calibration stopwatch; never feeds a fingerprint
+    acc = 0
+    for i in range(2_000_000):
+        acc = (acc * 31 + i) % 1_000_003
+    elapsed = time.perf_counter() - start  # repro: allow[DET-WALLCLOCK] same calibration stopwatch as above
+    assert acc >= 0
+    return elapsed
 
 
 try:
@@ -97,9 +122,14 @@ def main(argv: List[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    print(f"solver kernel: {active_kernel_name()}")
+
+    work_before = solver_work_snapshot()
     start = time.perf_counter()  # repro: allow[DET-WALLCLOCK] the benchmark's deliverable IS the wall time; it never feeds a fingerprint
     sat, unsat = solve_instances(140, 4, "hotpath")
     cnf_elapsed = time.perf_counter() - start  # repro: allow[DET-WALLCLOCK] same benchmark stopwatch as above
+    work_after = solver_work_snapshot()
+    cnf_work = tuple(b - a for a, b in zip(work_before, work_after))
     print(f"random 3-CNF (n=140, 4 instances): {cnf_elapsed:.3f}s  sat={sat} unsat={unsat}")
 
     from repro.aig.function import BooleanFunction
@@ -109,24 +139,40 @@ def main(argv: List[str] | None = None) -> int:
     aig, *_ = decomposable_by_construction("or", 6, 6, 2, seed="hotpath")
     function = BooleanFunction.from_output(aig, "f")
     step = BiDecomposer(EngineOptions(extract=False, output_timeout=120.0))
+    work_before = solver_work_snapshot()
     start = time.perf_counter()  # repro: allow[DET-WALLCLOCK] same benchmark stopwatch as above
     results = step.decompose_function_all(function, "or", ["STEP-MG", "STEP-QD"])
     engine_elapsed = time.perf_counter() - start  # repro: allow[DET-WALLCLOCK] same benchmark stopwatch as above
+    work_after = solver_work_snapshot()
+    engine_work = tuple(b - a for a, b in zip(work_before, work_after))
     print(f"STEP-MG + STEP-QD decomposition: {engine_elapsed:.3f}s")
 
     if args.json:
         snapshot = {
-            "schema": 1,
+            "schema": 2,
             "benchmark": "solver_hotpath",
+            "python": platform.python_version(),
+            "kernel": {
+                "name": active_kernel_name(),
+                "available": kernel_available(),
+                "forced_pure": kernel_forced_pure(),
+            },
+            "calibration_seconds": round(calibration_seconds(), 6),
             "workloads": {
                 "random_3cnf_n140_x4": {
                     "seconds": round(cnf_elapsed, 6),
                     "sat": sat,
                     "unsat": unsat,
+                    "conflicts": cnf_work[0],
+                    "decisions": cnf_work[1],
+                    "propagations": cnf_work[2],
                 },
                 "engine_step_mg_qd": {
                     "seconds": round(engine_elapsed, 6),
                     "decomposed": bool(results["STEP-MG"].decomposed),
+                    "conflicts": engine_work[0],
+                    "decisions": engine_work[1],
+                    "propagations": engine_work[2],
                 },
             },
         }

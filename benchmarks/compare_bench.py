@@ -1,0 +1,164 @@
+"""Diff two ``BENCH_solver_hotpath.json`` snapshots and gate regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py BASELINE CURRENT \
+        [--max-regression 0.20] [--min-speedup N] [--no-normalize]
+
+Prints a per-workload table of seconds, deltas, and ratios, then exits
+non-zero when either gate fails:
+
+* ``--max-regression`` (default 0.20): fail if any workload is more than
+  20% slower than the baseline.
+* ``--min-speedup``: fail unless every workload in CURRENT is at least N
+  times faster than in BASELINE.  CI uses this with a pure-Python
+  baseline and a kernel-on current snapshot taken on the *same* machine
+  to assert the compiled kernel's speedup floor.
+
+When both snapshots are schema 2 and carry ``calibration_seconds``, the
+current workload times are normalized by ``baseline_cal / current_cal``
+before comparison, so a baseline committed from one machine can gate a
+run on another.  ``--no-normalize`` disables this (use it for the
+same-machine ``--min-speedup`` gate, where normalizing would cancel out
+real kernel speedup if calibration noise differed).
+
+Schema 2 snapshots also carry per-workload conflicts/decisions/
+propagations; when both sides have them the counters are diffed too —
+a counter drift means the solver took a *different search path*, which
+is a determinism bug, not a perf regression, and is reported as such.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+COUNTERS = ("conflicts", "decisions", "propagations")
+
+
+def load_snapshot(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    schema = snapshot.get("schema")
+    if schema not in (1, 2):
+        raise SystemExit(f"{path}: unsupported snapshot schema {schema!r}")
+    if "workloads" not in snapshot:
+        raise SystemExit(f"{path}: snapshot has no workloads")
+    return snapshot
+
+
+def describe(snapshot: Dict, path: str) -> str:
+    kernel = snapshot.get("kernel", {})
+    parts = [f"schema {snapshot['schema']}"]
+    if kernel:
+        parts.append(f"kernel={kernel.get('name')}")
+    if "python" in snapshot:
+        parts.append(f"python={snapshot['python']}")
+    if "calibration_seconds" in snapshot:
+        parts.append(f"cal={snapshot['calibration_seconds']:.3f}s")
+    return f"{path}: " + ", ".join(parts)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline snapshot (JSON)")
+    parser.add_argument("current", help="current snapshot (JSON)")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        metavar="FRAC",
+        help="fail if any workload slows down by more than FRAC (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every workload is at least X times faster",
+    )
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="skip calibration normalization even when both snapshots have it",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the comparison to NAME (repeatable); default: all shared",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_snapshot(args.baseline)
+    current = load_snapshot(args.current)
+    print(describe(baseline, args.baseline))
+    print(describe(current, args.current))
+
+    scale = 1.0
+    if (
+        not args.no_normalize
+        and "calibration_seconds" in baseline
+        and "calibration_seconds" in current
+        and current["calibration_seconds"] > 0
+    ):
+        scale = baseline["calibration_seconds"] / current["calibration_seconds"]
+        if abs(scale - 1.0) > 1e-9:
+            print(f"calibration normalization: current times scaled by {scale:.3f}")
+
+    base_workloads = baseline["workloads"]
+    cur_workloads = current["workloads"]
+    shared = sorted(set(base_workloads) & set(cur_workloads))
+    if args.workload:
+        missing = sorted(set(args.workload) - set(shared))
+        if missing:
+            raise SystemExit(f"requested workloads not in both snapshots: {missing}")
+        shared = sorted(set(args.workload))
+    if not shared:
+        raise SystemExit("snapshots share no workloads; nothing to compare")
+    for name in sorted(set(base_workloads) ^ set(cur_workloads)):
+        print(f"note: workload {name!r} present in only one snapshot; skipped")
+
+    failures = []
+    print(f"{'workload':<28} {'base(s)':>10} {'cur(s)':>10} {'ratio':>8}")
+    for name in shared:
+        base_s = float(base_workloads[name]["seconds"])
+        cur_s = float(cur_workloads[name]["seconds"]) * scale
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        print(f"{name:<28} {base_s:>10.4f} {cur_s:>10.4f} {ratio:>8.3f}")
+
+        if ratio > 1.0 + args.max_regression:
+            failures.append(
+                f"{name}: {ratio:.3f}x of baseline exceeds the "
+                f"{1.0 + args.max_regression:.2f}x regression limit"
+            )
+        if args.min_speedup is not None and base_s / max(cur_s, 1e-12) < args.min_speedup:
+            failures.append(
+                f"{name}: speedup {base_s / max(cur_s, 1e-12):.2f}x is below "
+                f"the required {args.min_speedup:.2f}x"
+            )
+
+        for counter in COUNTERS:
+            if counter in base_workloads[name] and counter in cur_workloads[name]:
+                base_c = base_workloads[name][counter]
+                cur_c = cur_workloads[name][counter]
+                if base_c != cur_c:
+                    failures.append(
+                        f"{name}: {counter} drifted {base_c} -> {cur_c} "
+                        "(different search path — determinism bug, not perf)"
+                    )
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: all workloads within limits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,11 +1,28 @@
-"""Legacy setup shim.
+"""Build configuration, including the optional compiled solver kernel.
 
-The project is fully described by ``pyproject.toml``; this file only exists
-so that ``pip install -e .`` keeps working on environments without the
-``wheel`` package (offline machines), where pip falls back to the legacy
-``setup.py develop`` editable-install path.
+The package itself is pure Python and needs no build step.  One extension
+module is declared — ``repro.sat._ckernel``, the compiled CDCL kernel — and
+it is *optional*: when no C compiler is available the build warns and
+continues, and :mod:`repro.sat.solver` falls back to the pure-Python
+reference implementation at import time.  Build it in place with::
+
+    python setup.py build_ext --inplace
+
+(``STEP_PURE_PYTHON=1`` forces the pure path even when the kernel is built;
+see docs/architecture.md, "Compiled kernel".)
 """
 
-from setuptools import setup
+from setuptools import Extension, find_packages, setup
 
-setup()
+setup(
+    name="repro-step",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    ext_modules=[
+        Extension(
+            "repro.sat._ckernel",
+            sources=["src/repro/sat/_ckernel.c"],
+            optional=True,
+        )
+    ],
+)

@@ -234,7 +234,11 @@ class PersistentConeCache:
     optimisation — recency is only tracked when a bound is set.
     """
 
-    VERSION = 1
+    # Version 2: entry stats gained "decisions"/"propagations" (the solver
+    # counters now feed result fingerprints, so replayed entries must carry
+    # them).  Version-mismatched snapshots are discarded wholesale — a
+    # persistent cache is always safe to lose.
+    VERSION = 2
 
     def __init__(self, path: str, max_entries: Optional[int] = None) -> None:
         if max_entries is not None and max_entries < 1:
@@ -506,6 +510,8 @@ def _encode_entry(value) -> dict:
                     "qbf_calls": stats.qbf_calls,
                     "refinements": stats.refinements,
                     "conflicts": stats.conflicts,
+                    "decisions": stats.decisions,
+                    "propagations": stats.propagations,
                     "cache_hits": stats.cache_hits,
                     "bound_sequence": list(stats.bound_sequence),
                 },
@@ -546,6 +552,8 @@ def _decode_entry(entry: dict):
             qbf_calls=int(item["stats"]["qbf_calls"]),
             refinements=int(item["stats"]["refinements"]),
             conflicts=int(item["stats"]["conflicts"]),
+            decisions=int(item["stats"]["decisions"]),
+            propagations=int(item["stats"]["propagations"]),
             cache_hits=int(item["stats"]["cache_hits"]),
             bound_sequence=[int(b) for b in item["stats"]["bound_sequence"]],
         )

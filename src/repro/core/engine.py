@@ -49,6 +49,7 @@ from repro.core.spec import (
 )
 from repro.core.verify import verify_decomposition
 from repro.errors import DecompositionError
+from repro.sat.solver import solver_work_snapshot
 from repro.utils.timer import Deadline, Stopwatch
 
 QBF_ENGINES = (ENGINE_STEP_QD, ENGINE_STEP_QB, ENGINE_STEP_QDB)
@@ -161,6 +162,14 @@ class BiDecomposer:
         if function.num_inputs < self.options.min_support:
             return BiDecResult(engine=engine, operator=operator, decomposed=False)
 
+        # Attribute solver work (conflicts/decisions/propagations) to this
+        # result by sampling the thread-local solver counters around the
+        # search.  The window deliberately closes *before* extraction:
+        # extraction runs parent-side under the parallel backends, so
+        # counting it would break the serial-vs-parallel fingerprint
+        # identity.  Thread-local sampling keeps concurrent jobs (thread
+        # backend) from bleeding into each other's counts.
+        work_before = solver_work_snapshot()
         if engine == ENGINE_BDD:
             result = self._bdd_decompose(function, operator, deadline)
         elif engine not in ENGINES:
@@ -186,6 +195,10 @@ class BiDecomposer:
                     deadline=deadline,
                     backend=self.options.qbf_backend,
                 )
+        work_after = solver_work_snapshot()
+        result.stats.conflicts += work_after[0] - work_before[0]
+        result.stats.decisions += work_after[1] - work_before[1]
+        result.stats.propagations += work_after[2] - work_before[2]
         if result.decomposed and result.partition is not None and extract:
             result.fa, result.fb = extract_and_verify(
                 function, operator, result.partition, self.options

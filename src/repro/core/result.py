@@ -32,6 +32,8 @@ class SearchStatistics:
     qbf_calls: int = 0
     refinements: int = 0
     conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
     cache_hits: int = 0
     bound_sequence: List[int] = field(default_factory=list)
 
@@ -41,6 +43,8 @@ class SearchStatistics:
         self.qbf_calls += other.qbf_calls
         self.refinements += other.refinements
         self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
         self.cache_hits += other.cache_hits
         self.bound_sequence.extend(other.bound_sequence)
 
@@ -51,6 +55,8 @@ class SearchStatistics:
             qbf_calls=self.qbf_calls,
             refinements=self.refinements,
             conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
             cache_hits=self.cache_hits,
             bound_sequence=list(self.bound_sequence),
         )
@@ -132,6 +138,8 @@ class BiDecResult:
             self.stats.qbf_calls,
             self.stats.refinements,
             self.stats.conflicts,
+            self.stats.decisions,
+            self.stats.propagations,
             tuple(self.stats.bound_sequence),
             _function_fingerprint(self.fa),
             _function_fingerprint(self.fb),

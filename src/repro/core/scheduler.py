@@ -95,6 +95,7 @@ from repro.core.partition import VariablePartition
 from repro.core.result import BiDecResult, CircuitReport, OutputResult
 from repro.core.spec import check_engine, check_operator
 from repro.errors import DecompositionError
+from repro.sat.solver import active_kernel_name
 from repro.utils.rng import derive_seed, seeded_job
 from repro.utils.timer import Deadline, Stopwatch
 
@@ -118,6 +119,21 @@ def _replayable(record: OutputResult) -> bool:
     result would amplify one transient timeout across every duplicate cone,
     where recomputing gives each duplicate its own fresh budget."""
     return all(not result.timed_out for result in record.results.values())
+
+
+def _aggregate_solver_stats(report: CircuitReport) -> Dict[str, int]:
+    """Total solver work behind a report, for ``schedule["solver_stats"]``."""
+    conflicts = decisions = propagations = 0
+    for record in report.outputs:
+        for result in record.results.values():
+            conflicts += result.stats.conflicts
+            decisions += result.stats.decisions
+            propagations += result.stats.propagations
+    return {
+        "conflicts": conflicts,
+        "decisions": decisions,
+        "propagations": propagations,
+    }
 
 
 @dataclass
@@ -375,6 +391,16 @@ class BatchScheduler:
             "unique_cones": len(cache),
             "cache_hits": cache.hits,
             "cache_misses": cache.misses,
+            # Which solver substrate produced this report ("c" when the
+            # compiled kernel is active, "python" otherwise).  Lives in the
+            # schedule, which fingerprints exclude: both substrates are
+            # decision-for-decision identical, so the fingerprint must not
+            # depend on which one ran.
+            "solver_kernel": active_kernel_name(),
+            # Aggregate solver work across every executed result (cache
+            # replays included — their memoised search counters replay with
+            # them, keeping the aggregate independent of cache state).
+            "solver_stats": _aggregate_solver_stats(report),
         }
         if extra_schedule:
             report.schedule.update(extra_schedule)

@@ -1,4 +1,4 @@
-"""A CDCL SAT solver in pure Python.
+"""A CDCL SAT solver with a pure-Python reference and an optional C kernel.
 
 The solver implements the standard conflict-driven clause learning loop:
 
@@ -6,25 +6,44 @@ The solver implements the standard conflict-driven clause learning loop:
 * first-UIP conflict analysis with clause learning,
 * VSIDS-style variable activities with phase saving,
 * Luby-sequence restarts,
-* learned-clause database reduction by activity,
+* literal-block-distance (LBD) based learned-clause reduction with lazy
+  watcher cleanup (deleted clauses are dropped from watcher lists as
+  propagation encounters them instead of by an eager sweep),
 * incremental solving under assumptions with failed-assumption (core)
   extraction, and
 * optional resolution-proof logging, used by
   :mod:`repro.sat.interpolate` to compute Craig interpolants which the
   bi-decomposition engine turns into the functions ``fA`` and ``fB``.
 
-The implementation favours clarity over raw speed but is careful about the
-usual hot spots: literals are encoded as small integers internally (``2*var``
-for the positive literal, ``2*var + 1`` for the negative one) and propagation
-is a tight loop over watcher lists.  Binary clauses — the majority in Tseitin
-encodings — are propagated from dedicated ``(other, clause)`` watch lists
-that need no watch moves and never touch the clause's literal array; long
-clauses use the classic two-watched-literal scheme with in-place watcher-list
-compaction.
+Two interchangeable substrates implement the loop:
+
+* :class:`PySolver` — the pure-Python reference.  It favours clarity but is
+  careful about the usual hot spots: literals are encoded as small integers
+  internally (``2*var`` for the positive literal, ``2*var + 1`` for the
+  negative one) and propagation is a tight loop over watcher lists.  Binary
+  clauses — the majority in Tseitin encodings — are propagated from
+  dedicated ``(other, clause)`` watch lists that need no watch moves; long
+  clauses use the classic two-watched-literal scheme with in-place
+  watcher-list compaction.
+* :class:`CKernelSolver` — a thin wrapper over the optional compiled
+  extension :mod:`repro.sat._ckernel` (built by
+  ``python setup.py build_ext --inplace``), which implements the identical
+  state machine in C.  The kernel is *decision-for-decision identical* to
+  the Python path — same VSIDS tie-breaking (bit-exact IEEE-754 activity
+  arithmetic and ``heapq`` semantics), same Luby restarts, same LBD
+  reduction — so kernel-on and kernel-off runs produce bit-identical
+  reports; ``tests/test_kernel_differential.py`` holds it to that.
+
+:func:`Solver` picks the substrate: the compiled kernel when it is
+importable, the pure path when the build is absent, when
+``STEP_PURE_PYTHON=1`` is set, and always when proof logging is requested
+(the proof machinery stays pure Python by design).
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from array import array
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
@@ -35,9 +54,72 @@ from repro.sat.cnf import CNF
 from repro.sat.proof import Proof, ResolutionChain
 from repro.utils.timer import Deadline
 
+try:  # pragma: no cover - exercised only when the extension is built
+    from repro.sat import _ckernel
+except ImportError:  # pragma: no cover - the pure fallback is always valid
+    _ckernel = None
+
 TRUE = 1
 FALSE = 0
 UNASSIGNED = -1
+
+#: Environment variable forcing the pure-Python path even when the compiled
+#: kernel is importable.  Checked at :func:`Solver` construction time so a
+#: test (or a CI job) can flip substrates without re-importing the module.
+PURE_PYTHON_ENV = "STEP_PURE_PYTHON"
+
+#: Learned clauses with an LBD at or below this are "glue" clauses
+#: (Audemard & Simon): they connect few decision levels and are kept
+#: forever by :meth:`PySolver._reduce_db` (and by the kernel's twin).
+GLUE_LBD = 2
+
+#: Learned-clause count that triggers a database reduction.
+REDUCE_BASE = 4000
+
+
+def kernel_available() -> bool:
+    """True when the compiled kernel extension imported successfully."""
+    return _ckernel is not None
+
+
+def kernel_forced_pure() -> bool:
+    """True when ``STEP_PURE_PYTHON`` requests the pure-Python path."""
+    return os.environ.get(PURE_PYTHON_ENV, "") not in ("", "0")
+
+
+def active_kernel_name() -> str:
+    """The substrate :func:`Solver` would pick right now (``c``/``python``).
+
+    Surfaced as ``schedule["solver_kernel"]`` so every report says which
+    substrate produced it.  Proof-logging solvers are always ``python``
+    regardless of this value.
+    """
+    if kernel_available() and not kernel_forced_pure():
+        return "c"
+    return "python"
+
+
+# --------------------------------------------------------------- work counters
+
+# Per-thread totals of solver work (conflicts, decisions, propagations)
+# across every solver instance.  The engine driver samples this around each
+# partition search to attribute solver work to the result's
+# SearchStatistics; thread-local storage keeps concurrently running jobs
+# (thread backend) from bleeding into each other's counts.
+_work = threading.local()
+
+
+def _work_cells() -> List[int]:
+    cells = getattr(_work, "cells", None)
+    if cells is None:
+        cells = _work.cells = [0, 0, 0]
+    return cells
+
+
+def solver_work_snapshot() -> Tuple[int, int, int]:
+    """Cumulative (conflicts, decisions, propagations) for this thread."""
+    cells = _work_cells()
+    return (cells[0], cells[1], cells[2])
 
 
 def _internal(lit: int) -> int:
@@ -57,7 +139,7 @@ def _neg(ilit: int) -> int:
 
 @dataclass
 class SolveResult:
-    """Outcome of a :meth:`Solver.solve` call.
+    """Outcome of a :meth:`PySolver.solve` call.
 
     ``status`` is ``True`` for SAT, ``False`` for UNSAT and ``None`` when a
     conflict budget or deadline expired before a verdict was reached.  For
@@ -78,19 +160,35 @@ class SolveResult:
 
 
 class _Clause:
-    """Internal clause record (original or learned)."""
+    """Internal clause record (original or learned).
 
-    __slots__ = ("lits", "learned", "activity", "cid")
+    ``lits`` is set to ``None`` when the clause is discarded by database
+    reduction: the watcher lists are *not* swept eagerly — propagation drops
+    dead clauses as it walks past them (lazy watcher cleanup), which turns
+    the old O(all watcher lists) purge into work that is amortised into the
+    hot loop's existing compaction.
+    """
+
+    __slots__ = ("lits", "learned", "activity", "cid", "lbd", "locked")
 
     def __init__(self, lits: List[int], learned: bool, cid: int) -> None:
-        self.lits = lits
+        self.lits: Optional[List[int]] = lits
         self.learned = learned
         self.activity = 0.0
         self.cid = cid
+        # Literal-block distance: distinct decision levels among the
+        # clause's literals at learning time (0 for original clauses).
+        self.lbd = 0
+        # Scratch flag used by _reduce_db (reason clauses survive).
+        self.locked = False
 
 
-class Solver:
+class PySolver:
     """Incremental CDCL solver over DIMACS-style integer literals.
+
+    This is the pure-Python reference implementation; construct solvers via
+    the :func:`Solver` factory, which transparently substitutes the compiled
+    kernel when one is available.
 
     Parameters
     ----------
@@ -122,7 +220,9 @@ class Solver:
         # CPython boxes every typed-array read, while list reads return
         # cached references, and the propagation loop reads _assigns
         # several times per visited clause.  Numbers in
-        # docs/architecture.md; do not redo without re-measuring.
+        # docs/architecture.md; do not redo without re-measuring — typed
+        # assignment stores belong in the compiled kernel (_ckernel.c uses
+        # a plain int8 array), where reads cost a load, not a boxing.
         self._assigns: List[int] = [UNASSIGNED]
         self._level: List[int] = [0]
         self._reason: List[Optional[_Clause]] = [None]
@@ -143,6 +243,7 @@ class Solver:
         self._proof: Optional[Proof] = Proof() if proof else None
         self._next_cid = 0
         self._seen: List[int] = [0]
+        self._reduce_base = REDUCE_BASE
         # statistics
         self.conflicts = 0
         self.decisions = 0
@@ -283,15 +384,16 @@ class Solver:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
+                _work_cells()[0] += 1
                 conflicts_this_restart += 1
                 if self._decision_level() == 0:
                     if self._proof is not None:
                         self._derive_empty(conflict)
                     self._ok = False
                     return self._result(False)
-                learned, backtrack_level, chain = self._analyze(conflict)
+                learned, backtrack_level, chain, lbd = self._analyze(conflict)
                 self._cancel_until(backtrack_level)
-                self._record_learned(learned, chain)
+                self._record_learned(learned, chain, lbd)
                 self._decay_activities()
                 if (
                     conflict_budget is not None
@@ -328,7 +430,7 @@ class Solver:
                 self._enqueue(ilit, None)
                 continue
 
-            if self._proof is None and len(self._learnts) > 4000:
+            if self._proof is None and len(self._learnts) > self._reduce_base:
                 self._reduce_db()
 
             ilit = self._pick_branch()
@@ -339,6 +441,7 @@ class Solver:
                 self._cancel_until(0)
                 return self._result(True)
             self.decisions += 1
+            _work_cells()[1] += 1
             self._new_decision_level()
             self._enqueue(ilit, None)
 
@@ -443,7 +546,9 @@ class Solver:
         # value test is kept local and inlined (no _value or _enqueue calls,
         # no attribute chasing), binary clauses are propagated from their own
         # immutable watch lists, and long-clause watcher lists are compacted
-        # in place instead of being rebuilt.
+        # in place instead of being rebuilt.  ``propagations`` counts the
+        # assignments this loop *enqueues* (derived facts), not the trail
+        # literals it dequeues — decisions and assumptions are never counted.
         qhead = self._qhead
         trail = self._trail
         if qhead == len(trail):
@@ -460,7 +565,6 @@ class Solver:
         while conflict is None and qhead < len(trail):
             ilit = trail[qhead]
             qhead += 1
-            propagated += 1
 
             # Binary clauses: the other literal is unit unless already true.
             for other, clause in bin_watches[ilit]:
@@ -472,6 +576,7 @@ class Solver:
                     reasons[var] = clause
                     phases[var] = not (other & 1)
                     trail.append(other)
+                    propagated += 1
                 elif other_val == (other & 1):
                     conflict = clause
                     qhead = len(trail)
@@ -487,6 +592,11 @@ class Solver:
                 clause = watch_list[i]
                 i += 1
                 lits = clause.lits
+                if lits is None:
+                    # Reduced away: lazy watcher cleanup drops the dead
+                    # clause here instead of sweeping every watcher list
+                    # at reduction time.
+                    continue
                 if lits[0] == false_lit:
                     lits[0] = lits[1]
                     lits[1] = false_lit
@@ -523,19 +633,23 @@ class Solver:
                     reasons[var] = clause
                     phases[var] = not (first & 1)
                     trail.append(first)
+                    propagated += 1
             del watch_list[j:]
         self._qhead = qhead
         self.propagations += propagated
+        _work_cells()[2] += propagated
         return conflict
 
-    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int, ResolutionChain]:
+    def _analyze(
+        self, conflict: _Clause
+    ) -> Tuple[List[int], int, ResolutionChain, int]:
         """First-UIP conflict analysis.
 
         Returns the learned clause (asserting literal first), the backtrack
-        level and, when proof logging is enabled, the resolution chain that
-        derives the learned clause from the conflict clause and the reason
-        clauses (level-0 literals are resolved away so the chain reproduces
-        the learned clause exactly).
+        level, the resolution chain when proof logging is enabled (level-0
+        literals are resolved away so the chain reproduces the learned clause
+        exactly) and the clause's literal-block distance (distinct decision
+        levels among its literals, measured before backtracking).
         """
         learned: List[int] = [0]
         seen = self._seen
@@ -597,7 +711,15 @@ class Solver:
                     max_i = i
             learned[1], learned[max_i] = learned[max_i], learned[1]
             backtrack_level = self._level[learned[1] >> 1]
-        return learned, backtrack_level, chain
+        # LBD must be measured while the conflicting assignment is still in
+        # place: after backtracking the levels of the learned literals are
+        # stale.  Proof mode never reduces the database, so it skips the
+        # (per-conflict) set build.
+        lbd = 0
+        if self._proof is None:
+            levels = self._level
+            lbd = len({levels[l >> 1] for l in learned})
+        return learned, backtrack_level, chain, lbd
 
     def _resolve_zero_literals(self, zero_lits: Set[int], chain: ResolutionChain) -> None:
         """Extend a chain with resolutions eliminating level-0 literals."""
@@ -618,11 +740,14 @@ class Solver:
             chain.antecedents.append(reason.cid)
             chain.pivots.append(var)
 
-    def _record_learned(self, learned: List[int], chain: ResolutionChain) -> None:
+    def _record_learned(
+        self, learned: List[int], chain: ResolutionChain, lbd: int
+    ) -> None:
         cid = -1
         if self._proof is not None:
             cid = self._proof.add_learned([_external(l) for l in learned], chain)
         clause = _Clause(learned, learned=True, cid=cid)
+        clause.lbd = lbd
         if len(learned) == 1:
             self._learnts.append(clause)
             self._enqueue(learned[0], clause)
@@ -692,28 +817,53 @@ class Solver:
         self._cla_inc *= self._cla_inc_growth
 
     def _reduce_db(self) -> None:
-        """Discard the least active half of the (long) learned clauses."""
-        locked = set()
+        """LBD-based learned-clause reduction (glue and locked clauses stay).
+
+        The learned clauses are ordered worst-first — highest literal-block
+        distance, then lowest activity (stable, so insertion order breaks
+        remaining ties) — and the worst half is discarded, except:
+
+        * *glue* clauses (LBD <= ``GLUE_LBD``) survive unconditionally:
+          they connect few decision levels and re-deriving them is what
+          makes restarts expensive;
+        * *locked* clauses (the reason of a currently assigned variable)
+          survive — conflict analysis may still need them as antecedents;
+        * binary clauses survive (their (other, clause) watch pairs live in
+          the dedicated binary lists, which are never compacted — and a
+          learned binary clause has LBD <= 2 anyway).
+
+        Discarded clauses are only *marked* dead (``lits = None``); the
+        watcher lists shed them lazily as propagation walks past (see
+        :meth:`_propagate`), replacing the old eager sweep over every
+        watcher list in the database.
+        """
+        reasons = self._reason
         for var in range(1, self._num_vars + 1):
-            reason = self._reason[var]
+            reason = reasons[var]
             if reason is not None and reason.learned:
-                locked.add(id(reason))  # repro: allow[DET-ID-KEY] within-run identity membership; never ordered or persisted
-        self._learnts.sort(key=lambda c: c.activity)
-        half = len(self._learnts) // 2
-        removed = []
-        kept = []
-        for i, clause in enumerate(self._learnts):
-            if i < half and id(clause) not in locked and len(clause.lits) > 2:  # repro: allow[DET-ID-KEY] membership test against the identity set above
-                removed.append(clause)
+                reason.locked = True
+        learnts = self._learnts
+        learnts.sort(key=lambda c: (-c.lbd, c.activity))
+        half = len(learnts) // 2
+        kept: List[_Clause] = []
+        dropped = 0
+        for i, clause in enumerate(learnts):
+            if (
+                i < half
+                and clause.lbd > GLUE_LBD
+                and not clause.locked
+                and len(clause.lits) > 2
+            ):
+                clause.lits = None  # reaped lazily by _propagate
+                dropped += 1
             else:
                 kept.append(clause)
-        if not removed:
-            return
-        removed_ids = {id(c) for c in removed}  # repro: allow[DET-ID-KEY] within-run identity membership; the kept-clause ORDER comes from the deterministic activity sort
-        for ilit in range(2, 2 * self._num_vars + 2):
-            watchers = self._watches[ilit]
-            self._watches[ilit] = [c for c in watchers if id(c) not in removed_ids]  # repro: allow[DET-ID-KEY] membership filter; watcher order is inherited from the list, not from id()
-        self._learnts = kept
+        for var in range(1, self._num_vars + 1):
+            reason = reasons[var]
+            if reason is not None and reason.learned:
+                reason.locked = False
+        if dropped:
+            self._learnts = kept
 
     # -------------------------------------------------------------- proofs
 
@@ -725,6 +875,173 @@ class Solver:
         pending: Set[int] = set(conflict.lits)
         self._resolve_zero_literals(pending, chain)
         self._proof.set_empty_clause(chain)
+
+
+class CKernelSolver:
+    """The compiled-kernel substrate behind :func:`Solver`.
+
+    The public surface mirrors :class:`PySolver` exactly (minus proof
+    logging, which the factory routes to the pure path).  Clause hygiene —
+    literal validation, tautology and duplicate elimination — happens here
+    in Python so the error behaviour is byte-identical to the reference;
+    the level-0 simplification, watcher bookkeeping and the entire search
+    loop run inside :mod:`repro.sat._ckernel`.
+    """
+
+    proof_logging = False
+
+    def __init__(self) -> None:
+        if _ckernel is None:  # pragma: no cover - factory guards this
+            raise SolverError("the compiled solver kernel is not available")
+        self._c = _ckernel.Solver()
+        self._num_vars = 0
+        self._next_cid = 0
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._model: Dict[int, bool] = {}
+        self._core: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def ok(self) -> bool:
+        return bool(self._c.ok())
+
+    @property
+    def _reduce_base(self) -> int:
+        # Test hook, mirroring PySolver._reduce_base (the learned-clause
+        # count that triggers an LBD reduction).
+        return self._c.get_reduce_base()
+
+    @_reduce_base.setter
+    def _reduce_base(self, value: int) -> None:
+        self._c.set_reduce_base(value)
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        self._c.ensure_vars(self._num_vars)
+        return self._num_vars
+
+    def _ensure_var(self, var: int) -> None:
+        if var > self._num_vars:
+            self._num_vars = var
+            self._c.ensure_vars(var)
+
+    def add_clause(self, lits: Iterable[int]) -> Optional[int]:
+        """Add a clause; ``None`` for dropped tautologies (see PySolver)."""
+        seen: Set[int] = set()
+        clause: List[int] = []
+        max_var = 0
+        for lit in lits:
+            if not isinstance(lit, int) or isinstance(lit, bool) or lit == 0:
+                raise SolverError(f"invalid literal {lit!r}")
+            var = lit if lit > 0 else -lit
+            if var > max_var:
+                max_var = var
+            ilit = 2 * var + (1 if lit < 0 else 0)
+            if ilit ^ 1 in seen:
+                # The reference allocates variables while scanning, so a
+                # dropped tautology still grows num_vars for the literals
+                # scanned so far (including this one).
+                self._ensure_var(max_var)
+                return None  # tautology
+            if ilit in seen:
+                continue
+            seen.add(ilit)
+            clause.append(ilit)
+        self._ensure_var(max_var)
+        cid = self._next_cid
+        self._next_cid += 1
+        # Level-0 propagation triggered by the new clause counts as solver
+        # work exactly like in-search propagation (the reference counts it
+        # through the same _propagate loop).
+        delta = self._c.add_clause(clause)
+        self.propagations += delta
+        _work_cells()[2] += delta
+        return cid
+
+    def add_cnf(self, cnf: CNF) -> List[Optional[int]]:
+        self._ensure_var(cnf.num_vars)
+        return [self.add_clause(clause) for clause in cnf.clauses]
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> SolveResult:
+        self._model = {}
+        self._core = ()
+        int_assumptions: List[int] = []
+        for lit in assumptions:
+            if not isinstance(lit, int) or lit == 0:
+                raise SolverError("assumption literal cannot be zero")
+            var = lit if lit > 0 else -lit
+            self._ensure_var(var)
+            int_assumptions.append(2 * var + (1 if lit < 0 else 0))
+        budget = -1 if conflict_budget is None else conflict_budget
+        status, model, core, conflicts, decisions, propagations = self._c.solve(
+            int_assumptions, budget, deadline
+        )
+        cells = _work_cells()
+        cells[0] += conflicts - self.conflicts
+        cells[1] += decisions - self.decisions
+        cells[2] += propagations - self.propagations
+        self.conflicts = conflicts
+        self.decisions = decisions
+        self.propagations = propagations
+        if model is not None:
+            self._model = model
+        if core is not None:
+            self._core = tuple(dict.fromkeys(core))
+        return SolveResult(
+            status=None if status < 0 else bool(status),
+            model=dict(self._model),
+            core=self._core,
+            conflicts=conflicts,
+            decisions=decisions,
+            propagations=propagations,
+        )
+
+    def model(self) -> Dict[int, bool]:
+        return dict(self._model)
+
+    def model_value(self, lit: int) -> Optional[bool]:
+        var = abs(lit)
+        if var not in self._model:
+            return None
+        value = self._model[var]
+        return value if lit > 0 else not value
+
+    def core(self) -> Tuple[int, ...]:
+        return self._core
+
+    def proof(self) -> Proof:
+        raise SolverError("proof logging was not enabled")
+
+
+def Solver(proof: bool = False):
+    """Construct a solver on the fastest substrate that fits the request.
+
+    The compiled kernel (:class:`CKernelSolver`) is used when the optional
+    :mod:`repro.sat._ckernel` extension imported successfully, unless
+
+    * ``proof=True`` — proof logging (and the interpolation machinery on
+      top of it) stays pure Python by design, or
+    * ``STEP_PURE_PYTHON=1`` is set — the escape hatch for differential
+      testing and for environments where a stale build is suspect.
+
+    Both substrates are decision-for-decision identical, so the choice
+    never changes a result — only how fast it arrives.
+    """
+    if proof or _ckernel is None or kernel_forced_pure():
+        return PySolver(proof=proof)
+    return CKernelSolver()
 
 
 def _luby(index: int) -> int:

@@ -36,7 +36,11 @@ from repro.core.result import (
 )
 from repro.errors import FrameTooLarge, ProtocolError, ReproError, ServiceError
 
-PROTOCOL_VERSION = 1
+# Version 2: report stats frames gained "decisions"/"propagations" (solver
+# counters that now feed result fingerprints), and report schedules carry
+# "solver_kernel"/"solver_stats".  The handshake is strict, so old clients
+# and servers refuse each other cleanly instead of mis-decoding stats.
+PROTOCOL_VERSION = 2
 
 #: Frame types a client may send.
 CLIENT_FRAME_TYPES = ("submit", "cancel", "stats", "ping")
@@ -464,6 +468,8 @@ def _encode_stats(stats: SearchStatistics) -> Dict[str, object]:
         "qbf_calls": stats.qbf_calls,
         "refinements": stats.refinements,
         "conflicts": stats.conflicts,
+        "decisions": stats.decisions,
+        "propagations": stats.propagations,
         "cache_hits": stats.cache_hits,
         "bound_sequence": list(stats.bound_sequence),
     }
@@ -476,6 +482,8 @@ def _decode_stats(payload: Dict[str, object]) -> SearchStatistics:
         qbf_calls=int(payload["qbf_calls"]),
         refinements=int(payload["refinements"]),
         conflicts=int(payload["conflicts"]),
+        decisions=int(payload["decisions"]),
+        propagations=int(payload["propagations"]),
         cache_hits=int(payload["cache_hits"]),
         bound_sequence=[int(bound) for bound in payload["bound_sequence"]],
     )

@@ -1,0 +1,121 @@
+"""Tests for the benchmark snapshot comparator (``benchmarks/compare_bench.py``).
+
+The comparator is loaded by file path (``benchmarks/`` is not a package)
+and exercised through its ``main`` entry point, the same surface CI uses.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+MODULE_PATH = os.path.join(REPO_ROOT, "benchmarks", "compare_bench.py")
+
+spec = importlib.util.spec_from_file_location("compare_bench", MODULE_PATH)
+compare_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_bench)
+
+
+def snapshot(seconds, *, calibration=None, counters=None, schema=2):
+    data = {
+        "schema": schema,
+        "benchmark": "solver_hotpath",
+        "workloads": {
+            name: {"seconds": value} for name, value in seconds.items()
+        },
+    }
+    if schema == 2:
+        data["python"] = "3.11.7"
+        data["kernel"] = {"name": "c", "available": True, "forced_pure": False}
+        if calibration is not None:
+            data["calibration_seconds"] = calibration
+    if counters:
+        for name, values in counters.items():
+            data["workloads"][name].update(values)
+    return data
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestGates:
+    def test_identical_snapshots_pass(self, tmp_path):
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.0}))
+        assert compare_bench.main([base, cur]) == 0
+
+    def test_small_slowdown_within_threshold_passes(self, tmp_path):
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.15}))
+        assert compare_bench.main([base, cur]) == 0
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.5}))
+        assert compare_bench.main([base, cur]) == 1
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.5}))
+        assert compare_bench.main([base, cur, "--max-regression", "0.6"]) == 0
+
+    def test_min_speedup_gate(self, tmp_path):
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}))
+        cur = write(tmp_path, "b.json", snapshot({"w": 0.2}))
+        assert compare_bench.main([base, cur, "--min-speedup", "3"]) == 0
+        assert compare_bench.main([base, cur, "--min-speedup", "6"]) == 1
+
+    def test_workload_filter_restricts_the_gates(self, tmp_path):
+        base = write(tmp_path, "a.json", snapshot({"fast": 1.0, "slow": 1.0}))
+        cur = write(tmp_path, "b.json", snapshot({"fast": 0.1, "slow": 2.0}))
+        assert compare_bench.main([base, cur]) == 1
+        assert compare_bench.main([base, cur, "--workload", "fast"]) == 0
+        with pytest.raises(SystemExit):
+            compare_bench.main([base, cur, "--workload", "missing"])
+
+
+class TestNormalization:
+    def test_calibration_scales_the_current_times(self, tmp_path):
+        # The current machine is 2x slower (calibration 0.2 vs 0.1), so a
+        # 1.8s measurement normalizes to 0.9s and passes.
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}, calibration=0.1))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.8}, calibration=0.2))
+        assert compare_bench.main([base, cur]) == 0
+        assert compare_bench.main([base, cur, "--no-normalize"]) == 1
+
+    def test_schema_1_snapshots_compare_without_normalization(self, tmp_path):
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}, schema=1))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.0}, schema=1))
+        assert compare_bench.main([base, cur]) == 0
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        bad = write(tmp_path, "a.json", {"schema": 99, "workloads": {}})
+        good = write(tmp_path, "b.json", snapshot({"w": 1.0}))
+        with pytest.raises(SystemExit):
+            compare_bench.main([bad, good])
+
+
+class TestCounterDrift:
+    def test_counter_drift_fails_even_when_faster(self, tmp_path):
+        counters = {"w": {"conflicts": 10, "decisions": 20, "propagations": 30}}
+        drifted = {"w": {"conflicts": 11, "decisions": 20, "propagations": 30}}
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}, counters=counters))
+        cur = write(tmp_path, "b.json", snapshot({"w": 0.5}, counters=drifted))
+        assert compare_bench.main([base, cur]) == 1
+
+    def test_identical_counters_pass(self, tmp_path):
+        counters = {"w": {"conflicts": 10, "decisions": 20, "propagations": 30}}
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}, counters=counters))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.0}, counters=counters))
+        assert compare_bench.main([base, cur]) == 0
+
+    def test_counters_missing_on_one_side_are_ignored(self, tmp_path):
+        counters = {"w": {"conflicts": 10, "decisions": 20, "propagations": 30}}
+        base = write(tmp_path, "a.json", snapshot({"w": 1.0}, schema=1))
+        cur = write(tmp_path, "b.json", snapshot({"w": 1.0}, counters=counters))
+        assert compare_bench.main([base, cur]) == 0

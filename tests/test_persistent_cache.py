@@ -138,7 +138,7 @@ class TestCorruption:
         assert report.schedule["persistent_hits"] == 0
         # The run rewrote a valid snapshot over the corrupted one ...
         payload = json.loads(path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == PersistentConeCache.VERSION
         # ... which the next run warms from normally.
         warm = run(aig, tmp_path)
         assert warm.schedule["persistent_hits"] >= 1
@@ -186,7 +186,7 @@ class TestSnapshotFormat:
         aig = build_circuit()
         run(aig, tmp_path, engines=(ENGINE_STEP_MG, ENGINE_STEP_QD))
         payload = json.loads((tmp_path / PERSISTENT_CACHE_FILENAME).read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == PersistentConeCache.VERSION
         (context,) = payload["contexts"]
         assert context.startswith("op=or|engines=STEP-MG,STEP-QD|")
         (entry,) = payload["contexts"][context].values()

@@ -289,7 +289,9 @@ class TestProtocolErrors:
 
     def test_unknown_frame_type_rejected(self, daemon):
         with ServiceClient(daemon.socket_path) as client:
-            client._file.write(b'{"v": 1, "type": "explode"}\n')
+            client._file.write(
+                json.dumps({"v": PROTOCOL_VERSION, "type": "explode"}).encode() + b"\n"
+            )
             client._file.flush()
             frame = client._read_frame()
             assert frame["type"] == "error" and "unknown frame type" in frame["error"]
@@ -300,7 +302,7 @@ class TestProtocolErrors:
             wire["engines"] = ["NO-SUCH-ENGINE"]
             client._file.write(
                 json.dumps(
-                    {"v": 1, "type": "submit", "tag": 7, "request": wire}
+                    {"v": PROTOCOL_VERSION, "type": "submit", "tag": 7, "request": wire}
                 ).encode()
                 + b"\n"
             )
@@ -328,7 +330,11 @@ class TestProtocolErrors:
             ):
                 client._file.write(
                     json.dumps(
-                        {"v": 1, "type": "submit", "request": request_payload}
+                        {
+                            "v": PROTOCOL_VERSION,
+                            "type": "submit",
+                            "request": request_payload,
+                        }
                     ).encode()
                     + b"\n"
                 )
@@ -348,7 +354,12 @@ class TestProtocolErrors:
             socket_path, jobs=1, backend="serial", line_limit=2048
         ) as service:
             with ServiceClient(service.socket_path) as client:
-                huge = {"v": 1, "type": "ping", "pad": "x" * 4096, "tag": 77}
+                huge = {
+                    "v": PROTOCOL_VERSION,
+                    "type": "ping",
+                    "pad": "x" * 4096,
+                    "tag": 77,
+                }
                 client._file.write(
                     json.dumps(huge, separators=(",", ":")).encode() + b"\n"
                 )

@@ -5,7 +5,15 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SolverError
 from repro.sat.cnf import CNF
-from repro.sat.solver import Solver, SolveResult, solve_cnf, _luby
+from repro.sat.solver import (
+    GLUE_LBD,
+    PySolver,
+    Solver,
+    SolveResult,
+    _Clause,
+    _luby,
+    solve_cnf,
+)
 from repro.utils.timer import Deadline
 
 from tests.reference import brute_force_sat
@@ -248,3 +256,94 @@ class TestRandomAgainstBruteForce:
             # The reported core must itself be unsatisfiable with the clauses.
             units = [[lit] for lit in result.core]
             assert brute_force_sat(clauses + units, num_vars) is None
+
+
+class TestPropagationCounting:
+    def test_propagations_count_enqueues_not_dequeues(self):
+        """``propagations`` counts *derived* assignments (enqueues by unit
+        propagation), never the root units or decisions themselves."""
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.propagations == 0
+        # The level-0 unit enqueues 1 (a root fact, not counted) and
+        # propagation then derives 2 and 3 (counted).
+        solver.add_clause([1])
+        assert solver.propagations == 2
+        result = solver.solve()
+        assert result.status is True
+        assert result.propagations == solver.propagations == 2
+
+    def test_result_carries_the_work_counters(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        result = solver.solve()
+        assert result.status is True
+        assert result.conflicts == solver.conflicts
+        assert result.decisions == solver.decisions >= 1
+        assert result.propagations == solver.propagations
+
+
+class TestLbdReduction:
+    """Unit tests for :meth:`PySolver._reduce_db` retention policy."""
+
+    def _learned(self, solver, variables, lbd, cid):
+        clause = _Clause([2 * v for v in variables], learned=True, cid=cid)
+        clause.lbd = lbd
+        solver._learnts.append(clause)
+        return clause
+
+    def test_glue_survives_and_locked_is_never_dropped(self):
+        solver = PySolver()
+        solver._ensure_var(8)
+        # Six droppable clauses with distinct LBDs (3..8) and four glue
+        # clauses.  Worst-first ordering puts the high-LBD clauses in the
+        # discarded half; the highest-LBD one is pinned as a reason.
+        droppable = [
+            self._learned(solver, (1, 2, 3), lbd=3 + i, cid=100 + i)
+            for i in range(6)
+        ]
+        glue = [
+            self._learned(solver, (4, 5, 6), lbd=GLUE_LBD, cid=200 + i)
+            for i in range(4)
+        ]
+        locked = droppable[-1]  # lbd 8: sorts into the worst half
+        solver._reason[3] = locked
+        solver._reduce_db()
+        assert all(clause.lits is not None for clause in glue)
+        assert locked.lits is not None
+        assert locked.locked is False  # the lock is scoped to the reduction
+        dead = [clause for clause in droppable if clause.lits is None]
+        assert dead, "reduction dropped nothing"
+        assert locked not in dead
+        assert all(clause.lbd > GLUE_LBD for clause in dead)
+        # The survivor list is compacted; dead clauses are only marked
+        # (lits=None) and left for lazy watcher cleanup.
+        assert len(solver._learnts) == 10 - len(dead)
+        assert all(clause.lits is not None for clause in solver._learnts)
+
+    def test_binary_learned_clauses_survive(self):
+        solver = PySolver()
+        solver._ensure_var(6)
+        binary = [
+            self._learned(solver, (1, 2), lbd=5, cid=300 + i) for i in range(4)
+        ]
+        for i in range(4):
+            self._learned(solver, (3, 4, 5), lbd=4, cid=400 + i)
+        solver._reduce_db()
+        assert all(clause.lits is not None for clause in binary)
+
+    def test_lazy_cleanup_reaps_dead_clauses_during_propagation(self):
+        solver = PySolver()
+        solver.add_clause([1, 2, 3])
+        solver.add_clause([1, 2, -3])
+        target = solver._clauses[0]
+        watch_lists = [
+            watch for watch in solver._watches if target in watch
+        ]
+        assert watch_lists
+        target.lits = None  # simulate a reduction marking it dead
+        solver.add_clause([-1])
+        solver.add_clause([-2])  # forces propagation past the dead clause
+        assert all(target not in watch for watch in solver._watches)
