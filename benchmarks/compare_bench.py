@@ -61,10 +61,116 @@ def describe(snapshot: Dict, path: str) -> str:
     return f"{path}: " + ", ".join(parts)
 
 
+def check_stats(path: str) -> int:
+    """Schema-check one saved service stats frame (``--stats`` mode).
+
+    CI snapshots the daemon's enriched stats frame next to the perf
+    snapshot; this validates its shape — versions, the obs metric
+    snapshot's internal consistency (bucket counts, quantile keys),
+    per-client accounting — so a stats-schema break fails the build the
+    same way a perf regression does.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        stats = json.load(handle)
+    problems: List[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    expect(isinstance(stats, dict), "stats frame is not an object")
+    if isinstance(stats, dict):
+        expect(
+            stats.get("stats_version") == 2,
+            f"stats_version is {stats.get('stats_version')!r}, expected 2",
+        )
+        expect(
+            isinstance(stats.get("protocol"), int),
+            "missing integer 'protocol'",
+        )
+        expect(isinstance(stats.get("quotas"), dict), "missing 'quotas' object")
+        clients = stats.get("clients")
+        expect(isinstance(clients, dict), "missing 'clients' object")
+        if isinstance(clients, dict):
+            for client in sorted(clients):
+                entry = clients[client]
+                if not isinstance(entry, dict):
+                    problems.append(f"clients[{client!r}] is not an object")
+                    continue
+                for key in ("inflight", "submitted", "rejected"):
+                    expect(
+                        isinstance(entry.get(key), int),
+                        f"clients[{client!r}].{key} is not an integer",
+                    )
+        obs = stats.get("obs")
+        expect(isinstance(obs, dict), "missing 'obs' metric snapshot")
+        if isinstance(obs, dict):
+            expect(
+                isinstance(obs.get("version"), int),
+                "obs snapshot has no integer 'version'",
+            )
+            for section in ("counters", "gauges", "histograms"):
+                expect(
+                    isinstance(obs.get(section), dict),
+                    f"obs snapshot has no '{section}' object",
+                )
+            histograms = obs.get("histograms")
+            if isinstance(histograms, dict):
+                for name in sorted(histograms):
+                    entry = histograms[name]
+                    bounds = entry.get("buckets")
+                    if not isinstance(bounds, list) or bounds != sorted(bounds):
+                        problems.append(f"{name}: bucket bounds not ascending")
+                        continue
+                    for key, series in sorted(entry.get("series", {}).items()):
+                        counts = series.get("counts")
+                        if (
+                            not isinstance(counts, list)
+                            or len(counts) != len(bounds) + 1
+                        ):
+                            problems.append(
+                                f"{name}[{key!r}]: counts length "
+                                f"{len(counts) if isinstance(counts, list) else '?'}"
+                                f" != {len(bounds) + 1}"
+                            )
+                            continue
+                        expect(
+                            series.get("count") == sum(counts),
+                            f"{name}[{key!r}]: count != sum(counts)",
+                        )
+                        if series.get("count"):
+                            for quantile in ("p50", "p90", "p99"):
+                                expect(
+                                    isinstance(
+                                        series.get(quantile), (int, float)
+                                    ),
+                                    f"{name}[{key!r}]: missing {quantile}",
+                                )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {path}: {problem}")
+        return 1
+    print(f"OK: {path}: stats frame schema is valid")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline snapshot (JSON)")
-    parser.add_argument("current", help="current snapshot (JSON)")
+    parser.add_argument(
+        "baseline", nargs="?", default=None, help="baseline snapshot (JSON)"
+    )
+    parser.add_argument(
+        "current", nargs="?", default=None, help="current snapshot (JSON)"
+    )
+    parser.add_argument(
+        "--stats",
+        default=None,
+        metavar="FILE",
+        help=(
+            "schema-check a saved service stats frame instead of diffing "
+            "perf snapshots"
+        ),
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -92,6 +198,13 @@ def main(argv: List[str] | None = None) -> int:
         help="restrict the comparison to NAME (repeatable); default: all shared",
     )
     args = parser.parse_args(argv)
+
+    if args.stats is not None:
+        if args.baseline is not None or args.current is not None:
+            parser.error("--stats takes no positional snapshots")
+        return check_stats(args.stats)
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current snapshots are required")
 
     baseline = load_snapshot(args.baseline)
     current = load_snapshot(args.current)

@@ -59,7 +59,7 @@ from repro.analysis.registry import ProjectChecker, call_name, project_rule
 
 # Findings are emitted only for these tiers; the analysis itself reads
 # every module (utils/ helpers still propagate taint into core/).
-FLOW_SCOPE = ("aig/", "core/", "service/", "api/")
+FLOW_SCOPE = ("aig/", "core/", "obs/", "service/", "api/")
 
 _ORDER_KINDS = ("set", "set-order")
 _VALUE_KINDS = ("wallclock", "rng", "id")

@@ -82,7 +82,7 @@ _BUILTIN_SCHEMAS = (
     _schema("ping", "client", ("type", "v"), ("tag",)),
     _schema("hello", "server", ("type", "v", "server")),
     _schema("pong", "server", ("type", "v"), ("tag",)),
-    _schema("error", "server", ("type", "v", "error"), ("tag",)),
+    _schema("error", "server", ("type", "v", "error"), ("tag", "code")),
     _schema(
         "event",
         "server",

@@ -20,7 +20,7 @@ from repro.analysis.findings import SEVERITY_ERROR
 
 # Module paths whose outputs feed hashes, fingerprints, wire frames or
 # schedule order — the determinism-critical tiers named in the invariant.
-DETERMINISM_SCOPE = ("aig/", "core/", "service/")
+DETERMINISM_SCOPE = ("aig/", "core/", "obs/", "service/")
 
 _SET_ANNOTATIONS = {"set", "Set", "frozenset", "FrozenSet", "MutableSet"}
 _SET_BUILTINS = {"set", "frozenset"}

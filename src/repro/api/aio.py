@@ -201,6 +201,7 @@ class AsyncSession:
         registry: Optional[EngineRegistry] = None,
         jobs: int = 1,
         backend: str = "thread",
+        metrics=None,
     ) -> None:
         from repro.core.scheduler import LiveSuiteScheduler
 
@@ -221,11 +222,15 @@ class AsyncSession:
         self._persistent_caches: Dict[str, object] = {}
         self._provide_cache = shared_cache_provider(self._persistent_caches)
         self._closed = False
+        # ``metrics`` is a repro.obs MetricsRegistry (or None for the
+        # process-wide one); the daemon passes its own so per-service
+        # series stay isolated.
         self._live = LiveSuiteScheduler(
             jobs=jobs,
             backend=backend,
             on_record=self._on_record_threadsafe,
             cache_provider=self._provide_cache,
+            metrics=metrics,
         )
 
     # -- lifecycle ----------------------------------------------------------------
@@ -239,6 +244,11 @@ class AsyncSession:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def metrics(self):
+        """The obs :class:`MetricsRegistry` the live scheduler reports to."""
+        return self._live.metrics
 
     async def aclose(self) -> None:
         """Deterministic shutdown: cancel outstanding requests, shut the

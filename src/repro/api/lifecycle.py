@@ -30,6 +30,8 @@ import threading
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import DecompositionError
+from repro.obs.registry import default_registry
+from repro.obs.spans import PHASE_DISPATCHED, PHASE_SOLVED, RequestSpan
 
 STATE_QUEUED = "queued"
 STATE_RUNNING = "running"
@@ -62,6 +64,13 @@ _TRANSITIONS = {
 # listeners non-blocking (the async session only posts to an event loop).
 TicketListener = Callable[["RequestTicket", str, str], None]
 
+#: Lifecycle transition counter, by the state being entered.  Pure
+#: observability: lives in the process-wide obs registry, never in
+#: report data.
+_REQUESTS_TOTAL = default_registry().counter(
+    "repro_requests_total", "request lifecycle transitions, by entered state"
+)
+
 
 class RequestTicket:
     """One request's identity and live state, shared across threads.
@@ -90,6 +99,11 @@ class RequestTicket:
         self._state = STATE_QUEUED
         self._lock = threading.Lock()
         self._listeners: List[TicketListener] = []
+        # The request's lifecycle span: "queued" is marked here;
+        # "dispatched"/"solved" are marked by advance(); the serving
+        # surface (the daemon) marks "replied" and folds the span into
+        # its metrics registry.  Timing never enters report data.
+        self.span = RequestSpan()
 
     @property
     def state(self) -> str:
@@ -137,6 +151,13 @@ class RequestTicket:
                 self.error = error
             self._state = new_state
             listeners = list(self._listeners)
+        # Span marks and counters BEFORE listeners: a listener may flush
+        # the result to a client, which marks the later "replied" phase.
+        if new_state == STATE_RUNNING:
+            self.span.mark(PHASE_DISPATCHED)
+        elif new_state in TERMINAL_STATES:
+            self.span.mark(PHASE_SOLVED)
+        _REQUESTS_TOTAL.inc(state=new_state)
         for listener in listeners:
             listener(self, old_state, new_state)
         return True

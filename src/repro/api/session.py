@@ -51,6 +51,14 @@ from repro.api.registry import EngineRegistry, default_registry
 from repro.api.request import DecompositionRequest
 from repro.core.result import CircuitReport, OutputResult
 from repro.errors import DecompositionError
+from repro.obs.registry import default_registry as obs_registry
+from repro.utils.timer import monotonic
+
+#: Wall-clock of whole blocking runs, pure observability (never enters
+#: report data; ``report.schedule`` stays outside fingerprints anyway).
+_RUN_SECONDS = obs_registry().histogram(
+    "repro_session_run_seconds", "blocking Session.run wall time"
+)
 
 
 def scheduler_for_request(request: DecompositionRequest, cache_provider=None):
@@ -239,6 +247,7 @@ class Session:
         self.stats["runs"] += 1
         ticket = self._issue_ticket(request)
         ticket.mark_running()
+        started = monotonic()
         try:
             report = scheduler.run(
                 request.circuit,
@@ -251,6 +260,8 @@ class Session:
         except Exception as exc:
             ticket.mark_failed(f"{type(exc).__name__}: {exc}")
             raise
+        finally:
+            _RUN_SECONDS.observe(monotonic() - started)
         ticket.mark_done(report)
         return report
 

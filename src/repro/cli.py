@@ -266,16 +266,24 @@ def _serve_until_signal(server, address: str, banner) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import QuotaPolicy
     from repro.service import ReproService
 
     if args.jobs < 1:
         raise ReproError(f"--jobs must be at least 1 (got {args.jobs})")
     _check_cache_flags(args)
+    quota = QuotaPolicy(
+        max_inflight_per_client=args.max_inflight_per_client,
+        max_pending=args.max_pending,
+        cache_write_budget=args.cache_write_budget,
+    )
     service = ReproService(
         jobs=args.jobs,
         backend=args.backend,
         cache_dir=args.cache_dir,
         cache_max_entries=args.cache_max_entries,
+        quota=quota,
+        metrics_address=args.metrics,
     )
     return _serve_until_signal(
         service,
@@ -283,6 +291,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lambda address: (
             f"serving on {address} (backend={args.backend}, jobs={args.jobs}"
             + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
+            + (
+                f", metrics on {service.metrics_address}"
+                if service.metrics_address
+                else ""
+            )
             + ") — SIGINT/SIGTERM to stop"
         ),
     )
@@ -309,6 +322,114 @@ def _cmd_route(args: argparse.Namespace) -> int:
             + " — SIGINT/SIGTERM to stop"
         ),
     )
+
+
+def _histogram_line(obs: dict, name: str, series_key: str = "") -> Optional[str]:
+    """One ``count/p50/p90/p99`` summary line for a histogram series."""
+    entry = obs.get("histograms", {}).get(name)
+    if not isinstance(entry, dict):
+        return None
+    series = entry.get("series", {}).get(series_key)
+    if not isinstance(series, dict) or not series.get("count"):
+        return None
+    quantiles = "  ".join(
+        f"{q}={series[q] * 1000:.1f}ms"
+        for q in ("p50", "p90", "p99")
+        if isinstance(series.get(q), (int, float))
+    )
+    return f"n={series['count']}  {quantiles}"
+
+
+def _counter_total(obs: dict, name: str) -> float:
+    entry = obs.get("counters", {}).get(name, {})
+    values = entry.get("values", {}) if isinstance(entry, dict) else {}
+    return sum(v for v in values.values() if isinstance(v, (int, float)))
+
+
+def _render_stats_text(stats: dict) -> str:
+    """The human `step stats` view of one (daemon or router) stats frame."""
+    lines = []
+    router = stats.get("router")
+    if isinstance(router, dict):
+        lines.append(
+            f"router: {router.get('shards_up', 0)} shard(s) up, "
+            f"{router.get('shards_down', 0)} down; "
+            f"routed={router.get('routed', 0)} "
+            f"failovers={router.get('failovers', 0)} "
+            f"results={router.get('results', 0)}"
+        )
+    lines.append(
+        "requests: "
+        + " ".join(
+            f"{key}={stats.get(key, 0)}"
+            for key in ("submitted", "completed", "cancelled", "failed")
+        )
+    )
+    obs = stats.get("obs")
+    if isinstance(obs, dict):
+        for label, name in (
+            ("latency   ", "repro_request_latency_seconds"),
+            ("queue wait", "repro_request_queue_wait_seconds"),
+            ("fair queue", "repro_fair_queue_wait_seconds"),
+        ):
+            line = _histogram_line(obs, name)
+            if line is not None:
+                lines.append(f"{label}: {line}")
+        hits = _counter_total(obs, "repro_cone_cache_hits_total")
+        misses = _counter_total(obs, "repro_cone_cache_misses_total")
+        if hits or misses:
+            rate = 100.0 * hits / (hits + misses)
+            lines.append(
+                f"cone cache: {int(hits)} hit(s), {int(misses)} miss(es) "
+                f"({rate:.1f}% hit rate)"
+            )
+        rejected = _counter_total(obs, "repro_service_backpressure_total")
+        if rejected:
+            lines.append(f"backpressure rejections: {int(rejected)}")
+    clients = stats.get("clients")
+    if isinstance(clients, dict) and clients:
+        lines.append("clients:")
+        for client in sorted(clients):
+            entry = clients[client]
+            if not isinstance(entry, dict):
+                continue
+            lines.append(
+                f"  {client}: "
+                + " ".join(
+                    f"{key}={entry.get(key, 0)}"
+                    for key in (
+                        "inflight",
+                        "submitted",
+                        "rejected",
+                        "cache_throttled",
+                    )
+                )
+            )
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.service import ServiceClient
+
+    if args.interval <= 0:
+        raise ReproError(f"--interval must be positive (got {args.interval})")
+    try:
+        while True:
+            with ServiceClient(args.socket, timeout=args.connect_timeout) as client:
+                stats = client.stats()
+            if args.json:
+                print(_json.dumps(stats, indent=2, sort_keys=True), flush=True)
+            else:
+                print(_render_stats_text(stats), flush=True)
+            if not args.watch:
+                return 0
+            print("---", flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -537,7 +658,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound the shared snapshot: LRU-by-last-hit eviction at save time",
     )
+    serve.add_argument(
+        "--metrics",
+        default=None,
+        metavar="ADDRESS",
+        help=(
+            "also serve a Prometheus text-format scrape endpoint on this "
+            "address (Unix path or HOST:PORT; default: off)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight-per-client",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-connection cap on non-terminal requests; over-limit submits "
+            "get a recoverable backpressure error (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bound the accept queue across ALL connections; excess submits "
+            "get a recoverable backpressure error (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-write-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-client persistent cone-cache write budget; exhausted clients "
+            "keep running without the persistent cache (default: unbounded)"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="print a daemon's or router's live stats (latency percentiles, "
+        "cache hit rate, per-client accounting)",
+    )
+    stats.add_argument(
+        "--socket",
+        required=True,
+        metavar="ADDRESS",
+        help="the daemon's or router's address: a Unix socket path or HOST:PORT",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw stats frame as JSON instead of the summary",
+    )
+    stats.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep printing (every --interval seconds) until interrupted",
+    )
+    stats.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period for --watch (default: 2.0)",
+    )
+    stats.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="socket timeout in seconds (default: wait indefinitely)",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     route = sub.add_parser(
         "route",

@@ -461,7 +461,22 @@ _BACKEND_TYPES = {
 
 def create_backend(name: str, workers: int) -> ExecutorBackend:
     """Instantiate the named backend sized to ``workers``."""
-    return _BACKEND_TYPES[check_backend(name)](workers)
+    kind = check_backend(name)
+    backend = _BACKEND_TYPES[kind](workers)
+    # Parent-side observability only: create_backend never runs inside
+    # pool workers, so these counters stay in the serving process.
+    from repro.obs.registry import default_registry as _obs_registry
+
+    registry = _obs_registry()
+    registry.counter(
+        "repro_executor_backends_total",
+        "executor backends instantiated, by kind",
+    ).inc(backend=kind)
+    registry.gauge(
+        "repro_executor_workers",
+        "effective worker count of the most recent backend, by kind",
+    ).set(backend.workers, backend=kind)
+    return backend
 
 
 # -- process-pool plumbing (module level for pickling) --------------------------

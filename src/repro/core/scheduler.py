@@ -95,9 +95,11 @@ from repro.core.partition import VariablePartition
 from repro.core.result import BiDecResult, CircuitReport, OutputResult
 from repro.core.spec import check_engine, check_operator
 from repro.errors import DecompositionError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import default_registry as obs_registry
 from repro.sat.solver import active_kernel_name
 from repro.utils.rng import derive_seed, seeded_job
-from repro.utils.timer import Deadline, Stopwatch
+from repro.utils.timer import Deadline, Stopwatch, monotonic
 
 # File name of the persistent cone cache inside ``cache_dir``.
 PERSISTENT_CACHE_FILENAME = "cone_cache.json"
@@ -134,6 +136,30 @@ def _aggregate_solver_stats(report: CircuitReport) -> Dict[str, int]:
         "decisions": decisions,
         "propagations": propagations,
     }
+
+
+#: schedule key -> process-wide cache counter fed from every finalized run.
+_CACHE_COUNTERS = (
+    ("cache_hits", "repro_cone_cache_hits_total", "in-memory cone-cache hits"),
+    ("cache_misses", "repro_cone_cache_misses_total", "in-memory cone-cache misses"),
+    ("persistent_hits", "repro_persistent_cache_hits_total", "persistent cone-cache hits"),
+    ("persistent_saved", "repro_persistent_cache_saved_total", "persistent cone-cache entries written"),
+)
+
+
+def _count_cache_activity(schedule: Dict[str, object]) -> None:
+    """Fold one finalized run's cache numbers into the obs registry.
+
+    Counting from the already-assembled schedule dict (instead of inside
+    the cache hot path) keeps observability strictly downstream of the
+    fingerprinted execution: the report is complete before any metric
+    moves.
+    """
+    registry = obs_registry()
+    for key, name, help_text in _CACHE_COUNTERS:
+        amount = schedule.get(key, 0)
+        if isinstance(amount, int) and amount > 0:
+            registry.counter(name, help_text).inc(amount)
 
 
 @dataclass
@@ -414,6 +440,7 @@ class BatchScheduler:
             report.schedule["persistent_hits"] = cache.warm_hits
             report.schedule["persistent_loaded"] = prepared.warmed
             report.schedule["persistent_saved"] = prepared.saved_early + saved
+        _count_cache_activity(report.schedule)
         return report
 
     # -- execution ----------------------------------------------------------------
@@ -1358,6 +1385,9 @@ class _LiveUnit:
     # dispatch so queue wait behind other clients costs the unit nothing.
     budget_left: Optional[float] = None
     armed: bool = False
+    # Monotonic timestamp of fair-queue entry; the arming point observes
+    # the difference as this request's fair-queue wait (obs only).
+    enqueued_at: Optional[float] = None
     # forget() was requested while jobs were still in flight; the entry
     # is dropped when the last one lands.
     forgotten: bool = False
@@ -1414,6 +1444,7 @@ class LiveSuiteScheduler:
         pool_id: int = 0,
         on_record=None,
         cache_provider=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         import threading
 
@@ -1426,6 +1457,18 @@ class LiveSuiteScheduler:
         self.worker_count = 0
         self._on_record = on_record
         self._cache_provider = cache_provider
+        # Observability sink.  The daemon passes its own registry so two
+        # services in one process keep separate per-client series; the
+        # embedded async session defaults to the process-wide registry.
+        self.metrics = metrics if metrics is not None else obs_registry()
+        self._queue_wait = self.metrics.histogram(
+            "repro_fair_queue_wait_seconds",
+            "submit-to-first-dispatch wait in the live fair queue",
+        )
+        self._jobs_dispatched = self.metrics.counter(
+            "repro_jobs_dispatched_total",
+            "primary jobs handed to the live executor, by backend",
+        )
         self._lock = threading.RLock()
         self._backend_impl = None
         self._fallback: Optional[str] = None
@@ -1528,6 +1571,7 @@ class LiveSuiteScheduler:
             budget_left=(
                 None if prepared.deadline is None else prepared.deadline.remaining()
             ),
+            enqueued_at=monotonic(),
         )
         with self._lock:
             if self._closed:
@@ -1629,10 +1673,13 @@ class LiveSuiteScheduler:
                     unit.armed = True
                     if unit.budget_left is not None:
                         unit.prepared.deadline = Deadline(unit.budget_left)
+                    if unit.enqueued_at is not None:
+                        self._queue_wait.observe(monotonic() - unit.enqueued_at)
                 unit.queued -= 1
                 unit.inflight += 1
                 unit.dispatched = True
                 self._inflight_total += 1
+                self._jobs_dispatched.inc(backend=self.backend)
                 unit.ticket.mark_running()
                 self._backend_impl.submit(
                     (
@@ -1728,6 +1775,8 @@ class LiveSuiteScheduler:
                 unit.armed = True
                 if unit.budget_left is not None:
                     prepared.deadline = Deadline(unit.budget_left)
+                if unit.enqueued_at is not None:
+                    self._queue_wait.observe(monotonic() - unit.enqueued_at)
         try:
             unit.ticket.mark_running()  # no-op if already running
             for record in scheduler.execute_local(prepared, followers, records):

@@ -92,6 +92,35 @@ class ServiceError(ReproError):
     """The decomposition service (or a client's use of it) failed."""
 
 
+class Backpressure(ServiceError):
+    """A per-client quota or accept-queue bound rejected a submit.
+
+    Recoverable by design: the connection stays up and the daemon keeps
+    serving the client's in-flight requests — the client should retry the
+    rejected submit once one of them completes.  On the wire this travels
+    as a tagged ``error`` frame carrying ``"code": "backpressure"`` so
+    clients can distinguish it (and retry) without string-matching the
+    message; :class:`repro.service.client.ServiceClient` re-raises it as
+    this type.
+
+    ``quota`` names which bound rejected the request
+    (``"max_inflight_per_client"`` or ``"max_pending"``) and ``limit`` its
+    configured value, when known.
+    """
+
+    code = "backpressure"
+
+    def __init__(
+        self,
+        message: str,
+        quota: str | None = None,
+        limit: int | None = None,
+    ) -> None:
+        self.quota = quota
+        self.limit = limit
+        super().__init__(message)
+
+
 class UsageError(ReproError):
     """Invalid command-line usage (bad paths/flags, not a failed run).
 

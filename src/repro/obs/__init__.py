@@ -1,0 +1,44 @@
+"""``repro.obs`` — the metrics/tracing subsystem.
+
+One process-wide :class:`MetricsRegistry` (monotonic counters, gauges,
+fixed-bucket histograms with deterministic bounds), request-lifecycle
+:class:`RequestSpan` timing, Prometheus text exposition, and the
+per-client :class:`QuotaPolicy` the service daemon enforces with
+recoverable backpressure.  See docs/observability.md for the metric
+catalog and the hard rule: nothing observed here may flow into
+fingerprinted report data.
+"""
+
+from repro.obs.exposition import MetricsEndpoint, render_prometheus
+from repro.obs.quota import ClientAccount, QuotaPolicy
+from repro.obs.registry import (
+    LATENCY_BUCKETS,
+    SNAPSHOT_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    merge_snapshots,
+    quantile_from_counts,
+)
+from repro.obs.spans import PHASES, SPAN_HISTOGRAMS, RequestSpan
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "SNAPSHOT_VERSION",
+    "PHASES",
+    "SPAN_HISTOGRAMS",
+    "ClientAccount",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsEndpoint",
+    "MetricsRegistry",
+    "QuotaPolicy",
+    "RequestSpan",
+    "default_registry",
+    "merge_snapshots",
+    "quantile_from_counts",
+    "render_prometheus",
+]

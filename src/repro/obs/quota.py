@@ -1,0 +1,123 @@
+"""Per-client quota policy and accounting for the service daemon.
+
+The hardening half of the observability layer: the same numbers the
+metrics registry reports (per-client in-flight counts, cache writes) are
+the admission signal.  :class:`QuotaPolicy` is the validated bundle of
+bounds a :class:`repro.service.daemon.ReproService` enforces;
+:class:`ClientAccount` is one connection's running tally.
+
+Quota semantics (documented in docs/observability.md):
+
+* ``max_inflight_per_client`` — a connection may hold at most this many
+  non-terminal requests; an over-limit ``submit`` is rejected with a
+  tagged, recoverable :class:`repro.errors.Backpressure` error frame
+  (the connection and its in-flight work are untouched).
+* ``max_pending`` — the bounded accept queue: at most this many
+  non-terminal requests across *all* connections; excess submits get the
+  same backpressure reply instead of queueing unboundedly.
+* ``cache_write_budget`` — once a connection's completed requests have
+  caused this many persistent cone-cache *writes*, its later requests
+  run without the persistent cache (in-memory dedup still applies).
+  Reports are fingerprint-identical either way — cache state never
+  changes results, only how they are reached — so throttling is
+  invisible in report data and visible in ``schedule["persistent_*"]``
+  and the stats frame.
+
+Rejections never perturb surviving requests: admission is decided before
+the request is decoded or planned, so a rejected submit leaves no trace
+in the scheduler (proven by the fingerprint-isolation tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import Backpressure, ReproError
+
+
+def _check_bound(value: Optional[int], name: str) -> None:
+    if value is not None and (not isinstance(value, int) or value < 1):
+        raise ReproError(
+            f"{name} must be a positive integer or None (got {value!r})"
+        )
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """The daemon's per-client/service admission bounds (None = no bound)."""
+
+    max_inflight_per_client: Optional[int] = None
+    max_pending: Optional[int] = None
+    cache_write_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_bound(self.max_inflight_per_client, "max_inflight_per_client")
+        _check_bound(self.max_pending, "max_pending")
+        _check_bound(self.cache_write_budget, "cache_write_budget")
+
+    @property
+    def enforced(self) -> bool:
+        return (
+            self.max_inflight_per_client is not None
+            or self.max_pending is not None
+            or self.cache_write_budget is not None
+        )
+
+    def admit(
+        self, client: str, inflight: int, pending_total: int
+    ) -> None:
+        """Raise :class:`Backpressure` when a submit must be rejected."""
+        limit = self.max_inflight_per_client
+        if limit is not None and inflight >= limit:
+            raise Backpressure(
+                f"client {client} has {inflight} requests in flight "
+                f"(limit {limit}); retry after one completes",
+                quota="max_inflight_per_client",
+                limit=limit,
+            )
+        limit = self.max_pending
+        if limit is not None and pending_total >= limit:
+            raise Backpressure(
+                f"the service accept queue is full ({pending_total} requests "
+                f"pending, limit {limit}); retry shortly",
+                quota="max_pending",
+                limit=limit,
+            )
+
+    def cache_writes_exhausted(self, persistent_saved: int) -> bool:
+        """Whether a client's accumulated cache writes used up its budget."""
+        budget = self.cache_write_budget
+        return budget is not None and persistent_saved >= budget
+
+
+class ClientAccount:
+    """One connection's running quota/metrics tally (loop-confined)."""
+
+    __slots__ = (
+        "client",
+        "submitted",
+        "rejected",
+        "persistent_saved",
+        "cache_throttled",
+    )
+
+    def __init__(self, client: str) -> None:
+        self.client = client
+        self.submitted = 0
+        self.rejected = 0
+        # Persistent cone-cache entries this connection's completed
+        # requests wrote (from schedule["persistent_saved"]).
+        self.persistent_saved = 0
+        # Requests that ran with the persistent cache withheld because
+        # the write budget was exhausted.
+        self.cache_throttled = 0
+
+    def stats(self, inflight: int) -> Dict[str, int]:
+        return {
+            "inflight": inflight,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "persistent_saved": self.persistent_saved,
+            "cache_throttled": self.cache_throttled,
+        }

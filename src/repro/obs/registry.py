@@ -1,0 +1,414 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Three metric kinds, all thread-safe and all with optional labels:
+
+* **counters** — monotonic totals (``repro_requests_total``);
+* **gauges** — set/add instantaneous values (``repro_connections_open``);
+* **histograms** — fixed-bucket latency distributions with
+  **deterministic bucket bounds** (:data:`LATENCY_BUCKETS`), so two
+  processes — or two shards behind one router — always bucket the same
+  observation identically and their snapshots merge bucket-for-bucket
+  (:func:`merge_snapshots`).
+
+Everything here is *observability only*: nothing in a snapshot ever flows
+into a :class:`repro.core.result.CircuitReport` or its fingerprint, and
+every clock read feeding an observation routes through
+:func:`repro.utils.timer.monotonic` (the ``DET-WALLCLOCK`` lint rule
+holds for ``obs/`` like everywhere else).
+
+:func:`default_registry` is the process-wide instance the substrate
+layers (solver, scheduler, lifecycle) instrument unconditionally; a
+:class:`repro.service.daemon.ReproService` additionally keeps a private
+registry for per-daemon series (request spans, per-client gauges) so two
+embedded daemons in one process never mix client series.
+
+Snapshots are plain JSON-safe dicts with **sorted keys at every level**
+— they travel inside the versioned ``stats`` wire frame, and a stats
+frame must be byte-stable for a given counter state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Stats-frame schema version of a snapshot (the ``"version"`` key).
+SNAPSHOT_VERSION = 1
+
+#: Deterministic default bucket bounds (seconds) for latency histograms.
+#: Chosen once, shared by every process: merging snapshots across shards
+#: requires bucket-for-bucket identity, so these are part of the schema.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+#: The quantiles every histogram series reports in snapshots.
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> str:
+    """Canonical series key: ``k=v`` pairs sorted by label name."""
+    if not labels:
+        return ""
+    return ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(ch.isalnum() or ch == "_" for ch in name):
+        raise ReproError(
+            f"invalid metric name {name!r}: use [a-zA-Z0-9_] only"
+        )
+    return name
+
+
+class Counter:
+    """A monotonic counter family; label combinations are its series."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self._values: Dict[str, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name} is monotonic; cannot add {amount!r}"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+    def _snapshot(self) -> Dict[str, object]:
+        return {
+            "help": self.help,
+            "values": {key: self._values[key] for key in sorted(self._values)},
+        }
+
+
+class Gauge:
+    """An instantaneous value family (``set``/``add``)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self._values: Dict[str, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def add(self, delta: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + delta
+
+    def remove(self, **labels: object) -> None:
+        """Drop a series (e.g. a disconnected client's in-flight gauge)."""
+        with self._lock:
+            self._values.pop(_label_key(labels), None)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+    def _snapshot(self) -> Dict[str, object]:
+        return {
+            "help": self.help,
+            "values": {key: self._values[key] for key in sorted(self._values)},
+        }
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        # counts[i] = observations <= bounds[i]; counts[-1] = overflow.
+        self.counts = [0] * (n_buckets + 1)
+        self.total = 0.0
+        self.count = 0
+
+
+def quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile from per-bucket counts.
+
+    Linear interpolation inside the winning bucket (the classic
+    Prometheus ``histogram_quantile`` estimate); observations past the
+    last bound clamp to it.  ``None`` when the series is empty.
+    """
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if seen + bucket_count >= rank:
+            if index >= len(bounds):
+                return bounds[-1] if bounds else None
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (rank - seen) / bucket_count
+            return lower + (upper - lower) * fraction
+        seen += bucket_count
+    return bounds[-1] if bounds else None  # pragma: no cover - safety net
+
+
+class Histogram:
+    """A fixed-bucket histogram family with deterministic bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(
+            later <= earlier for earlier, later in zip(bounds, bounds[1:])
+        ):
+            raise ReproError(
+                f"histogram {name} bucket bounds must be strictly "
+                f"increasing and non-empty (got {list(buckets)!r})"
+            )
+        self.name = name
+        self.help = help_text
+        self.buckets = bounds
+        self._lock = lock
+        self._series: Dict[str, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            index = len(self.buckets)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = position
+                    break
+            series.counts[index] += 1
+            series.total += value
+            series.count += 1
+
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return None
+            counts = list(series.counts)
+        return quantile_from_counts(self.buckets, counts, q)
+
+    def _snapshot(self) -> Dict[str, object]:
+        series_out: Dict[str, object] = {}
+        for key in sorted(self._series):
+            series = self._series[key]
+            entry: Dict[str, object] = {
+                "count": series.count,
+                "sum": series.total,
+                "counts": list(series.counts),
+            }
+            for label, q in QUANTILES:
+                entry[label] = quantile_from_counts(
+                    self.buckets, series.counts, q
+                )
+            series_out[key] = entry
+        return {
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "series": series_out,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metric families, snapshot-able as one dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name, kind, factory):
+        _check_name(name)
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif metric.kind != kind:
+                raise ReproError(
+                    f"metric {name!r} already registered as a {metric.kind}, "
+                    f"not a {kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(
+            name, "counter", lambda: Counter(name, help_text, self._lock)
+        )
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(
+            name, "gauge", lambda: Gauge(name, help_text, self._lock)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name,
+            "histogram",
+            lambda: Histogram(name, help_text, self._lock, buckets=buckets),
+        )
+        if metric.buckets != tuple(float(bound) for bound in buckets):
+            raise ReproError(
+                f"histogram {name!r} already registered with buckets "
+                f"{list(metric.buckets)!r}"
+            )
+        return metric
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe, deterministically ordered dump of every series."""
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            with self._lock:
+                entry = metric._snapshot()
+            if metric.kind == "counter":
+                counters[name] = entry
+            elif metric.kind == "gauge":
+                gauges[name] = entry
+            else:
+                histograms[name] = entry
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Roll snapshots from several registries (or shards) into one.
+
+    Counters and gauges sum series-wise; histogram series with identical
+    bucket bounds sum bucket-for-bucket (then re-derive their quantiles).
+    A histogram whose bounds disagree with the first-seen ones is skipped
+    rather than corrupted — bounds are deterministic and shared
+    (:data:`LATENCY_BUCKETS`), so this only happens across incompatible
+    code versions, and the merged snapshot records it under
+    ``"merge_skipped"``.
+    """
+    merged: Dict[str, object] = {
+        "version": SNAPSHOT_VERSION,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    skipped: List[str] = []
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict):
+            continue
+        for section in ("counters", "gauges"):
+            target: Dict[str, Dict] = merged[section]  # type: ignore[assignment]
+            for name in sorted(snapshot.get(section, ())):
+                entry = snapshot[section][name]
+                out = target.setdefault(
+                    name, {"help": entry.get("help", ""), "values": {}}
+                )
+                for key in sorted(entry.get("values", ())):
+                    out["values"][key] = (
+                        out["values"].get(key, 0) + entry["values"][key]
+                    )
+        target = merged["histograms"]  # type: ignore[assignment]
+        for name in sorted(snapshot.get("histograms", ())):
+            entry = snapshot["histograms"][name]
+            bounds = list(entry.get("buckets", ()))
+            out = target.setdefault(
+                name,
+                {"help": entry.get("help", ""), "buckets": bounds, "series": {}},
+            )
+            if out["buckets"] != bounds:
+                skipped.append(name)
+                continue
+            for key in sorted(entry.get("series", ())):
+                series = entry["series"][key]
+                slot = out["series"].setdefault(
+                    key,
+                    {"count": 0, "sum": 0.0, "counts": [0] * len(series["counts"])},
+                )
+                if len(slot["counts"]) != len(series["counts"]):
+                    skipped.append(name)
+                    continue
+                slot["count"] += series["count"]
+                slot["sum"] += series["sum"]
+                slot["counts"] = [
+                    have + more
+                    for have, more in zip(slot["counts"], series["counts"])
+                ]
+    for name in sorted(merged["histograms"]):  # type: ignore[arg-type]
+        entry = merged["histograms"][name]  # type: ignore[index]
+        for series in entry["series"].values():
+            for label, q in QUANTILES:
+                series[label] = quantile_from_counts(
+                    entry["buckets"], series["counts"], q
+                )
+    if skipped:
+        merged["merge_skipped"] = sorted(set(skipped))
+    return merged
+
+
+# -- the process-wide default registry ------------------------------------------
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT: Optional[MetricsRegistry] = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry the substrate layers instrument into."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = MetricsRegistry()
+        return _DEFAULT

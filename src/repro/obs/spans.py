@@ -1,0 +1,110 @@
+"""Request-lifecycle spans: queued → dispatched → solved → replied.
+
+A :class:`RequestSpan` is a tiny bag of monotonic phase marks attached to
+every :class:`repro.api.lifecycle.RequestTicket` at creation:
+
+* ``queued`` — the ticket exists (submission);
+* ``dispatched`` — the first job reached the executor (the ticket's
+  ``queued → running`` transition);
+* ``solved`` — the ticket went terminal (``done``/``cancelled``/
+  ``failed``);
+* ``replied`` — the serving surface flushed the result to the client
+  (marked by the daemon after the ``result`` frame drains; local
+  sessions stop at ``solved``).
+
+Phase marks are first-write-wins and every read routes through
+:func:`repro.utils.timer.monotonic` — span timestamps are pure
+observability and never reach fingerprinted report data.
+
+:meth:`RequestSpan.finish` folds the phase durations into a registry's
+histograms (:data:`SPAN_HISTOGRAMS`), labelled by client so the daemon's
+stats frame can report per-client *and* aggregate latency percentiles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.utils.timer import monotonic
+
+PHASE_QUEUED = "queued"
+PHASE_DISPATCHED = "dispatched"
+PHASE_SOLVED = "solved"
+PHASE_REPLIED = "replied"
+
+#: Lifecycle phases in order.
+PHASES = (PHASE_QUEUED, PHASE_DISPATCHED, PHASE_SOLVED, PHASE_REPLIED)
+
+#: histogram name -> (phase interval start, phase interval end).
+SPAN_HISTOGRAMS = {
+    "repro_request_queue_wait_seconds": (PHASE_QUEUED, PHASE_DISPATCHED),
+    "repro_request_run_seconds": (PHASE_DISPATCHED, PHASE_SOLVED),
+    "repro_request_reply_seconds": (PHASE_SOLVED, PHASE_REPLIED),
+    "repro_request_latency_seconds": (PHASE_QUEUED, PHASE_REPLIED),
+}
+
+_HELP = {
+    "repro_request_queue_wait_seconds": "submission to first job dispatch",
+    "repro_request_run_seconds": "first dispatch to terminal state",
+    "repro_request_reply_seconds": "terminal state to result frame flushed",
+    "repro_request_latency_seconds": "submission to result frame flushed",
+}
+
+
+class RequestSpan:
+    """Phase marks for one request; thread-safe, first-write-wins."""
+
+    __slots__ = ("_marks", "_lock", "_finished")
+
+    def __init__(self) -> None:
+        self._marks: Dict[str, float] = {PHASE_QUEUED: monotonic()}
+        self._lock = threading.Lock()
+        self._finished = False
+
+    def mark(self, phase: str) -> None:
+        """Record ``phase`` at now, unless it was already marked."""
+        if phase not in PHASES:
+            return
+        with self._lock:
+            self._marks.setdefault(phase, monotonic())
+
+    def marked(self, phase: str) -> bool:
+        with self._lock:
+            return phase in self._marks
+
+    def duration(self, start: str, end: str) -> Optional[float]:
+        """Seconds between two marked phases (``None`` if either is unset
+        or the interval is inverted by a racing late mark)."""
+        with self._lock:
+            begin = self._marks.get(start)
+            finish = self._marks.get(end)
+        if begin is None or finish is None or finish < begin:
+            return None
+        return finish - begin
+
+    def finish(self, registry: MetricsRegistry, client: str = "") -> bool:
+        """Observe every complete phase interval into ``registry``, once.
+
+        A missing ``replied`` mark is filled in at now (covering surfaces
+        that never flush a frame); repeated calls are no-ops so a span
+        can be finished defensively from racing paths.  Each histogram
+        gains two observations: the aggregate (unlabelled) series and the
+        per-client one when ``client`` is non-empty.
+        """
+        with self._lock:
+            if self._finished:
+                return False
+            self._finished = True
+            self._marks.setdefault(PHASE_REPLIED, monotonic())
+        for name in sorted(SPAN_HISTOGRAMS):
+            start, end = SPAN_HISTOGRAMS[name]
+            elapsed = self.duration(start, end)
+            if elapsed is None:
+                continue
+            histogram = registry.histogram(name, _HELP[name])
+            histogram.observe(elapsed)
+            if client:
+                histogram.observe(elapsed, client=client)
+        return True

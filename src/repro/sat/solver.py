@@ -116,9 +116,47 @@ def _work_cells() -> List[int]:
     return cells
 
 
+_WORK_COUNTERS = None
+
+
+def _obs_work_counters():
+    """Process-wide obs counters for solver work (lazy; never hot-path)."""
+    global _WORK_COUNTERS
+    if _WORK_COUNTERS is None:
+        from repro.obs.registry import default_registry
+
+        registry = default_registry()
+        _WORK_COUNTERS = tuple(
+            registry.counter(
+                f"repro_solver_{kind}_total",
+                f"total solver {kind} across every substrate in this process",
+            )
+            for kind in ("conflicts", "decisions", "propagations")
+        )
+    return _WORK_COUNTERS
+
+
 def solver_work_snapshot() -> Tuple[int, int, int]:
-    """Cumulative (conflicts, decisions, propagations) for this thread."""
+    """Cumulative (conflicts, decisions, propagations) for this thread.
+
+    Sampling also flushes this thread's un-reported work into the
+    process-wide :mod:`repro.obs` counters — the engine driver samples
+    around every partition search, so the metrics surface tracks solver
+    work without touching the CDCL hot loop itself.  (Process-backend
+    workers flush into *their own* process's registry; cross-process
+    totals come from ``schedule["solver_stats"]``, which rides on the
+    results.)
+    """
     cells = _work_cells()
+    flushed = getattr(_work, "flushed", None)
+    if flushed is None:
+        flushed = _work.flushed = [0, 0, 0]
+    counters = _obs_work_counters()
+    for index in range(3):
+        delta = cells[index] - flushed[index]
+        if delta:
+            counters[index].inc(delta)
+            flushed[index] = cells[index]
     return (cells[0], cells[1], cells[2])
 
 
@@ -1040,8 +1078,35 @@ def Solver(proof: bool = False):
     never changes a result — only how fast it arrives.
     """
     if proof or _ckernel is None or kernel_forced_pure():
+        _count_solver_created("python")
         return PySolver(proof=proof)
+    _count_solver_created("c")
     return CKernelSolver()
+
+
+_SOLVERS_CREATED = None
+
+
+def _count_solver_created(kernel: str) -> None:
+    """Per-substrate creation counter + "which kernel is live" gauge."""
+    global _SOLVERS_CREATED
+    if _SOLVERS_CREATED is None:
+        from repro.obs.registry import default_registry
+
+        registry = default_registry()
+        _SOLVERS_CREATED = (
+            registry.counter(
+                "repro_solvers_created_total",
+                "solver instances constructed, by substrate",
+            ),
+            registry.gauge(
+                "repro_solver_kernel_active",
+                "1 for the substrate Solver() currently picks",
+            ),
+        )
+    counter, gauge = _SOLVERS_CREATED
+    counter.inc(kernel=kernel)
+    gauge.set(1 if kernel == active_kernel_name() else 0, kernel=kernel)
 
 
 def _luby(index: int) -> int:

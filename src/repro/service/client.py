@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.api.request import DecompositionRequest
 from repro.core.result import CircuitReport
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import Backpressure, ProtocolError, ServiceError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     decode_frame,
@@ -31,6 +31,25 @@ from repro.service.protocol import (
     encode_request,
     parse_address,
 )
+from repro.utils.timer import Deadline
+
+
+def _start_deadline(timeout: Optional[float]) -> Optional[Deadline]:
+    if timeout is None:
+        return None
+    if timeout <= 0:
+        raise ServiceError(f"timeout must be positive (got {timeout!r})")
+    return Deadline(timeout)
+
+
+def _remaining(deadline: Optional[Deadline]) -> Optional[float]:
+    """Seconds left on the wait, raising once the deadline is spent."""
+    if deadline is None:
+        return None
+    left = deadline.remaining()
+    if left is not None and left <= 0:
+        raise ServiceError("timed out waiting for the service")
+    return left
 
 
 class ServiceClient:
@@ -59,7 +78,10 @@ class ServiceClient:
         if kind == "tcp":
             # Frames are whole requests/replies: latency beats batching.
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._file = self._sock.makefile("rwb")
+        # Hand-rolled read buffer instead of sock.makefile(): a buffered
+        # file object becomes unreadable after one socket timeout, while
+        # this buffer keeps partial frames across timed-out waits.
+        self._rbuf = bytearray()
         self._next_tag = 0
         self._tagged: Dict[int, dict] = {}
         self._events: Dict[int, List[dict]] = {}
@@ -91,10 +113,6 @@ class ServiceClient:
         self.close()
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        except OSError:  # pragma: no cover
-            pass
         self._sock.close()
 
     # -- the protocol surface -----------------------------------------------------
@@ -104,7 +122,9 @@ class ServiceClient:
         reply = self._call({"type": "submit", "request": encode_request(request)})
         return int(reply["id"])
 
-    def wait(self, request_id: int) -> CircuitReport:
+    def wait(
+        self, request_id: int, timeout: Optional[float] = None
+    ) -> CircuitReport:
         """Block until the request is terminal; return (or raise) its outcome.
 
         ``done`` returns the decoded report; ``cancelled`` and ``failed``
@@ -113,7 +133,13 @@ class ServiceClient:
         consumed by an earlier :meth:`wait`) raises immediately — no
         ``result`` frame will ever arrive for it, so looping on the
         socket would hang forever.
+
+        ``timeout`` (seconds) bounds the whole wait: when it elapses —
+        or the server closes the connection first — a
+        :class:`ServiceError` is raised instead of blocking forever.
+        ``None`` keeps the historical block-until-done behaviour.
         """
+        deadline = _start_deadline(timeout)
         while request_id not in self._results:
             state = self._states.get(request_id)
             if state is None:
@@ -128,7 +154,7 @@ class ServiceClient:
                     f"request {request_id} already waited on "
                     f"(terminal state {state!r})"
                 )
-            self._dispatch(self._read_frame())
+            self._dispatch(self._read_frame(_remaining(deadline)))
         result = self._results.pop(request_id)
         state = result.get("state")
         if state == "done":
@@ -167,8 +193,34 @@ class ServiceClient:
             raise ServiceError(f"unknown request id {request_id}")
         return state
 
-    def events(self, request_id: int) -> List[dict]:
-        """Drain buffered per-output progress events for the request."""
+    def events(
+        self, request_id: int, timeout: Optional[float] = None
+    ) -> List[dict]:
+        """Drain buffered per-output progress events for the request.
+
+        Non-blocking by default.  With ``timeout`` (seconds) the call
+        reads the socket until at least one event is buffered for the
+        request or it goes terminal — raising :class:`ServiceError` when
+        the timeout elapses or the server closes the connection first.
+        """
+        buffered = self._events.pop(request_id, [])
+        if buffered or timeout is None:
+            return buffered
+        deadline = _start_deadline(timeout)
+        while request_id not in self._events:
+            state = self._states.get(request_id)
+            if state is None:
+                raise ServiceError(
+                    f"unknown request id {request_id!r}: not a request "
+                    "submitted on this connection"
+                )
+            if request_id in self._results or state in (
+                "done",
+                "cancelled",
+                "failed",
+            ):
+                return []  # terminal: no further progress events will come
+            self._dispatch(self._read_frame(_remaining(deadline)))
         return self._events.pop(request_id, [])
 
     # -- plumbing -----------------------------------------------------------------
@@ -181,27 +233,65 @@ class ServiceClient:
         frame["v"] = PROTOCOL_VERSION
         frame["tag"] = tag
         try:
-            self._file.write(encode_frame(frame))
-            self._file.flush()
+            self._sock.sendall(encode_frame(frame))
         except OSError as exc:
             raise ServiceError(f"connection to the service lost: {exc}") from None
         while tag not in self._tagged:
             self._dispatch(self._read_frame())
         reply = self._tagged.pop(tag)
         if reply.get("type") == "error":
-            raise ServiceError(str(reply.get("error")))
+            message = str(reply.get("error"))
+            if reply.get("code") == Backpressure.code:
+                # Recoverable quota rejection: typed so callers can back
+                # off and retry instead of treating it as a hard failure.
+                raise Backpressure(message)
+            raise ServiceError(message)
         return reply
 
-    def _read_frame(self) -> dict:
-        try:
-            line = self._file.readline()
-        except socket.timeout:
-            raise ServiceError("timed out waiting for the service") from None
-        except OSError as exc:
-            raise ServiceError(f"connection to the service lost: {exc}") from None
+    def _read_frame(self, timeout: Optional[float] = None) -> dict:
+        """Read one frame, optionally bounding the read with ``timeout``.
+
+        The socket's long-lived timeout stays ``None`` (result waits are
+        unbounded by default); a bounded read sets it for this call only
+        and always restores it.  Bytes received before a timeout fires
+        stay in :attr:`_rbuf`, so a timed-out wait never corrupts the
+        stream — the next read resumes mid-frame.
+        """
+        line = self._read_line(timeout)
         if not line:
             raise ServiceError("the service closed the connection")
         return decode_frame(line)
+
+    def _read_line(self, timeout: Optional[float] = None) -> bytes:
+        while True:
+            newline = self._rbuf.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._rbuf[: newline + 1])
+                del self._rbuf[: newline + 1]
+                return line
+            try:
+                if timeout is not None:
+                    self._sock.settimeout(max(timeout, 1e-9))
+                chunk = self._sock.recv(1 << 16)
+            except socket.timeout:
+                raise ServiceError("timed out waiting for the service") from None
+            except OSError as exc:
+                raise ServiceError(
+                    f"connection to the service lost: {exc}"
+                ) from None
+            finally:
+                if timeout is not None:
+                    try:
+                        self._sock.settimeout(None)
+                    except OSError:  # pragma: no cover - socket already dead
+                        pass
+            if not chunk:
+                if self._rbuf:
+                    raise ServiceError(
+                        "the service closed the connection mid-frame"
+                    )
+                return b""
+            self._rbuf += chunk
 
     def _dispatch(self, frame: dict) -> None:
         tag = frame.get("tag")

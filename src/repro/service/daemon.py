@@ -39,7 +39,18 @@ from repro.api.aio import AsyncRequestHandle, AsyncSession
 from repro.api.config import CachePolicy
 from repro.api.lifecycle import STATE_DONE, TERMINAL_STATES
 from repro.api.registry import EngineRegistry
-from repro.errors import FrameTooLarge, ProtocolError, ReproError, ServiceError
+from repro.errors import (
+    Backpressure,
+    FrameTooLarge,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+)
+from repro.obs.exposition import MetricsEndpoint, render_prometheus
+from repro.obs.quota import ClientAccount, QuotaPolicy
+from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import default_registry as obs_registry
+from repro.obs.registry import merge_snapshots
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     WIRE_LINE_LIMIT,
@@ -95,6 +106,8 @@ class ReproService:
         cache_max_entries: Optional[int] = None,
         registry: Optional[EngineRegistry] = None,
         line_limit: int = WIRE_LINE_LIMIT,
+        quota: Optional[QuotaPolicy] = None,
+        metrics_address: Optional[str] = None,
     ) -> None:
         self._jobs = jobs
         self._backend = backend
@@ -114,6 +127,35 @@ class ReproService:
         self._served_connections = 0
         self._conn_tasks: Set[asyncio.Task] = set()
         self._conn_writers: Set[asyncio.StreamWriter] = set()
+        # Admission bounds (all unenforced by default) and this daemon's
+        # PRIVATE metrics registry: per-client series and request spans
+        # must not bleed between two services embedded in one process.
+        # Substrate metrics (solver, caches, executors) land in the
+        # process-wide registry; stats() merges both views.
+        self.quota = quota if quota is not None else QuotaPolicy()
+        self.metrics = MetricsRegistry()
+        self._metrics_address = metrics_address
+        self._metrics_endpoint: Optional[MetricsEndpoint] = None
+        self._frames_total = self.metrics.counter(
+            "repro_service_frames_total", "client frames handled, by type"
+        )
+        self._connections_total = self.metrics.counter(
+            "repro_service_connections_total", "client connections accepted"
+        )
+        self._backpressure_total = self.metrics.counter(
+            "repro_service_backpressure_total",
+            "submits rejected by quota, by which bound fired",
+        )
+        self._errors_total = self.metrics.counter(
+            "repro_service_errors_total", "error frames sent to clients"
+        )
+        # client id -> running account; kept after disconnect so the
+        # stats frame stays a complete history of who the daemon served.
+        self._accounts: Dict[str, ClientAccount] = {}
+        # client id -> that connection's ``owned`` mapping (live view used
+        # to compute per-client in-flight counts for quotas and stats).
+        self._owned_of: Dict[str, Dict[int, Optional[str]]] = {}
+        self._live_clients: Set[str] = set()
 
     @property
     def session(self) -> Optional[AsyncSession]:
@@ -144,8 +186,16 @@ class ReproService:
         # handlers only run once control returns to the loop, so every
         # handler sees a live session.
         self._session = AsyncSession(
-            registry=self._registry, jobs=self._jobs, backend=self._backend
+            registry=self._registry,
+            jobs=self._jobs,
+            backend=self._backend,
+            metrics=self.metrics,
         )
+        if self._metrics_address is not None:
+            self._metrics_endpoint = MetricsEndpoint(
+                lambda: render_prometheus(self.metrics_snapshot())
+            )
+            await self._metrics_endpoint.start(self._metrics_address)
         if self._socket_path is not None:
             # Identity of OUR bind: shutdown must never unlink a socket a
             # newer daemon re-bound on the same path (last-starter-wins).
@@ -156,8 +206,17 @@ class ReproService:
                 self._socket_id = None
         return self._server
 
+    @property
+    def metrics_address(self) -> Optional[str]:
+        """The bound scrape address, when ``--metrics`` is serving."""
+        endpoint = self._metrics_endpoint
+        return endpoint.address if endpoint is not None else None
+
     async def aclose(self) -> None:
         """Stop accepting, drop the socket file, close the shared session."""
+        if self._metrics_endpoint is not None:
+            await self._metrics_endpoint.aclose()
+            self._metrics_endpoint = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -192,13 +251,67 @@ class ReproService:
         finally:
             await self.aclose()
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """This daemon's full metric view: the process-wide substrate
+        registry (solver work, caches, executors) merged with its own
+        per-service registry (spans, frames, per-client series)."""
+        return merge_snapshots(
+            [obs_registry().snapshot(), self.metrics.snapshot()]
+        )
+
+    def _inflight_of(self, owned: Dict[int, Optional[str]]) -> int:
+        """How many of a connection's requests are still non-terminal.
+
+        ``owned`` values stay ``None`` until the pump delivers a result,
+        but a cancel can terminate a request before then — count against
+        the session's live states so quota slots free the moment a
+        request is terminal, not when its result frame flushes.
+        """
+        states = self._session.status()
+        count = 0
+        for request_id, delivered in owned.items():
+            if delivered is not None:
+                continue
+            state = states.get(request_id)
+            if state is not None and state not in TERMINAL_STATES:
+                count += 1
+        return count
+
+    def _pending_total(self) -> int:
+        """Non-terminal requests across every connection (the accept
+        queue depth ``max_pending`` bounds)."""
+        return sum(
+            1
+            for state in self._session.status().values()
+            if state not in TERMINAL_STATES
+        )
+
     def stats(self) -> Dict[str, object]:
-        """Service-level counters layered over the session's."""
+        """Service-level counters layered over the session's.
+
+        Version 2 of the stats payload (protocol v3): adds the ``obs``
+        metric snapshot (counter/gauge/histogram series with
+        p50/p90/p99), per-client ``clients`` accounting and the
+        configured ``quotas``.
+        """
         counters: Dict[str, object] = dict(self._session.stats())
+        counters["stats_version"] = 2
         counters["protocol"] = PROTOCOL_VERSION
         counters["connections"] = self._connections
         counters["served_connections"] = self._served_connections
         counters["states"] = dict(self._session.status())
+        counters["quotas"] = {
+            "max_inflight_per_client": self.quota.max_inflight_per_client,
+            "max_pending": self.quota.max_pending,
+            "cache_write_budget": self.quota.cache_write_budget,
+        }
+        counters["clients"] = {
+            client: self._accounts[client].stats(
+                self._inflight_of(self._owned_of.get(client, {}))
+            )
+            for client in sorted(self._accounts)
+        }
+        counters["obs"] = self.metrics_snapshot()
         return counters
 
     # -- one connection -----------------------------------------------------------
@@ -208,6 +321,12 @@ class ReproService:
     ) -> None:
         self._connections += 1
         self._served_connections += 1
+        self._connections_total.inc()
+        # The connection's client identity: stable for its lifetime and
+        # unique for the daemon's (the obs label and quota key).
+        client = f"c{self._served_connections}"
+        account = self._accounts.setdefault(client, ClientAccount(client))
+        self._live_clients.add(client)
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
@@ -217,6 +336,7 @@ class ReproService:
         # in flight); the honest answer for a late cancel of a request
         # whose session handle was already forgotten.
         owned: Dict[int, Optional[str]] = {}
+        self._owned_of[client] = owned
         pumps: Set[asyncio.Task] = set()
 
         async def send(frame: Dict[str, object]) -> None:
@@ -250,7 +370,7 @@ class ReproService:
                     continue
                 if not line:
                     break
-                await self._handle_frame(line, send, owned, pumps)
+                await self._handle_frame(line, send, owned, pumps, account)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -275,18 +395,28 @@ class ReproService:
             # own terminal guard once the scheduler releases them).
             for request_id in owned:
                 self._session.forget(request_id)
+            # Account hygiene: idle connections leave no record; active
+            # ones keep theirs for the stats frame, bounded so an
+            # unbounded connection stream cannot grow the daemon forever.
+            self._live_clients.discard(client)
+            if account.submitted == 0 and account.rejected == 0:
+                self._accounts.pop(client, None)
+                self._owned_of.pop(client, None)
+            else:
+                self._prune_accounts()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _handle_frame(self, line, send, owned, pumps) -> None:
+    async def _handle_frame(self, line, send, owned, pumps, account) -> None:
         tag = None
         try:
             frame = decode_frame(line)
             tag = frame.get("tag")
             frame_type = check_client_frame(frame)
+            self._frames_total.inc(type=frame_type)
             if frame_type == "ping":
                 await send(self._tagged({"type": "pong", "v": PROTOCOL_VERSION}, tag))
             elif frame_type == "stats":
@@ -303,15 +433,43 @@ class ReproService:
             elif frame_type == "cancel":
                 await self._handle_cancel(frame, send, owned, tag)
             else:  # submit
-                await self._handle_submit(frame, send, owned, pumps, tag)
+                await self._handle_submit(frame, send, owned, pumps, tag, account)
         except ReproError as exc:
             # ProtocolError (malformed/mismatched frames) and request
             # validation errors alike: one line back, connection lives on.
+            # Recoverable rejections carry a machine-readable "code" (a
+            # Backpressure reply means "retry later", not "broken frame").
+            code = getattr(exc, "code", None)
+            self._errors_total.inc()
+            if isinstance(exc, Backpressure):
+                account.rejected += 1
+                self._backpressure_total.inc(quota=exc.quota or "unknown")
             await send(
                 self._tagged(
-                    {"type": "error", "v": PROTOCOL_VERSION, "error": str(exc)}, tag
+                    {
+                        "type": "error",
+                        "v": PROTOCOL_VERSION,
+                        "error": str(exc),
+                        **({} if code is None else {"code": code}),
+                    },
+                    tag,
                 )
             )
+
+    #: Disconnected-client accounts retained for the stats frame.
+    _MAX_RETAINED_ACCOUNTS = 1024
+
+    def _prune_accounts(self) -> None:
+        if len(self._accounts) <= self._MAX_RETAINED_ACCOUNTS:
+            return
+        # Oldest disconnected clients go first (ids are "c<N>", N rising).
+        for client in sorted(self._accounts, key=lambda name: int(name[1:])):
+            if client in self._live_clients:
+                continue
+            del self._accounts[client]
+            self._owned_of.pop(client, None)
+            if len(self._accounts) <= self._MAX_RETAINED_ACCOUNTS:
+                return
 
     @staticmethod
     def _tagged(frame: Dict[str, object], tag) -> Dict[str, object]:
@@ -319,16 +477,31 @@ class ReproService:
             frame["tag"] = tag
         return frame
 
-    async def _handle_submit(self, frame, send, owned, pumps, tag) -> None:
+    async def _handle_submit(self, frame, send, owned, pumps, tag, account) -> None:
+        # Admission FIRST, before any decode or planning: a rejected
+        # submit must leave zero trace in the session/scheduler, so the
+        # surviving requests' execution (and fingerprints) are exactly
+        # what they would have been had the rejected frame never arrived.
+        self.quota.admit(
+            account.client, self._inflight_of(owned), self._pending_total()
+        )
+        # Cache-write budget: an exhausted client still runs (results are
+        # cache-independent by construction) but without the persistent
+        # cache, so it cannot keep growing the shared snapshot.
+        cache_policy = self._cache_policy
+        if self.quota.cache_writes_exhausted(account.persistent_saved):
+            cache_policy = None
+            account.cache_throttled += 1
         # Decode (node-by-node AIG rebuild) and submit (cone planning,
         # persistent-cache warm) are CPU work: run them off-loop so one
         # client's large circuit never stalls other connections' frames.
         loop = asyncio.get_running_loop()
         request = await loop.run_in_executor(
-            None, decode_request, frame.get("request"), self._cache_policy
+            None, decode_request, frame.get("request"), cache_policy
         )
         handle = await loop.run_in_executor(None, self._session.submit, request)
         owned[handle.id] = None
+        account.submitted += 1
         await send(
             self._tagged(
                 {
@@ -341,7 +514,9 @@ class ReproService:
                 tag,
             )
         )
-        pump = asyncio.ensure_future(self._pump_request(handle, send, owned))
+        pump = asyncio.ensure_future(
+            self._pump_request(handle, send, owned, account)
+        )
         pumps.add(pump)
         pump.add_done_callback(pumps.discard)
 
@@ -373,7 +548,9 @@ class ReproService:
             )
         )
 
-    async def _pump_request(self, handle: AsyncRequestHandle, send, owned) -> None:
+    async def _pump_request(
+        self, handle: AsyncRequestHandle, send, owned, account
+    ) -> None:
         """Relay one request's lifecycle to its connection, then forget it."""
         try:
             async for event in handle.events():
@@ -406,11 +583,21 @@ class ReproService:
                     "state": state,
                 }
                 if state == STATE_DONE:
-                    result["report"] = encode_report(handle.ticket.report)
+                    report = handle.ticket.report
+                    result["report"] = encode_report(report)
+                    # Persistent-cache writes this request caused, charged
+                    # against the client's cache_write_budget.
+                    saved = report.schedule.get("persistent_saved", 0)
+                    if isinstance(saved, int) and saved > 0:
+                        account.persistent_saved += saved
                 elif handle.error:
                     result["error"] = handle.error
                 owned[handle.id] = state
                 await send(result)
+                # The span closes when the result frame is flushed: its
+                # "replied" mark and per-phase durations land in this
+                # daemon's registry, labelled by client.
+                handle.ticket.span.finish(self.metrics, client=account.client)
             self._session.forget(handle.id)
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass

@@ -40,7 +40,11 @@ from repro.errors import FrameTooLarge, ProtocolError, ReproError, ServiceError
 # counters that now feed result fingerprints), and report schedules carry
 # "solver_kernel"/"solver_stats".  The handshake is strict, so old clients
 # and servers refuse each other cleanly instead of mis-decoding stats.
-PROTOCOL_VERSION = 2
+# Version 3: stats frames carry the observability roll-up ("obs" metric
+# snapshot with latency histograms, "clients" per-client accounting,
+# "quotas" admission bounds), and error frames may carry a machine-
+# readable "code" (e.g. "backpressure" for recoverable quota rejections).
+PROTOCOL_VERSION = 3
 
 #: Frame types a client may send.
 CLIENT_FRAME_TYPES = ("submit", "cancel", "stats", "ping")

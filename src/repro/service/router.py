@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.aig.function import BooleanFunction
 from repro.aig.signature import canonical_cone_signature
 from repro.errors import FrameTooLarge, ProtocolError, ReproError, ServiceError
+from repro.obs.registry import SNAPSHOT_VERSION, merge_snapshots
 from repro.service.daemon import open_listener
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -335,6 +336,7 @@ class ReproRouter:
         probe_interval: float = 1.0,
         replicas: int = RING_REPLICAS,
         line_limit: int = WIRE_LINE_LIMIT,
+        stats_timeout: float = 5.0,
     ) -> None:
         if not shards:
             raise ServiceError("a router needs at least one shard address")
@@ -347,6 +349,7 @@ class ReproRouter:
         self._ring = build_ring(shards, replicas=replicas)
         self._max_attempts = max_attempts
         self._probe_interval = probe_interval
+        self._stats_timeout = stats_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self._address: Optional[str] = None
         self._socket_path: Optional[str] = None
@@ -826,17 +829,53 @@ class ReproRouter:
             )
         )
 
+    def _own_snapshot(self) -> Dict[str, object]:
+        """The router's counters in metric-snapshot form, so they merge
+        with (and render like) the shards' ``obs`` payloads."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {
+                f"repro_router_{name}_total": {
+                    "help": f"router {name}",
+                    "values": {"": value},
+                }
+                for name, value in sorted(self._counters.items())
+            },
+            "gauges": {
+                "repro_router_shards_up": {
+                    "help": "shards currently reachable",
+                    "values": {
+                        "": sum(link.up for link in self._links.values())
+                    },
+                }
+            },
+            "histograms": {},
+        }
+
+    # Per-shard scalar keys that must NOT be summed into the aggregate
+    # (versions are identities, not quantities).
+    _NO_AGGREGATE = frozenset({"protocol", "stats_version"})
+
     async def _handle_stats(self, conn: _ClientConnection, tag) -> None:
         aggregate: Dict[str, object] = {}
         shards: Dict[str, object] = {}
+        obs_snapshots: List[Dict[str, object]] = [self._own_snapshot()]
+        clients: Dict[str, object] = {}
+        quotas: Dict[str, object] = {}
         for address in sorted(self._links):
             link = self._links[address]
             if not link.up:
                 shards[address] = {"up": False}
                 continue
             try:
-                reply = await link.call({"type": "stats", "v": PROTOCOL_VERSION})
-            except ServiceError:
+                # A shard that dies (or wedges) mid-scrape must cost the
+                # client its numbers only, never the reply: bound the
+                # round trip and report the shard down.
+                reply = await asyncio.wait_for(
+                    link.call({"type": "stats", "v": PROTOCOL_VERSION}),
+                    timeout=self._stats_timeout,
+                )
+            except (ServiceError, asyncio.TimeoutError):
                 shards[address] = {"up": False}
                 continue
             stats = reply.get("stats") if reply.get("type") == "stats" else None
@@ -845,10 +884,25 @@ class ReproRouter:
                 continue
             shards[address] = {"up": True, **stats}
             for key, value in stats.items():
+                if key in self._NO_AGGREGATE:
+                    continue
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     continue
                 aggregate[key] = aggregate.get(key, 0) + value
+            shard_obs = stats.get("obs")
+            if isinstance(shard_obs, dict):
+                obs_snapshots.append(shard_obs)
+            shard_clients = stats.get("clients")
+            if isinstance(shard_clients, dict):
+                # Shards number clients independently; the address prefix
+                # keeps every series distinct in the fleet view.
+                for client in sorted(shard_clients):
+                    clients[f"{address}/{client}"] = shard_clients[client]
+            shard_quotas = stats.get("quotas")
+            if isinstance(shard_quotas, dict):
+                quotas[address] = shard_quotas
         stats_frame: Dict[str, object] = dict(aggregate)
+        stats_frame["stats_version"] = 2
         stats_frame["protocol"] = PROTOCOL_VERSION
         stats_frame["router"] = {
             **self._counters,
@@ -856,6 +910,11 @@ class ReproRouter:
             "shards_down": sum(not link.up for link in self._links.values()),
         }
         stats_frame["shards"] = shards
+        stats_frame["obs"] = merge_snapshots(obs_snapshots)
+        stats_frame["clients"] = clients
+        # Per-shard quota configuration, keyed by address: a fleet does
+        # not have one quota, each shard enforces its own.
+        stats_frame["quotas"] = quotas
         await conn.send(
             self._tagged(
                 {"type": "stats", "v": PROTOCOL_VERSION, "stats": stats_frame},

@@ -11,6 +11,19 @@ import time
 from dataclasses import dataclass, field
 
 
+def monotonic() -> float:
+    """The process-wide monotonic clock, in seconds.
+
+    The sanctioned raw clock read for code that needs a *timestamp* rather
+    than a budget — notably the metrics/tracing layer in :mod:`repro.obs`
+    (span phase marks, queue-wait measurements).  Centralising it here
+    keeps every wall-clock read behind this module (the ``DET-WALLCLOCK``
+    lint rule), so timing can never leak into fingerprinted data without
+    passing through an audited seam.
+    """
+    return time.perf_counter()
+
+
 class Stopwatch:
     """Accumulating stopwatch with ``start``/``stop``/``elapsed`` semantics.
 

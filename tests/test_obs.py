@@ -1,0 +1,247 @@
+"""Unit tests for ``repro.obs``: the metrics registry, spans, quotas
+and the Prometheus exposition.
+
+The load-bearing contracts:
+
+* counters are monotonic, histograms use the deterministic shared bucket
+  bounds, and snapshots are JSON-safe with sorted keys at every level;
+* ``merge_snapshots`` is exact for matching bounds (the router's fleet
+  roll-up must equal re-observing every sample in one registry);
+* quantiles interpolate within buckets and clamp at the last bound;
+* ``QuotaPolicy`` admission raises typed, recoverable
+  :class:`Backpressure` with the offending bound named;
+* spans are first-write-wins and finish() is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import Backpressure, ReproError, ServiceError
+from repro.obs.exposition import render_prometheus
+from repro.obs.quota import ClientAccount, QuotaPolicy
+from repro.obs.registry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+    merge_snapshots,
+    quantile_from_counts,
+)
+from repro.obs.spans import (
+    PHASE_DISPATCHED,
+    PHASE_REPLIED,
+    PHASE_SOLVED,
+    SPAN_HISTOGRAMS,
+    RequestSpan,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_is_monotonic_and_labelled(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help me")
+        counter.inc()
+        counter.inc(2, kind="a")
+        counter.inc(3, kind="a")
+        snapshot = registry.snapshot()
+        values = snapshot["counters"]["c_total"]["values"]
+        assert values == {"": 1, "kind=a": 5}
+
+    def test_counter_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_adds(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5)
+        gauge.add(-2)
+        gauge.set(7, shard="a")
+        assert registry.snapshot()["gauges"]["g"]["values"] == {
+            "": 3,
+            "shard=a": 7,
+        }
+
+    def test_name_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_same_name_same_kind_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
+
+
+class TestHistograms:
+    def test_deterministic_shared_buckets(self):
+        # The bounds are part of the wire contract: shard snapshots only
+        # merge bucket-for-bucket because every process uses these.
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert len(set(LATENCY_BUCKETS)) == len(LATENCY_BUCKETS)
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds")
+        histogram.observe(0.003)
+        entry = registry.snapshot()["histograms"]["h_seconds"]
+        assert entry["buckets"] == list(LATENCY_BUCKETS)
+
+    def test_observe_counts_and_overflow_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        series = registry.snapshot()["histograms"]["h"]["series"][""]
+        assert series["counts"] == [1, 1, 1]
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(101.0)
+
+    def test_quantiles_interpolate_and_clamp(self):
+        # 100 observations spread evenly through (0, 1]: p50 ~ 0.5.
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h", buckets=tuple(i / 10 for i in range(1, 11))
+        )
+        for i in range(1, 101):
+            histogram.observe(i / 100)
+        series = registry.snapshot()["histograms"]["h"]["series"][""]
+        assert series["p50"] == pytest.approx(0.5, abs=0.1)
+        assert series["p99"] <= 1.0  # clamped to the last bound
+
+    def test_quantile_from_counts_empty_is_none(self):
+        assert quantile_from_counts([1.0], [0, 0], 0.5) is None
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(kind="x")
+        registry.histogram("h").observe(0.2)
+        encoded = json.dumps(registry.snapshot(), sort_keys=True)
+        assert "p50" in encoded
+
+    def test_thread_safety_loses_no_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.snapshot()["counters"]["c"]["values"][""] == 8000
+
+
+class TestMerge:
+    def test_merge_equals_reobserving(self):
+        a, b, whole = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        for value, registry in ((0.004, a), (0.2, b), (3.0, a)):
+            registry.histogram("h").observe(value)
+            whole.histogram("h").observe(value)
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        whole.counter("c").inc(5)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        want = whole.snapshot()
+        assert merged["counters"] == want["counters"]
+        assert merged["histograms"] == want["histograms"]
+
+    def test_mismatched_bounds_are_skipped_not_corrupted(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert "h" in merged.get("merge_skipped", ())
+
+
+class TestExposition:
+    def test_render_has_cumulative_buckets_and_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        text = render_prometheus(registry.snapshot())
+        assert '# TYPE h_seconds histogram' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="2"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        assert "h_seconds_count 2" in text
+
+    def test_render_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(name='we"ird')
+        assert 'name="we\\"ird"' in render_prometheus(registry.snapshot())
+
+
+class TestSpans:
+    def test_phases_first_write_wins(self):
+        span = RequestSpan()
+        span.mark(PHASE_DISPATCHED)
+        first = span.duration("queued", PHASE_DISPATCHED)
+        span.mark(PHASE_DISPATCHED)  # a later re-mark must not move it
+        assert span.duration("queued", PHASE_DISPATCHED) == first
+
+    def test_finish_is_idempotent_and_fills_replied(self):
+        registry = MetricsRegistry()
+        span = RequestSpan()
+        span.mark(PHASE_DISPATCHED)
+        span.mark(PHASE_SOLVED)
+        assert span.finish(registry, client="c1") is True
+        assert span.finish(registry, client="c1") is False
+        assert span.marked(PHASE_REPLIED)
+        histograms = registry.snapshot()["histograms"]
+        for name in SPAN_HISTOGRAMS:
+            series = histograms[name]["series"]
+            assert series[""]["count"] == 1
+            assert series["client=c1"]["count"] == 1
+
+
+class TestQuota:
+    def test_bounds_must_be_positive_integers(self):
+        with pytest.raises(ReproError):
+            QuotaPolicy(max_inflight_per_client=0)
+        with pytest.raises(ReproError):
+            QuotaPolicy(max_pending=-1)
+
+    def test_admit_inflight_bound(self):
+        policy = QuotaPolicy(max_inflight_per_client=2)
+        policy.admit("c1", inflight=1, pending_total=10)
+        with pytest.raises(Backpressure) as excinfo:
+            policy.admit("c1", inflight=2, pending_total=10)
+        assert excinfo.value.quota == "max_inflight_per_client"
+        assert excinfo.value.limit == 2
+        # Recoverable: a ServiceError subclass with a machine code.
+        assert isinstance(excinfo.value, ServiceError)
+        assert excinfo.value.code == "backpressure"
+
+    def test_admit_pending_bound(self):
+        policy = QuotaPolicy(max_pending=3)
+        with pytest.raises(Backpressure) as excinfo:
+            policy.admit("c1", inflight=0, pending_total=3)
+        assert excinfo.value.quota == "max_pending"
+
+    def test_cache_write_budget(self):
+        policy = QuotaPolicy(cache_write_budget=5)
+        assert not policy.cache_writes_exhausted(4)
+        assert policy.cache_writes_exhausted(5)
+        assert not QuotaPolicy().cache_writes_exhausted(10**9)
+
+    def test_account_stats_shape(self):
+        account = ClientAccount("c9")
+        account.submitted += 2
+        stats = account.stats(inflight=1)
+        assert stats == {
+            "inflight": 1,
+            "submitted": 2,
+            "rejected": 0,
+            "persistent_saved": 0,
+            "cache_throttled": 0,
+        }

@@ -178,8 +178,7 @@ class TestRouterRoundTrip:
 
     def test_protocol_errors_relay_with_connection_intact(self, front):
         with ServiceClient(front.address) as client:
-            client._file.write(b"{not json}\n")
-            client._file.flush()
+            client._sock.sendall(b"{not json}\n")
             frame = client._read_frame()
             assert frame["type"] == "error"
             assert "malformed frame" in frame["error"]
@@ -267,6 +266,88 @@ class TestFailover:
             RouterThread(
                 "127.0.0.1:0", [str(tmp_path / "nowhere.sock")]
             ).start()
+
+
+class TestRouterObservability:
+    def test_stats_with_a_shard_down_mid_scrape_never_hangs(
+        self, shard_pair, front
+    ):
+        """A shard dying between scrapes costs the client that shard's
+        numbers only: the frame still arrives, the survivor's counters
+        aggregate, and the victim is reported ``{"up": False}``."""
+        with ServiceClient(front.address) as client:
+            client.run(request_for(mux_tree(2)))
+            first = client.stats()
+            victim = min(
+                first["shards"],
+                key=lambda address: first["shards"][address].get("submitted", 0),
+            )
+            survivor = next(a for a in first["shards"] if a != victim)
+            shards = {shard.address: shard for shard in shard_pair}
+            shards[victim].stop()
+            stats = client.stats()
+        assert stats["shards"][victim] == {"up": False}
+        assert stats["shards"][survivor]["up"] is True
+        assert stats["router"]["shards_down"] == 1
+        assert stats["router"]["shards_up"] == 1
+        # The survivor's session counters still aggregate.
+        assert stats["completed"] >= 1
+        assert stats["stats_version"] == 2
+
+    def test_stats_obs_rollup_merges_router_and_shard_series(self, front):
+        with ServiceClient(front.address) as client:
+            client.run(request_for(mux_tree(2)))
+            stats = client.stats()
+        obs = stats["obs"]
+        # The router's own counters ride in the same snapshot namespace.
+        assert obs["counters"]["repro_router_routed_total"]["values"][""] >= 1
+        assert obs["gauges"]["repro_router_shards_up"]["values"][""] == 2
+        # Shard request spans merged bucket-for-bucket: the shared bounds
+        # mean nothing lands in merge_skipped.
+        latency = obs["histograms"]["repro_request_latency_seconds"]
+        assert latency["series"][""]["count"] >= 1
+        assert "repro_request_latency_seconds" not in obs.get(
+            "merge_skipped", []
+        )
+        # Per-client accounts are namespaced by shard address so the
+        # fleet view never conflates two shards' client c1.
+        assert stats["clients"]
+        for name, entry in stats["clients"].items():
+            assert "/" in name
+            assert entry["submitted"] >= 0
+
+    def test_shard_readmitted_by_probe_reappears_in_stats(self, tmp_path):
+        """After the probe re-admits a returned shard, the very next
+        scrape carries its numbers again."""
+        shard_path = str(tmp_path / "shard.sock")
+        survivor = ServiceThread("127.0.0.1:0", jobs=1, backend="thread").start()
+        try:
+            with RouterThread(
+                "127.0.0.1:0",
+                [shard_path, survivor.address],
+                probe_interval=0.1,
+            ) as front:
+                with ServiceClient(front.address) as client:
+                    client.run(request_for(mux_tree(2)))
+                    down = client.stats()
+                    assert down["shards"][shard_path] == {"up": False}
+                    assert down["router"]["shards_down"] == 1
+                    late = ServiceThread(
+                        shard_path, jobs=1, backend="thread"
+                    ).start()
+                    try:
+                        assert wait_until(
+                            lambda: client.stats()["router"]["shards_up"] == 2
+                        )
+                        back = client.stats()
+                        entry = back["shards"][shard_path]
+                        assert entry["up"] is True
+                        assert "submitted" in entry
+                        assert back["router"]["shards_down"] == 0
+                    finally:
+                        late.stop()
+        finally:
+            survivor.stop()
 
 
 class TestRouteCli:

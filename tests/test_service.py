@@ -268,8 +268,7 @@ class TestDaemonRoundTrip:
 class TestProtocolErrors:
     def test_malformed_frame_gets_one_line_error_reply(self, daemon):
         with ServiceClient(daemon.socket_path) as client:
-            client._file.write(b"{not json}\n")
-            client._file.flush()
+            client._sock.sendall(b"{not json}\n")
             frame = client._read_frame()
             assert frame["type"] == "error"
             assert "malformed frame" in frame["error"]
@@ -279,8 +278,7 @@ class TestProtocolErrors:
 
     def test_version_mismatch_gets_one_line_error_reply(self, daemon):
         with ServiceClient(daemon.socket_path) as client:
-            client._file.write(b'{"v": 99, "type": "stats", "tag": 1}\n')
-            client._file.flush()
+            client._sock.sendall(b'{"v": 99, "type": "stats", "tag": 1}\n')
             frame = client._read_frame()
             assert frame["type"] == "error"
             assert "version mismatch" in frame["error"]
@@ -289,10 +287,9 @@ class TestProtocolErrors:
 
     def test_unknown_frame_type_rejected(self, daemon):
         with ServiceClient(daemon.socket_path) as client:
-            client._file.write(
+            client._sock.sendall(
                 json.dumps({"v": PROTOCOL_VERSION, "type": "explode"}).encode() + b"\n"
             )
-            client._file.flush()
             frame = client._read_frame()
             assert frame["type"] == "error" and "unknown frame type" in frame["error"]
 
@@ -300,13 +297,12 @@ class TestProtocolErrors:
         with ServiceClient(daemon.socket_path) as client:
             wire = encode_request(request_for(mux_tree(2)))
             wire["engines"] = ["NO-SUCH-ENGINE"]
-            client._file.write(
+            client._sock.sendall(
                 json.dumps(
                     {"v": PROTOCOL_VERSION, "type": "submit", "tag": 7, "request": wire}
                 ).encode()
                 + b"\n"
             )
-            client._file.flush()
             frame = client._read_frame()
             assert frame["type"] == "error"
             assert "unknown engine" in frame["error"]
@@ -328,7 +324,7 @@ class TestProtocolErrors:
                 },
                 {"circuit": "not-a-circuit", "operator": "or", "engines": ["STEP-MG"]},
             ):
-                client._file.write(
+                client._sock.sendall(
                     json.dumps(
                         {
                             "v": PROTOCOL_VERSION,
@@ -338,7 +334,6 @@ class TestProtocolErrors:
                     ).encode()
                     + b"\n"
                 )
-                client._file.flush()
                 frame = client._read_frame()
                 assert frame["type"] == "error", frame
                 assert "\n" not in frame["error"]
@@ -360,10 +355,9 @@ class TestProtocolErrors:
                     "pad": "x" * 4096,
                     "tag": 77,
                 }
-                client._file.write(
+                client._sock.sendall(
                     json.dumps(huge, separators=(",", ":")).encode() + b"\n"
                 )
-                client._file.flush()
                 frame = client._read_frame()
                 assert frame["type"] == "error"
                 assert "2048-byte line limit" in frame["error"]
@@ -480,3 +474,359 @@ class TestServiceThreadLifecycle:
         finally:
             release.set()
             default_registry().unregister("TEST-HANG")
+
+
+# -- observability, quotas and backpressure (protocol v3) -----------------------
+
+
+def _stall_engine(name):
+    """Register a stalling engine; returns (release_event, unregister)."""
+    release = threading.Event()
+
+    def stalling(function, operator, *, options, deadline):
+        release.wait(30)
+        return BiDecResult(engine=name, operator=operator, decomposed=False)
+
+    default_registry().register(EngineSpec(name, runner=stalling))
+    return release, lambda: default_registry().unregister(name)
+
+
+class TestStatsFrame:
+    def test_stats_frame_is_versioned_and_carries_obs(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            client.run(request_for(mux_tree(2)))
+            stats = client.stats()
+        assert stats["stats_version"] == 2
+        assert stats["protocol"] == PROTOCOL_VERSION
+        assert stats["quotas"] == {
+            "max_inflight_per_client": None,
+            "max_pending": None,
+            "cache_write_budget": None,
+        }
+        # Per-client accounting: this connection is c1 and submitted once.
+        assert stats["clients"]["c1"]["submitted"] == 1
+        assert stats["clients"]["c1"]["inflight"] == 0
+        # The obs snapshot carries request-latency percentiles.
+        latency = stats["obs"]["histograms"]["repro_request_latency_seconds"]
+        aggregate = latency["series"][""]
+        assert aggregate["count"] >= 1
+        assert aggregate["p50"] is not None
+        assert aggregate["p99"] >= aggregate["p50"]
+        # ... a per-client series for the same span ...
+        assert latency["series"]["client=c1"]["count"] >= 1
+        # ... the fair-queue wait and the frame counters.
+        assert (
+            stats["obs"]["histograms"]["repro_fair_queue_wait_seconds"][
+                "series"
+            ][""]["count"]
+            >= 1
+        )
+        frames = stats["obs"]["counters"]["repro_service_frames_total"]
+        assert frames["values"]["type=submit"] == 1
+
+    def test_stats_frame_is_json_schema_checkable(self, daemon, tmp_path):
+        """The CI artifact path: a saved stats frame passes
+        ``compare_bench.py --stats``."""
+        import subprocess
+        import sys
+
+        with ServiceClient(daemon.socket_path) as client:
+            client.run(request_for(mux_tree(2)))
+            stats = client.stats()
+        path = tmp_path / "stats_frame.json"
+        path.write_text(json.dumps(stats))
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/compare_bench.py", "--stats", str(path)],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestQuotasAndBackpressure:
+    def test_over_quota_submit_gets_typed_recoverable_backpressure(
+        self, socket_path
+    ):
+        from repro.errors import Backpressure
+        from repro.obs import QuotaPolicy
+
+        release, unregister = _stall_engine("TEST-BP-STALL")
+        try:
+            with ServiceThread(
+                socket_path,
+                jobs=1,
+                backend="thread",
+                quota=QuotaPolicy(max_inflight_per_client=1),
+            ) as service:
+                with ServiceClient(service.address) as client:
+                    slow = client.submit(
+                        request_for(
+                            ripple_carry_adder(2), engines=("TEST-BP-STALL",)
+                        )
+                    )
+                    with pytest.raises(Backpressure) as excinfo:
+                        client.submit(request_for(mux_tree(2)))
+                    assert "retry" in str(excinfo.value)
+                    # Recoverable: the connection (and the in-flight
+                    # request) survive the rejection.
+                    release.set()
+                    client.wait(slow)
+                    report = client.run(request_for(mux_tree(2)))
+                    assert len(report.outputs) == 1
+                    stats = client.stats()
+                    assert stats["clients"]["c1"]["rejected"] == 1
+                    backpressure = stats["obs"]["counters"][
+                        "repro_service_backpressure_total"
+                    ]
+                    assert (
+                        backpressure["values"]["quota=max_inflight_per_client"]
+                        == 1
+                    )
+        finally:
+            release.set()
+            unregister()
+
+    def test_max_pending_bounds_the_accept_queue_across_clients(
+        self, socket_path
+    ):
+        from repro.errors import Backpressure
+        from repro.obs import QuotaPolicy
+
+        release, unregister = _stall_engine("TEST-PENDING-STALL")
+        try:
+            with ServiceThread(
+                socket_path,
+                jobs=1,
+                backend="thread",
+                quota=QuotaPolicy(max_pending=1),
+            ) as service:
+                with ServiceClient(service.address) as holder:
+                    holder.submit(
+                        request_for(
+                            ripple_carry_adder(2),
+                            engines=("TEST-PENDING-STALL",),
+                        )
+                    )
+                    with ServiceClient(service.address) as other:
+                        # A DIFFERENT connection is refused: the bound is
+                        # service-wide, not per client.
+                        with pytest.raises(Backpressure, match="accept queue"):
+                            other.submit(request_for(mux_tree(2)))
+                    release.set()
+        finally:
+            release.set()
+            unregister()
+
+    def test_rejected_client_never_perturbs_survivors_fingerprint(
+        self, socket_path
+    ):
+        """Acceptance: requests served next to throttled clients produce
+        bit-identical fingerprints to a serial local run."""
+        from repro.errors import Backpressure
+        from repro.obs import QuotaPolicy
+
+        reference = Session().run(request_for(mux_tree(3))).fingerprint()
+        release, unregister = _stall_engine("TEST-ISO-STALL")
+        try:
+            with ServiceThread(
+                socket_path,
+                jobs=2,
+                backend="thread",
+                quota=QuotaPolicy(max_inflight_per_client=1),
+            ) as service:
+                with ServiceClient(service.address) as noisy:
+                    noisy.submit(
+                        request_for(
+                            ripple_carry_adder(2), engines=("TEST-ISO-STALL",)
+                        )
+                    )
+                    rejections = 0
+                    with ServiceClient(service.address) as survivor:
+                        for _ in range(5):
+                            # The noisy client hammers past its quota while
+                            # the survivor's request runs.
+                            with pytest.raises(Backpressure):
+                                noisy.submit(request_for(mux_tree(2)))
+                            rejections += 1
+                        report = survivor.run(request_for(mux_tree(3)))
+                    release.set()
+                    assert rejections == 5
+                    assert report.fingerprint() == reference
+        finally:
+            release.set()
+            unregister()
+
+    def test_cache_write_budget_throttles_writes_not_results(self, tmp_path):
+        from repro.obs import QuotaPolicy
+
+        socket_path = str(tmp_path / "repro.sock")
+        cache_dir = str(tmp_path / "cones")
+        reference = Session().run(request_for(mux_tree(3))).fingerprint()
+        with ServiceThread(
+            socket_path,
+            jobs=1,
+            backend="thread",
+            cache_dir=cache_dir,
+            quota=QuotaPolicy(cache_write_budget=1),
+        ) as service:
+            with ServiceClient(service.address) as client:
+                first = client.run(request_for(ripple_carry_adder(2)))
+                # The first run wrote persistent entries (budget spent).
+                assert first.schedule["persistent_saved"] >= 1
+                second = client.run(request_for(mux_tree(3)))
+                # Throttled: the second ran WITHOUT the persistent cache —
+                # no persistent_* schedule keys — but its report is
+                # fingerprint-identical to the serial local reference.
+                assert "persistent_saved" not in second.schedule
+                assert second.fingerprint() == reference
+                stats = client.stats()
+                assert stats["clients"]["c1"]["cache_throttled"] == 1
+                assert stats["clients"]["c1"]["persistent_saved"] >= 1
+
+
+class TestClientTimeouts:
+    def _fake_server(self, script):
+        """A one-connection TCP server speaking ``script(filelike)``."""
+        import socket as socket_module
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def serve():
+            conn, _ = listener.accept()
+            stream = conn.makefile("rwb")
+            try:
+                script(stream)
+            finally:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+                conn.close()
+                listener.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return f"127.0.0.1:{port}", thread
+
+    def test_wait_timeout_raises_instead_of_hanging(self, socket_path):
+        """Regression: a hung daemon used to block wait() forever."""
+        from repro.service.protocol import encode_frame
+
+        hold = threading.Event()
+
+        def hung_daemon(stream):
+            stream.write(
+                encode_frame(
+                    {"type": "hello", "v": PROTOCOL_VERSION, "server": "x"}
+                )
+            )
+            stream.flush()
+            line = stream.readline()  # the submit frame
+            frame = json.loads(line)
+            stream.write(
+                encode_frame(
+                    {
+                        "type": "event",
+                        "v": PROTOCOL_VERSION,
+                        "id": 1,
+                        "name": "m",
+                        "state": "queued",
+                        "tag": frame.get("tag"),
+                    }
+                )
+            )
+            stream.flush()
+            hold.wait(30)  # ... and never a result frame
+
+        address, thread = self._fake_server(hung_daemon)
+        try:
+            with ServiceClient(address) as client:
+                request_id = client.submit(request_for(mux_tree(2)))
+                started = time.time()
+                with pytest.raises(ServiceError, match="timed out"):
+                    client.wait(request_id, timeout=0.3)
+                assert time.time() - started < 10
+        finally:
+            hold.set()
+            thread.join(timeout=5)
+
+    def test_wait_raises_on_server_eof(self):
+        from repro.service.protocol import encode_frame
+
+        def vanishing_daemon(stream):
+            stream.write(
+                encode_frame(
+                    {"type": "hello", "v": PROTOCOL_VERSION, "server": "x"}
+                )
+            )
+            stream.flush()
+            line = stream.readline()
+            frame = json.loads(line)
+            stream.write(
+                encode_frame(
+                    {
+                        "type": "event",
+                        "v": PROTOCOL_VERSION,
+                        "id": 1,
+                        "name": "m",
+                        "state": "queued",
+                        "tag": frame.get("tag"),
+                    }
+                )
+            )
+            stream.flush()
+            # close immediately: EOF mid-wait
+
+        address, thread = self._fake_server(vanishing_daemon)
+        try:
+            with ServiceClient(address) as client:
+                request_id = client.submit(request_for(mux_tree(2)))
+                with pytest.raises(ServiceError, match="closed the connection"):
+                    client.wait(request_id, timeout=5)
+        finally:
+            thread.join(timeout=5)
+
+    def test_events_timeout_raises(self, daemon):
+        release, unregister = _stall_engine("TEST-EV-STALL")
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                request_id = client.submit(
+                    request_for(
+                        ripple_carry_adder(2), engines=("TEST-EV-STALL",)
+                    )
+                )
+                with pytest.raises(ServiceError, match="timed out"):
+                    client.events(request_id, timeout=0.3)
+                release.set()
+                client.wait(request_id)
+        finally:
+            release.set()
+            unregister()
+
+    def test_wait_timeout_leaves_the_connection_usable(self, daemon):
+        """The per-call timeout must not poison later unbounded waits."""
+        release, unregister = _stall_engine("TEST-TO-STALL")
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                slow = client.submit(
+                    request_for(ripple_carry_adder(2), engines=("TEST-TO-STALL",))
+                )
+                with pytest.raises(ServiceError, match="timed out"):
+                    client.wait(slow, timeout=0.3)
+                release.set()
+                report = client.wait(slow)  # unbounded wait still works
+                assert report.outputs
+        finally:
+            release.set()
+            unregister()
+
+    def test_nonpositive_timeout_rejected(self, daemon):
+        with ServiceClient(daemon.socket_path) as client:
+            request_id = client.submit(request_for(mux_tree(2)))
+            with pytest.raises(ServiceError, match="positive"):
+                client.wait(request_id, timeout=0)
+            client.wait(request_id)
